@@ -1,0 +1,149 @@
+// Ablation 8: the traditional asynchronous-transmission (AT/CSMA)
+// control plane vs the paper's ST control plane.
+//
+// §I of the paper: "frequent and fast communication between the
+// electrical appliances and the central controller becomes a
+// significant problem which acts as a bottleneck... As the number of
+// devices increases, such difficulties also increase in proportion."
+// This bench measures exactly that: per-round status coverage and
+// latency of CSMA tree collection as the update period shrinks and as
+// the network grows, against MiniCast's fixed-airtime rounds.
+#include "bench_util.hpp"
+
+#include <iostream>
+#include <memory>
+
+#include "st/at_collection.hpp"
+
+namespace {
+
+using namespace han;
+
+struct Stack {
+  sim::Simulator sim;
+  net::Topology topo;
+  sim::Rng rng;
+  std::unique_ptr<net::Channel> channel;
+  std::unique_ptr<net::Medium> medium;
+  std::vector<std::unique_ptr<net::Radio>> radios;
+  std::vector<net::Radio*> raw;
+
+  Stack(net::Topology t, std::uint64_t seed) : topo(std::move(t)), rng(seed) {
+    net::ChannelParams cp;
+    cp.shadowing_sigma_db = 0.0;
+    channel = std::make_unique<net::Channel>(topo, cp, rng);
+    medium = std::make_unique<net::Medium>(sim, *channel,
+                                           rng.stream("medium"));
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      radios.push_back(std::make_unique<net::Radio>(
+          sim, *medium, static_cast<net::NodeId>(i)));
+      raw.push_back(radios.back().get());
+    }
+  }
+};
+
+struct Row {
+  double uplink = 0.0;
+  double latency_ms = 0.0;
+  double frames = 0.0;
+  double drops = 0.0;
+};
+
+Row run_at(net::Topology topo, sim::Duration period, sim::Duration horizon) {
+  Stack s(std::move(topo), 1);
+  st::AtCollectionParams p;
+  p.round_period = period;
+  p.disseminate_command = false;  // isolate the uplink bottleneck
+  p.uplink_jitter = period / 4;
+  st::AtCollectionEngine engine(s.sim, s.raw, *s.channel, p,
+                                s.rng.stream("at"));
+  engine.start(s.sim.now() + sim::milliseconds(10));
+  s.sim.run_until(s.sim.now() + horizon);
+  engine.stop();
+  Row r;
+  r.uplink = engine.stats().mean_uplink();
+  r.latency_ms =
+      static_cast<double>(engine.stats().mean_uplink_latency().ms());
+  r.frames = static_cast<double>(engine.stats().mac_tx_frames);
+  r.drops = static_cast<double>(engine.stats().mac_drops);
+  return r;
+}
+
+Row run_st(net::Topology topo, sim::Duration period, sim::Duration horizon) {
+  Stack s(std::move(topo), 1);
+  st::MiniCastParams p;
+  p.round_period = period;
+  st::MiniCastEngine engine(s.sim, s.raw, p, s.rng.stream("mc"));
+  engine.start(s.sim.now() + sim::milliseconds(10));
+  s.sim.run_until(s.sim.now() + horizon);
+  engine.stop();
+  Row r;
+  r.uplink = engine.stats().mean_coverage();
+  // ST latency = one full round of slots (all-to-all, not just uplink).
+  r.latency_ms =
+      static_cast<double>(engine.round_active_duration().ms());
+  r.frames = static_cast<double>(s.medium->stats().transmissions);
+  r.drops = 0.0;
+  return r;
+}
+
+void reproduce() {
+  bench::print_header("Ablation 8", "AT (CSMA tree) vs ST control plane");
+
+  const sim::Duration horizon = sim::seconds(60);
+
+  std::printf("\n--- update-period sweep, 26 nodes (60 s) ---\n");
+  metrics::TextTable t({"period_s", "AT_coverage", "AT_latency_ms",
+                        "AT_frames", "AT_drops", "ST_coverage",
+                        "ST_round_ms"});
+  for (double period_s : {8.0, 4.0, 2.0, 1.0, 0.5}) {
+    const auto period = sim::seconds_f(period_s);
+    const Row at = run_at(net::Topology::flocklab26(), period, horizon);
+    Row st_row;
+    st_row.uplink = -1.0;
+    st_row.latency_ms = 0.0;
+    const bool st_fits =
+        period_s >= 1.5;  // 26 flood slots need ~1.4 s of airtime
+    if (st_fits) st_row = run_st(net::Topology::flocklab26(), period, horizon);
+    t.add_row(metrics::fmt(period_s, 1),
+              {at.uplink, at.latency_ms, at.frames, at.drops,
+               st_fits ? st_row.uplink : -1.0,
+               st_fits ? st_row.latency_ms : -1.0});
+  }
+  t.print(std::cout);
+
+  std::printf("\n--- size sweep at a 2 s period (60 s; grid topology) ---\n");
+  metrics::TextTable g({"nodes", "AT_coverage", "AT_latency_ms", "AT_drops"});
+  for (std::size_t n : {9u, 16u, 25u, 49u}) {
+    const auto side = static_cast<std::size_t>(std::sqrt(n));
+    const Row at = run_at(net::Topology::grid(side, side, 9.0),
+                          sim::seconds(2), horizon);
+    g.add_row(metrics::fmt(static_cast<double>(n), 0),
+              {at.uplink, at.latency_ms, at.drops});
+  }
+  g.print(std::cout);
+  std::printf(
+      "\nExpected shape: AT coverage and latency degrade as the period\n"
+      "shrinks or the network grows (funnel contention at the root);\n"
+      "ST coverage stays ~1.0 at fixed, deterministic round airtime —\n"
+      "the paper's §I bottleneck argument, quantified. (-1 = period\n"
+      "infeasible for ST's 26 TDMA slots.)\n");
+}
+
+void BM_AtRound(benchmark::State& state) {
+  for (auto _ : state) {
+    const Row r = run_at(net::Topology::flocklab26(), sim::seconds(2),
+                         sim::seconds(10));
+    benchmark::DoNotOptimize(r.uplink);
+  }
+}
+BENCHMARK(BM_AtRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  reproduce();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation 4: robustness to communication loss. The CP's reliability is
+// swept (abstract Bernoulli delivery) and, at packet level, an
+// independent forced drop rate is injected at the PHY. The design
+// property under test: stale views may skew slot balance but can never
+// produce minDCD violations, and service stays intact until the CP is
+// essentially dead.
+#include "bench_util.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace han;
+
+void reproduce() {
+  bench::print_header("Ablation 4", "CP reliability / packet loss");
+
+  std::printf("\n--- abstract CP reliability sweep (350 min, high rate) ---\n");
+  metrics::TextTable t({"reliability", "peak_kw", "std_kw", "stale_rounds",
+                        "gaps", "minDCD_violations"});
+  for (double rel : {1.0, 0.99, 0.9, 0.7, 0.5, 0.2}) {
+    core::ExperimentConfig cfg = core::paper_config(
+        appliance::ArrivalScenario::kHigh, core::SchedulerKind::kCoordinated);
+    cfg.han.fidelity = core::CpFidelity::kAbstract;
+    cfg.han.abstract_reliability = rel;
+    const auto r = core::run_experiment(cfg);
+    t.add_row(metrics::fmt(rel, 2),
+              {r.peak_kw, r.std_kw,
+               static_cast<double>(r.network.stale_view_rounds),
+               static_cast<double>(r.network.service_gap_violations),
+               static_cast<double>(r.network.min_dcd_violations)});
+  }
+  t.print(std::cout);
+
+  std::printf("\n--- packet-level forced drop sweep (60 min) ---\n");
+  metrics::TextTable p({"forced_drop", "cp_coverage", "peak_kw", "gaps",
+                        "minDCD_violations"});
+  for (double drop : {0.0, 0.3, 0.6, 0.9}) {
+    core::ExperimentConfig cfg = core::paper_config(
+        appliance::ArrivalScenario::kHigh, core::SchedulerKind::kCoordinated);
+    cfg.workload.horizon = sim::minutes(60);
+    sim::Simulator sim;
+    core::HanNetwork net(sim, cfg.han);
+    // Reach the medium through the network's packet substrate.
+    const sim::Rng root(cfg.han.seed);
+    auto wp = cfg.workload;
+    wp.warmup = cfg.cp_boot;
+    net.inject_requests(
+        appliance::WorkloadGenerator::generate(wp, root.stream("workload")));
+    metrics::LoadMonitor mon(sim, [&net] { return net.total_load_kw(); },
+                             sim::minutes(1));
+    // Forced drop applies to every reception independently.
+    // (const_cast-free: the medium is owned by the network; we use the
+    // config-level knob instead.)
+    net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+    mon.start(sim::TimePoint::epoch() + cfg.cp_boot);
+    net.set_forced_drop_rate(drop);
+    sim.run_until(sim::TimePoint::epoch() + wp.horizon);
+    const auto st = net.stats();
+    p.add_row(metrics::fmt(drop, 1),
+              {st.cp_mean_coverage, mon.series().peak(),
+               static_cast<double>(st.service_gap_violations),
+               static_cast<double>(st.min_dcd_violations)});
+  }
+  p.print(std::cout);
+  std::printf(
+      "\nExpected shape: coverage degrades gracefully (ST redundancy\n"
+      "absorbs <=30%% loss outright); minDCD violations stay at zero at\n"
+      "every loss level — consistency never depends on delivery.\n");
+}
+
+void BM_LossyExperiment(benchmark::State& state) {
+  core::ExperimentConfig cfg = core::paper_config(
+      appliance::ArrivalScenario::kHigh, core::SchedulerKind::kCoordinated);
+  cfg.han.fidelity = core::CpFidelity::kAbstract;
+  cfg.han.abstract_reliability =
+      static_cast<double>(state.range(0)) / 100.0;
+  cfg.workload.horizon = sim::minutes(60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_experiment(cfg).peak_kw);
+  }
+}
+BENCHMARK(BM_LossyExperiment)->Arg(100)->Arg(90)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  reproduce();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 2(a): total system load over 350 minutes, high arrival rate
+// (30 requests/hour), with vs without coordination.
+//
+// Prints the two 1-minute-sampled load series as CSV (the exact data
+// behind the figure) followed by the summary the caption reports.
+#include "bench_util.hpp"
+
+#include <iostream>
+
+#include "metrics/csv.hpp"
+
+namespace {
+
+using namespace han;
+
+void reproduce_figure() {
+  bench::print_header("Figure 2(a)",
+                      "load vs time, 350 min, 30 requests/hour");
+
+  const auto without = core::run_experiment(bench::figure_config(
+      appliance::ArrivalScenario::kHigh, core::SchedulerKind::kUncoordinated));
+  const auto with = core::run_experiment(bench::figure_config(
+      appliance::ArrivalScenario::kHigh, core::SchedulerKind::kCoordinated));
+
+  std::printf("\n--- load series (kW, 1-minute samples) ---\n");
+  metrics::write_csv(std::cout, {"with_coordination", "wo_coordination"},
+                     {&with.load, &without.load});
+
+  std::printf("\n--- summary ---\n");
+  metrics::TextTable t({"strategy", "peak_kw", "mean_kw", "std_kw",
+                        "max_step_kw", "cp_coverage"});
+  t.add_row("w/o coordination",
+            {without.peak_kw, without.mean_kw, without.std_kw,
+             without.max_step_kw, without.network.cp_mean_coverage});
+  t.add_row("with coordination",
+            {with.peak_kw, with.mean_kw, with.std_kw, with.max_step_kw,
+             with.network.cp_mean_coverage});
+  t.print(std::cout);
+  std::printf("peak reduction: %.1f%%   (paper: up to 50%%)\n",
+              bench::reduction_pct(without.peak_kw, with.peak_kw));
+  std::printf("stddev reduction: %.1f%%  (paper: up to 58%%)\n",
+              bench::reduction_pct(without.std_kw, with.std_kw));
+}
+
+void BM_Fig2aCoordinated(benchmark::State& state) {
+  bench::run_experiment_benchmark(state, core::SchedulerKind::kCoordinated);
+}
+void BM_Fig2aUncoordinated(benchmark::State& state) {
+  bench::run_experiment_benchmark(state,
+                                  core::SchedulerKind::kUncoordinated);
+}
+BENCHMARK(BM_Fig2aCoordinated)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig2aUncoordinated)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  reproduce_figure();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Microbenchmarks of the library's hot paths: event queue, RNG,
+// channel model, codec, scheduler, and record store.
+#include <benchmark/benchmark.h>
+
+#include "core/status_codec.hpp"
+#include "net/channel.hpp"
+#include "net/topology.hpp"
+#include "sched/coordinated.hpp"
+#include "sched/uncoordinated.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "st/record.hpp"
+
+namespace {
+
+using namespace han;
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  std::vector<sim::EventId> live;
+  for (auto _ : state) {
+    const auto id = q.schedule(
+        sim::TimePoint{static_cast<sim::Ticks>(rng.uniform_int(0, 1 << 20))},
+        [] {});
+    live.push_back(id);
+    if (live.size() > 1024) {
+      q.cancel(live[rng.index(live.size())]);
+      if (!q.empty()) q.pop();
+      live.clear();
+    }
+  }
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(2.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_ChannelPrr(benchmark::State& state) {
+  sim::Rng rng(1);
+  const net::Topology t = net::Topology::flocklab26();
+  const net::Channel ch(t, net::ChannelParams{}, rng);
+  double s = -91.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.prr(s, 1e-9, 125));
+    s = s < -99.0 ? -91.0 : s - 0.001;
+  }
+}
+BENCHMARK(BM_ChannelPrr);
+
+void BM_StatusCodecRoundTrip(benchmark::State& state) {
+  sched::DeviceStatus st;
+  st.id = 7;
+  st.has_demand = true;
+  st.demand_since = sim::TimePoint::epoch() + sim::minutes(100);
+  st.demand_until = sim::TimePoint::epoch() + sim::minutes(130);
+  st.slot = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::decode_status(7, core::encode_status(st)));
+  }
+}
+BENCHMARK(BM_StatusCodecRoundTrip);
+
+sched::GlobalView make_view(std::size_t n) {
+  sched::GlobalView v;
+  v.now = sim::TimePoint::epoch() + sim::minutes(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::DeviceStatus d;
+    d.id = static_cast<net::NodeId>(i);
+    d.has_demand = i % 3 != 0;
+    d.demand_since = sim::TimePoint::epoch() + sim::minutes(5);
+    d.demand_until = sim::TimePoint::epoch() + sim::minutes(65);
+    d.slot = static_cast<std::uint8_t>(i % 2);
+    v.devices.push_back(d);
+  }
+  return v;
+}
+
+void BM_CoordinatedPlan(benchmark::State& state) {
+  const sched::CoordinatedScheduler s;
+  const auto v = make_view(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(s.plan(v));
+}
+BENCHMARK(BM_CoordinatedPlan)->Arg(26)->Arg(104)->Arg(512);
+
+void BM_UncoordinatedPlan(benchmark::State& state) {
+  const sched::UncoordinatedScheduler s;
+  const auto v = make_view(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(s.plan(v));
+}
+BENCHMARK(BM_UncoordinatedPlan)->Arg(26)->Arg(104)->Arg(512);
+
+void BM_PickSlot(benchmark::State& state) {
+  const auto v = make_view(26);
+  sched::DeviceStatus self;
+  self.id = 25;
+  self.demand_since = v.now;
+  self.demand_until = v.now + sim::minutes(30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::CoordinatedScheduler::pick_slot(v, self));
+  }
+}
+BENCHMARK(BM_PickSlot);
+
+void BM_RecordStoreMergeSelect(benchmark::State& state) {
+  st::RecordStore store(26);
+  sim::Rng rng(1);
+  std::uint32_t version = 1;
+  for (auto _ : state) {
+    st::Record r;
+    r.origin = static_cast<net::NodeId>(rng.index(26));
+    r.version = version++;
+    store.merge(r);
+    benchmark::DoNotOptimize(
+        store.select_for_broadcast(0, st::records_per_frame(), version));
+  }
+}
+BENCHMARK(BM_RecordStoreMergeSelect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

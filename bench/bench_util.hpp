@@ -1,0 +1,68 @@
+// Shared helpers for the benchmark/reproduction binaries.
+//
+// Every bench binary prints its paper-style table/series first (the
+// reproduction artifact recorded in EXPERIMENTS.md) and then runs its
+// registered google-benchmark timings.
+//
+// Set HAN_BENCH_FAST=1 to switch the figure reproductions from the
+// packet-level CP to the calibrated abstract CP (orders of magnitude
+// faster; same scheduling behaviour — see DESIGN.md).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/han.hpp"
+
+namespace han::bench {
+
+/// True when HAN_BENCH_FAST=1: use the abstract CP for reproductions.
+inline bool fast_mode() {
+  const char* v = std::getenv("HAN_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Paper configuration with the fidelity chosen by fast_mode().
+inline core::ExperimentConfig figure_config(
+    appliance::ArrivalScenario scenario, core::SchedulerKind scheduler,
+    std::uint64_t seed = 1) {
+  core::ExperimentConfig cfg = core::paper_config(scenario, scheduler, seed);
+  if (fast_mode()) cfg.han.fidelity = core::CpFidelity::kAbstract;
+  return cfg;
+}
+
+/// Percentage reduction of `with` relative to `without`.
+inline double reduction_pct(double without, double with) {
+  return without <= 0.0 ? 0.0 : 100.0 * (without - with) / without;
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("(paper: Debadarshini & Saha, ICDCS'22; see EXPERIMENTS.md)\n");
+  std::printf("CP fidelity: %s\n",
+              fast_mode() ? "abstract (HAN_BENCH_FAST=1)" : "packet-level");
+  std::printf("================================================================\n");
+}
+
+/// Times one short abstract-CP experiment per iteration so that every
+/// bench binary also exercises google-benchmark's measurement path.
+inline void run_experiment_benchmark(benchmark::State& state,
+                                     core::SchedulerKind kind) {
+  core::ExperimentConfig cfg =
+      core::paper_config(appliance::ArrivalScenario::kHigh, kind, 1);
+  cfg.han.fidelity = core::CpFidelity::kAbstract;
+  cfg.workload.horizon = sim::minutes(60);
+  double peak = 0.0;
+  for (auto _ : state) {
+    const core::ExperimentResult r = core::run_experiment(cfg);
+    peak = r.peak_kw;
+    benchmark::DoNotOptimize(peak);
+  }
+  state.counters["peak_kw"] = peak;
+}
+
+}  // namespace han::bench

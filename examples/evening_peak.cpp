@@ -1,0 +1,84 @@
+// evening_peak — peak shaving under synchronized demand surges.
+//
+//   $ ./evening_peak
+//
+// Models the classic utility problem: at 18:00 a whole block of
+// appliances is switched on within minutes (everyone returns home).
+// Shows, minute by minute around the surge, how the collaborative
+// scheduler converts the stacked spike into a staircase — the "up to
+// 50%" regime of the paper's abstract.
+#include <cstdio>
+
+#include "core/han.hpp"
+
+namespace {
+
+using namespace han;
+
+metrics::TimeSeries run_surge(core::SchedulerKind kind) {
+  sim::Simulator sim;
+  core::HanConfig hc;
+  hc.device_count = 26;
+  hc.topology_kind = core::TopologyKind::kFlockLab26;
+  hc.fidelity = core::CpFidelity::kAbstract;
+  hc.scheduler = kind;
+  hc.seed = 3;
+  core::HanNetwork net(sim, hc);
+
+  // The surge: 20 devices requested within 3 minutes of t=60 min, plus a
+  // small steady background before and after.
+  const auto t0 = sim::TimePoint::epoch();
+  sim::Rng rng(3);
+  sim::Rng jitter = rng.stream("jitter");
+  for (net::NodeId d = 0; d < 20; ++d) {
+    appliance::Request r;
+    r.at = t0 + sim::minutes(60) +
+           sim::seconds_f(jitter.uniform(0.0, 180.0));
+    r.device = d;
+    r.service = sim::minutes(30);
+    net.inject_request(r);
+  }
+  for (int k = 0; k < 6; ++k) {  // background requests
+    appliance::Request r;
+    r.at = t0 + sim::minutes(10 + 25 * k);
+    r.device = static_cast<net::NodeId>(20 + k % 6);
+    r.service = sim::minutes(30);
+    net.inject_request(r);
+  }
+
+  metrics::LoadMonitor mon(sim, [&net] { return net.total_load_kw(); },
+                           sim::minutes(1));
+  net.start(t0 + sim::milliseconds(10));
+  mon.start(t0 + sim::seconds(4));
+  sim.run_until(t0 + sim::minutes(180));
+  return mon.series();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("evening_peak — 20 simultaneous requests at t=60 min\n\n");
+  const metrics::TimeSeries without =
+      run_surge(core::SchedulerKind::kUncoordinated);
+  const metrics::TimeSeries with =
+      run_surge(core::SchedulerKind::kCoordinated);
+
+  std::printf("min   w/o coordination        with coordination\n");
+  for (std::size_t m = 50; m < 140 && m < without.size(); m += 2) {
+    std::printf("%4zu  ", m);
+    const int a = static_cast<int>(without.at(m) + 0.5);
+    const int b = static_cast<int>(with.at(m) + 0.5);
+    for (int i = 0; i < a; ++i) std::putchar('#');
+    for (int i = a; i < 22; ++i) std::putchar(' ');
+    std::printf("| ");
+    for (int i = 0; i < b; ++i) std::putchar('#');
+    std::printf("\n");
+  }
+  std::printf("\npeak: %.0f kW -> %.0f kW (%.0f%% reduction)\n",
+              without.peak(), with.peak(),
+              100.0 * (without.peak() - with.peak()) / without.peak());
+  std::printf("stddev: %.2f kW -> %.2f kW (%.0f%% reduction)\n",
+              without.stddev(), with.stddev(),
+              100.0 * (without.stddev() - with.stddev()) / without.stddev());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Quickstart: run the paper's headline experiment in ~20 lines.
+//
+//   $ ./quickstart
+//
+// Builds the 26-node HAN on the simulated office floor, plays the
+// high-rate request workload for 350 minutes with and without the
+// collaborative scheduler, and prints the comparison.
+#include <cstdio>
+
+#include "core/han.hpp"
+
+int main() {
+  using namespace han;
+
+  std::printf("Collaborative Load Management in a Smart HAN — quickstart\n");
+  std::printf("26 x 1 kW duty-cycled devices, 30 requests/hour, 350 min\n\n");
+
+  for (const core::SchedulerKind kind : {core::SchedulerKind::kUncoordinated,
+                                         core::SchedulerKind::kCoordinated}) {
+    // paper_config() gives the full packet-level setup; the abstract CP
+    // keeps the quickstart instant.
+    core::ExperimentConfig cfg =
+        core::paper_config(appliance::ArrivalScenario::kHigh, kind);
+    cfg.han.fidelity = core::CpFidelity::kAbstract;
+
+    const core::ExperimentResult r = core::run_experiment(cfg);
+    std::printf("%-15s peak %5.1f kW   mean %5.2f kW   stddev %4.2f kW\n",
+                core::to_string(kind).data(), r.peak_kw, r.mean_kw,
+                r.std_kw);
+  }
+
+  std::printf(
+      "\nCoordination staggers the devices' ON bursts into minDCD-wide\n"
+      "phase slots, so requests execute one by one instead of stacking.\n"
+      "Try examples/testbed26 for the full packet-level radio simulation.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "appliance/appliance.hpp"
+
+#include <algorithm>
+
+namespace han::appliance {
+
+Type2Appliance::Type2Appliance(ApplianceInfo info,
+                               DutyCycleConstraints constraints)
+    : info_(std::move(info)), constraints_(constraints) {
+  info_.type = ApplianceType::kType2;
+}
+
+void Type2Appliance::add_demand(sim::TimePoint now, sim::Duration service) {
+  if (!active(now)) {
+    demand_since_ = now;
+    demand_on_accum_ = sim::Duration::zero();
+  }
+  sim::TimePoint until = std::max(demand_until_, now + service);
+  // A duty-cycled appliance completes whole cycles: demand always spans
+  // an integer number of maxDCP periods from its start. This keeps the
+  // energy delivered per request pattern identical across scheduling
+  // strategies (one minDCD burst per covered period).
+  const sim::Duration span = until - demand_since_;
+  const sim::Duration dcp = constraints_.max_dcp();
+  const sim::Ticks periods = (span.us() + dcp.us() - 1) / dcp.us();
+  demand_until_ = demand_since_ + dcp * std::max<sim::Ticks>(periods, 1);
+  ++requests_;
+}
+
+bool Type2Appliance::burst_pending(sim::TimePoint now) const noexcept {
+  if (!active(now)) return false;
+  sim::Duration done = demand_on_accum_;
+  if (relay_on_) done += now - std::max(relay_since_, demand_since_);
+  return done < constraints_.min_dcd();
+}
+
+void Type2Appliance::set_relay(bool on, sim::TimePoint now) {
+  if (on == relay_on_) return;
+  if (!on) {
+    // Close of a burst: audit minDCD and accumulate ON time.
+    const sim::Duration burst = now - relay_since_;
+    if (burst < constraints_.min_dcd()) ++min_dcd_violations_;
+    on_time_accum_ += burst;
+    demand_on_accum_ += now - std::max(relay_since_, demand_since_);
+  }
+  relay_on_ = on;
+  relay_since_ = now;
+  ++switches_;
+}
+
+sim::Duration Type2Appliance::total_on_time(sim::TimePoint now) const noexcept {
+  sim::Duration t = on_time_accum_;
+  if (relay_on_) t += now - relay_since_;
+  return t;
+}
+
+double Type2Appliance::energy_kwh(sim::TimePoint now) const noexcept {
+  return info_.rated_kw * total_on_time(now).hours_f();
+}
+
+Type1Appliance::Type1Appliance(ApplianceInfo info) : info_(std::move(info)) {
+  info_.type = ApplianceType::kType1;
+}
+
+void Type1Appliance::start_session(sim::TimePoint now, sim::Duration duration) {
+  session_until_ = std::max(session_until_, now + duration);
+  ++sessions_;
+}
+
+}  // namespace han::appliance

@@ -1,0 +1,146 @@
+// han::appliance — electrical appliance models.
+//
+// The paper's two categories (§II):
+//   * Type-1: must turn ON instantly on user request (fans, TVs,
+//     blenders); not deferrable, contributes base load.
+//   * Type-2: high-power but duty-cycled and deferrable within the
+//     (minDCD, maxDCP) constraints (ACs, water heaters, fridges); the
+//     Device Interface controls the power-hungry unit's relay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "appliance/duty_cycle.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace han::appliance {
+
+enum class ApplianceType : std::uint8_t { kType1 = 1, kType2 = 2 };
+
+/// Common identity + rating of any appliance.
+struct ApplianceInfo {
+  net::NodeId id = net::kInvalidNode;
+  std::string name;
+  ApplianceType type = ApplianceType::kType2;
+  double rated_kw = 1.0;
+};
+
+/// A Type-2 (deferrable, duty-cycled) appliance as seen by its DI.
+///
+/// Demand semantics: a user request gives the device demand for a
+/// service duration (e.g. "cool the bedroom for the next hour"). While
+/// demand is pending the scheduler must grant at least one minDCD burst
+/// per maxDCP window. Requests arriving while active extend the demand.
+///
+/// The class tracks relay state, accumulates energy, and audits the
+/// constraints: turning OFF before minDCD has elapsed is recorded as a
+/// violation (the schedulers are tested to never cause one), as is a
+/// maxDCP window with demand but no burst.
+class Type2Appliance {
+ public:
+  Type2Appliance(ApplianceInfo info, DutyCycleConstraints constraints);
+
+  [[nodiscard]] const ApplianceInfo& info() const noexcept { return info_; }
+  [[nodiscard]] const DutyCycleConstraints& constraints() const noexcept {
+    return constraints_;
+  }
+  void set_constraints(const DutyCycleConstraints& c) { constraints_ = c; }
+
+  // --- Demand ---------------------------------------------------------
+
+  /// Registers a user request at `now` for `service` worth of demand.
+  void add_demand(sim::TimePoint now, sim::Duration service);
+
+  /// True if the device currently has unexpired demand.
+  [[nodiscard]] bool active(sim::TimePoint now) const noexcept {
+    return demand_until_ > now;
+  }
+  [[nodiscard]] sim::TimePoint demand_until() const noexcept {
+    return demand_until_;
+  }
+  /// Time the current demand was first registered (kInvalid when idle).
+  [[nodiscard]] sim::TimePoint demand_since() const noexcept {
+    return demand_since_;
+  }
+
+  /// True while the device has demand but has not yet accumulated one
+  /// full minDCD burst since the demand began. Published over the CP so
+  /// peers can weigh slot occupancy by who still needs to run.
+  [[nodiscard]] bool burst_pending(sim::TimePoint now) const noexcept;
+
+  // --- Relay control (called by the DI / scheduler) --------------------
+
+  /// Switches the power-hungry unit. Turning OFF before minDCD since the
+  /// last turn-ON is *executed* but recorded in min_dcd_violations().
+  void set_relay(bool on, sim::TimePoint now);
+
+  [[nodiscard]] bool relay_on() const noexcept { return relay_on_; }
+  [[nodiscard]] sim::TimePoint relay_since() const noexcept {
+    return relay_since_;
+  }
+
+  /// Instantaneous electrical load: the power unit draws its rating
+  /// whenever the relay is closed (a burst completing its minDCD past
+  /// demand expiry still consumes power).
+  [[nodiscard]] double load_kw(sim::TimePoint) const noexcept {
+    return relay_on_ ? info_.rated_kw : 0.0;
+  }
+
+  // --- Accounting -------------------------------------------------------
+
+  /// Total ON time so far (the current burst counted up to `now`).
+  [[nodiscard]] sim::Duration total_on_time(sim::TimePoint now) const noexcept;
+  /// Energy consumed so far, kWh.
+  [[nodiscard]] double energy_kwh(sim::TimePoint now) const noexcept;
+  [[nodiscard]] std::uint64_t switch_count() const noexcept {
+    return switches_;
+  }
+  [[nodiscard]] std::uint64_t min_dcd_violations() const noexcept {
+    return min_dcd_violations_;
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_;
+  }
+
+ private:
+  ApplianceInfo info_;
+  DutyCycleConstraints constraints_;
+  sim::TimePoint demand_until_ = sim::TimePoint::epoch();
+  sim::TimePoint demand_since_ = sim::TimePoint::epoch();
+  bool relay_on_ = false;
+  sim::TimePoint relay_since_ = sim::TimePoint::epoch();
+  sim::Duration on_time_accum_ = sim::Duration::zero();
+  sim::Duration demand_on_accum_ = sim::Duration::zero();
+  std::uint64_t switches_ = 0;
+  std::uint64_t min_dcd_violations_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+/// A Type-1 (instant-on) appliance: it simply runs for the session the
+/// user asked for; the HAN only meters it.
+class Type1Appliance {
+ public:
+  explicit Type1Appliance(ApplianceInfo info);
+
+  [[nodiscard]] const ApplianceInfo& info() const noexcept { return info_; }
+
+  /// User turns the appliance on at `now` for `duration`.
+  void start_session(sim::TimePoint now, sim::Duration duration);
+
+  [[nodiscard]] bool running(sim::TimePoint now) const noexcept {
+    return session_until_ > now;
+  }
+  [[nodiscard]] double load_kw(sim::TimePoint now) const noexcept {
+    return running(now) ? info_.rated_kw : 0.0;
+  }
+  [[nodiscard]] std::uint64_t sessions() const noexcept { return sessions_; }
+
+ private:
+  ApplianceInfo info_;
+  sim::TimePoint session_until_ = sim::TimePoint::epoch();
+  std::uint64_t sessions_ = 0;
+};
+
+}  // namespace han::appliance

@@ -1,0 +1,61 @@
+// han::appliance — duty-cycle constraints of Type-2 devices.
+//
+// The paper simplifies a Type-2 appliance's internal control loop into
+// two constraints (§II):
+//   * minDCD (min duty-cycle duration): once the power-hungry unit turns
+//     ON it must stay ON at least this long, and at least one minDCD
+//     burst must execute inside every maxDCP window while the device has
+//     demand;
+//   * maxDCP (max duty-cycle period): the period of the duty cycle.
+//
+// Both may change over time with environment and user targets (the
+// thermal model derives them); the scheduler treats them as data.
+#pragma once
+
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace han::appliance {
+
+/// Validated (minDCD, maxDCP) pair.
+class DutyCycleConstraints {
+ public:
+  /// Paper defaults: 15-minute bursts in 30-minute periods.
+  DutyCycleConstraints()
+      : DutyCycleConstraints(sim::minutes(15), sim::minutes(30)) {}
+
+  DutyCycleConstraints(sim::Duration min_dcd, sim::Duration max_dcp)
+      : min_dcd_(min_dcd), max_dcp_(max_dcp) {
+    if (min_dcd <= sim::Duration::zero()) {
+      throw std::invalid_argument("minDCD must be positive");
+    }
+    if (max_dcp < min_dcd) {
+      throw std::invalid_argument("maxDCP must be >= minDCD");
+    }
+  }
+
+  [[nodiscard]] sim::Duration min_dcd() const noexcept { return min_dcd_; }
+  [[nodiscard]] sim::Duration max_dcp() const noexcept { return max_dcp_; }
+
+  /// Fraction of time the device runs when executing exactly one minDCD
+  /// burst per maxDCP (the scheduler's steady-state duty factor).
+  [[nodiscard]] double duty_factor() const noexcept {
+    return static_cast<double>(min_dcd_.us()) /
+           static_cast<double>(max_dcp_.us());
+  }
+
+  /// Number of whole minDCD bursts that fit serially in one maxDCP:
+  /// the coordinated scheduler's phase-slot count K.
+  [[nodiscard]] sim::Ticks serial_slots() const noexcept {
+    return max_dcp_ / min_dcd_;
+  }
+
+  bool operator==(const DutyCycleConstraints&) const noexcept = default;
+
+ private:
+  sim::Duration min_dcd_;
+  sim::Duration max_dcp_;
+};
+
+}  // namespace han::appliance

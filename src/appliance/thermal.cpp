@@ -1,0 +1,55 @@
+#include "appliance/thermal.hpp"
+
+#include <cmath>
+
+namespace han::appliance {
+
+ThermalZone::ThermalZone(ThermalParams params, double initial_deg)
+    : params_(params), temp_(initial_deg) {}
+
+double ThermalZone::equilibrium(bool unit_on) const noexcept {
+  // Setting dT/dt = 0: T_eq = T_out + s * P_unit * R.
+  return params_.outdoor_deg +
+         (unit_on ? params_.unit_kw * params_.resistance_deg_per_kw : 0.0);
+}
+
+void ThermalZone::advance(sim::Duration dt, bool unit_on) {
+  const double tau_h =
+      params_.resistance_deg_per_kw * params_.capacitance_kwh_per_deg;
+  const double t_eq = equilibrium(unit_on);
+  const double x = dt.hours_f() / tau_h;
+  temp_ = t_eq + (temp_ - t_eq) * std::exp(-x);
+}
+
+std::optional<sim::Duration> ThermalZone::time_to_reach(double from, double to,
+                                                        bool unit_on) const {
+  const double t_eq = equilibrium(unit_on);
+  const double num = from - t_eq;
+  const double den = to - t_eq;
+  // `to` must lie strictly between `from` and the equilibrium.
+  if (num == 0.0 || den == 0.0) {
+    return from == to ? std::optional(sim::Duration::zero()) : std::nullopt;
+  }
+  const double ratio = num / den;
+  if (ratio < 1.0) return std::nullopt;  // moving away or unreachable
+  const double tau_h =
+      params_.resistance_deg_per_kw * params_.capacitance_kwh_per_deg;
+  const double hours = tau_h * std::log(ratio);
+  return sim::seconds_f(hours * 3600.0);
+}
+
+std::optional<DutyCycleConstraints> ThermalZone::derive_constraints() const {
+  const bool cooling = params_.unit_kw < 0.0;
+  const double on_start = cooling ? params_.band_high_deg : params_.band_low_deg;
+  const double on_end = cooling ? params_.band_low_deg : params_.band_high_deg;
+
+  const auto burst = time_to_reach(on_start, on_end, /*unit_on=*/true);
+  const auto drift = time_to_reach(on_end, on_start, /*unit_on=*/false);
+  if (!burst || !drift) return std::nullopt;
+  if (*burst <= sim::Duration::zero() || *drift <= sim::Duration::zero()) {
+    return std::nullopt;
+  }
+  return DutyCycleConstraints(*burst, *burst + *drift);
+}
+
+}  // namespace han::appliance

@@ -1,0 +1,72 @@
+// han::appliance — first-order (RC) thermal model.
+//
+// Supports the paper's discussion (§II) that minDCD/maxDCP are dynamic:
+// "to achieve a target temperature of 20°C, the maxDCP would be lesser
+// compared to a target of 30°C when the external temperature is 40°C".
+//
+// Model: a zone with thermal capacitance C [kWh/°C] coupled to the
+// outside through resistance R [°C/kW]; the appliance moves heat at
+// p_unit [kW] (negative for cooling) when its power unit runs:
+//
+//   dT/dt = (T_out - T) / (R * C) + s * P_unit / C,   s in {0, 1}
+//
+// The exponential solution is used in closed form, so advancing the
+// model is O(1) regardless of dt, and the burst/period durations needed
+// to traverse a comfort band are computed analytically.
+#pragma once
+
+#include <optional>
+
+#include "appliance/duty_cycle.hpp"
+#include "sim/time.hpp"
+
+namespace han::appliance {
+
+/// Static parameters of one thermal zone + its conditioning unit.
+struct ThermalParams {
+  double capacitance_kwh_per_deg = 0.8;  // small bedroom
+  double resistance_deg_per_kw = 8.0;    // insulation
+  double outdoor_deg = 40.0;             // hot summer day
+  /// Heat moved by the unit while ON, kW (negative = cooling).
+  double unit_kw = -3.0;
+  /// Comfort band the controller keeps the zone inside.
+  double band_low_deg = 22.0;
+  double band_high_deg = 26.0;
+};
+
+/// Evolving zone temperature with closed-form advancement.
+class ThermalZone {
+ public:
+  explicit ThermalZone(ThermalParams params, double initial_deg);
+
+  [[nodiscard]] const ThermalParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] double temperature() const noexcept { return temp_; }
+  void set_temperature(double deg) noexcept { temp_ = deg; }
+
+  /// Advances the zone by `dt` with the unit ON or OFF.
+  void advance(sim::Duration dt, bool unit_on);
+
+  /// Steady-state temperature with the unit held in the given state.
+  [[nodiscard]] double equilibrium(bool unit_on) const noexcept;
+
+  /// Time for the temperature to move from `from` to `to` with the unit
+  /// in the given state; nullopt if `to` is unreachable (beyond the
+  /// equilibrium).
+  [[nodiscard]] std::optional<sim::Duration> time_to_reach(
+      double from, double to, bool unit_on) const;
+
+  /// Duty-cycle constraints that keep the zone inside its comfort band:
+  /// minDCD = time the unit needs to traverse the band (high -> low for
+  /// cooling), maxDCP = minDCD + time to drift back across the band.
+  /// nullopt when the unit cannot hold the band at all (undersized).
+  [[nodiscard]] std::optional<DutyCycleConstraints> derive_constraints()
+      const;
+
+ private:
+  ThermalParams params_;
+  double temp_;
+};
+
+}  // namespace han::appliance

@@ -1,0 +1,122 @@
+#include "appliance/workload.hpp"
+
+#include <algorithm>
+
+namespace han::appliance {
+
+double scenario_rate_per_hour(ArrivalScenario s) noexcept {
+  switch (s) {
+    case ArrivalScenario::kLow:
+      return 4.0;
+    case ArrivalScenario::kModerate:
+      return 18.0;
+    case ArrivalScenario::kHigh:
+      return 30.0;
+  }
+  return 0.0;
+}
+
+std::string_view to_string(ArrivalScenario s) noexcept {
+  switch (s) {
+    case ArrivalScenario::kLow:
+      return "low";
+    case ArrivalScenario::kModerate:
+      return "moderate";
+    case ArrivalScenario::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+std::vector<Request> WorkloadGenerator::generate(const WorkloadParams& params,
+                                                 const sim::Rng& rng) {
+  std::vector<Request> out;
+  if (params.rate_per_hour <= 0.0 || params.device_count == 0) return out;
+
+  sim::Rng arrivals = rng.stream("arrivals");
+  sim::Rng devices = rng.stream("devices");
+  sim::Rng service = rng.stream("service");
+
+  const double mean_gap_us = 3600e6 / params.rate_per_hour;
+  sim::TimePoint t = sim::TimePoint::epoch() + params.warmup;
+  for (;;) {
+    t = t + sim::seconds_f(arrivals.exponential(mean_gap_us) / 1e6);
+    if (t.since_epoch() > params.horizon) break;
+
+    Request r;
+    r.at = t;
+    r.device = static_cast<net::NodeId>(devices.index(params.device_count));
+    switch (params.service_model) {
+      case ServiceModel::kFixed:
+        r.service = params.mean_service;
+        break;
+      case ServiceModel::kExponential:
+        r.service = sim::seconds_f(
+            service.exponential(params.mean_service.seconds_f()));
+        break;
+      case ServiceModel::kUniform:
+        r.service = sim::seconds_f(service.uniform(
+            0.5 * params.mean_service.seconds_f(),
+            1.5 * params.mean_service.seconds_f()));
+        break;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Request> WorkloadGenerator::generate_scenario(
+    ArrivalScenario scenario, std::size_t device_count, sim::Duration horizon,
+    const sim::Rng& rng) {
+  WorkloadParams p;
+  p.rate_per_hour = scenario_rate_per_hour(scenario);
+  p.device_count = device_count;
+  p.horizon = horizon;
+  return generate(p, rng);
+}
+
+std::vector<Request> WorkloadGenerator::generate_clustered(
+    const WorkloadParams& base, const ClusterParams& clusters,
+    const sim::Rng& rng) {
+  std::vector<Request> out;
+  if (clusters.clusters_per_hour <= 0.0 || base.device_count == 0) return out;
+
+  sim::Rng epochs = rng.stream("cluster-epochs");
+  sim::Rng members = rng.stream("cluster-members");
+  sim::Rng jitter = rng.stream("cluster-jitter");
+
+  const double mean_gap_us = 3600e6 / clusters.clusters_per_hour;
+  sim::TimePoint t = sim::TimePoint::epoch() + base.warmup;
+  for (;;) {
+    t = t + sim::seconds_f(epochs.exponential(mean_gap_us) / 1e6);
+    if (t.since_epoch() > base.horizon) break;
+
+    // Distinct devices per cluster, chosen by partial Fisher-Yates.
+    std::vector<net::NodeId> ids(base.device_count);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = static_cast<net::NodeId>(i);
+    }
+    members.shuffle(ids);
+    const std::size_t n = std::min(clusters.cluster_size, ids.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      Request r;
+      r.at = t + sim::seconds_f(
+                     jitter.uniform(0.0, clusters.spread.seconds_f()));
+      r.device = ids[i];
+      r.service = base.mean_service;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Request& a, const Request& b) { return a.at < b.at; });
+  return out;
+}
+
+double WorkloadGenerator::expected_active_devices(
+    const WorkloadParams& params) noexcept {
+  const double offered =
+      params.rate_per_hour * params.mean_service.hours_f();
+  return std::min(offered, static_cast<double>(params.device_count));
+}
+
+}  // namespace han::appliance

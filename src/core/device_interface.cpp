@@ -1,0 +1,163 @@
+#include "core/device_interface.hpp"
+
+#include "sched/coordinated.hpp"
+
+namespace han::core {
+
+DeviceInterface::DeviceInterface(sim::Simulator& sim,
+                                 appliance::Type2Appliance appliance,
+                                 const sched::Scheduler& scheduler,
+                                 DiOptions options)
+    : sim_(sim),
+      appliance_(std::move(appliance)),
+      scheduler_(scheduler),
+      options_(options) {}
+
+void DeviceInterface::add_demand(sim::Duration service) {
+  const bool was_active = appliance_.active(sim_.now());
+  appliance_.add_demand(sim_.now(), service);
+  if (!was_active) {
+    last_burst_touch_.reset();
+    // The burst-per-period gate is scoped to one demand: a fresh demand
+    // is owed a burst even if the previous demand's burst happened to
+    // run in the same maxDCP ring period.
+    last_burst_period_.reset();
+  }
+}
+
+sched::DeviceStatus DeviceInterface::own_status() const {
+  const sim::TimePoint now = sim_.now();
+  sched::DeviceStatus s;
+  s.id = appliance_.info().id;
+  s.has_demand = appliance_.active(now);
+  s.relay_on = appliance_.relay_on();
+  s.demand_since = appliance_.demand_since();
+  s.demand_until = appliance_.demand_until();
+  s.min_dcd = appliance_.constraints().min_dcd();
+  s.max_dcp = appliance_.constraints().max_dcp();
+  s.rated_kw = appliance_.info().rated_kw;
+  s.burst_pending = appliance_.burst_pending(now);
+  s.slot = claimed_slot_;
+  return s;
+}
+
+void DeviceInterface::manage_slot_claim(const sched::GlobalView& view) {
+  const sim::TimePoint now = sim_.now();
+  const bool active = appliance_.active(now);
+  if (!active) {
+    claimed_slot_ = sched::kNoSlot;  // release on demand expiry
+    own_window_from_.reset();
+    return;
+  }
+  const auto window_of = [&](std::uint8_t slot) {
+    return sched::CoordinatedScheduler::next_window_opening(
+        now, slot, appliance_.constraints().min_dcd(),
+        appliance_.constraints().max_dcp());
+  };
+  if (claimed_slot_ != sched::kNoSlot) {
+    // Sticky while demand lasts — unless rebalancing is enabled and this
+    // DI is the round's single designated mover (see rebalance_move).
+    if (options_.enable_rebalance) {
+      const auto k_ticks = appliance_.constraints().serial_slots();
+      const auto move = sched::CoordinatedScheduler::rebalance_move(
+          view, static_cast<std::size_t>(k_ticks));
+      if (move && move->mover == id() && !appliance_.relay_on()) {
+        claimed_slot_ = move->new_slot;
+        own_window_from_ = window_of(claimed_slot_);
+      }
+    }
+    return;
+  }
+  claimed_slot_ = sched::CoordinatedScheduler::pick_slot(view, own_status());
+  own_window_from_ = window_of(claimed_slot_);
+}
+
+void DeviceInterface::on_round_complete(const sched::GlobalView& view,
+                                        bool complete_view) {
+  const sim::TimePoint now = sim_.now();
+  ++stats_.rounds_processed;
+  if (!complete_view) ++stats_.stale_view_rounds;
+
+  // Claim/release our schedule slot from the shared view (occupancy of
+  // everyone else's published claims).
+  manage_slot_claim(view);
+
+  // Plan from the view, but with our own entry replaced by our fresh
+  // local status: our record in the view is one round old and would lag
+  // a slot claim made this round.
+  sched::GlobalView local = view;
+  bool found = false;
+  for (sched::DeviceStatus& d : local.devices) {
+    if (d.id == id()) {
+      d = own_status();
+      found = true;
+      break;
+    }
+  }
+  if (!found) local.devices.push_back(own_status());
+
+  bool desired = appliance_.relay_on();
+  const sched::Plan plan = scheduler_.plan(local);
+  for (std::size_t i = 0; i < local.devices.size(); ++i) {
+    if (local.devices[i].id == id()) {
+      desired = plan[i];
+      break;
+    }
+  }
+
+  const bool active = appliance_.active(now);
+  const sim::Ticks period =
+      now.us() / appliance_.constraints().max_dcp().us();
+
+  // Demand gate: never power a device nobody asked for.
+  if (!active) desired = false;
+
+  // One burst start per maxDCP period: a slot migration or a claim into
+  // an already-open window must not run the device twice in one period.
+  // Only meaningful for epoch-anchored policies (see Scheduler).
+  if (desired && !appliance_.relay_on() && scheduler_.epoch_aligned() &&
+      last_burst_period_ == period) {
+    desired = false;
+  }
+
+  // Window alignment: a fresh claim never starts inside the remainder
+  // of an already-open window — it waits for the opening it was
+  // scheduled for, keeping bursts window-aligned across the system.
+  if (desired && !appliance_.relay_on() && scheduler_.epoch_aligned() &&
+      own_window_from_ && now < *own_window_from_) {
+    desired = false;
+  }
+
+  // minDCD latch: finish the burst in progress before obeying an OFF.
+  if (appliance_.relay_on() && !desired) {
+    const sim::Duration burst = now - appliance_.relay_since();
+    if (burst < appliance_.constraints().min_dcd()) {
+      desired = true;
+      ++stats_.latch_saves;
+    }
+  }
+
+  if (desired != appliance_.relay_on()) {
+    appliance_.set_relay(desired, now);
+    ++stats_.plan_switches;
+    // Only a burst *start* claims the period: spillover across the
+    // boundary must not eat the next period's burst of a long demand.
+    if (desired) last_burst_period_ = period;
+  }
+  if (appliance_.relay_on()) last_burst_touch_ = now;
+
+  audit_service_gap(now);
+}
+
+void DeviceInterface::audit_service_gap(sim::TimePoint now) {
+  if (!appliance_.active(now) || appliance_.relay_on()) return;
+  const sim::TimePoint reference =
+      last_burst_touch_.value_or(appliance_.demand_since());
+  if (now - reference > appliance_.constraints().max_dcp()) {
+    ++stats_.service_gap_violations;
+    // Restart the window so one long gap counts once per maxDCP.
+    last_burst_touch_ = now;
+  }
+}
+
+}  // namespace han::core

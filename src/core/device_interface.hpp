@@ -1,0 +1,111 @@
+// han::core — the Device Interface (DI).
+//
+// One DI sits between an electrical appliance and the grid outlet
+// (paper §II, ref [6]): it owns the appliance's relay, shares the
+// appliance's status over the CP, and at every round boundary runs the
+// scheduling policy on its local view to decide the relay state for the
+// next period — the Execution Plane.
+//
+// Two safety layers sit between the plan and the relay:
+//   * minDCD latch: a burst in progress is never cut short, even if the
+//     plan (computed from a possibly-stale view) says OFF;
+//   * demand gate: a device with no demand is never switched ON.
+//
+// The DI also audits service quality: a maxDCP window that passes with
+// demand but without a burst is counted in service_gap_violations().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "appliance/appliance.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/view.hpp"
+#include "st/record.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::core {
+
+/// Per-DI runtime statistics.
+struct DiStats {
+  std::uint64_t rounds_processed = 0;
+  std::uint64_t plan_switches = 0;        // relay toggles commanded
+  std::uint64_t latch_saves = 0;          // OFF suppressed by minDCD latch
+  std::uint64_t service_gap_violations = 0;
+  std::uint64_t stale_view_rounds = 0;    // rounds with missing records
+};
+
+/// DI behaviour toggles.
+struct DiOptions {
+  /// Allow slot migrations via CoordinatedScheduler::rebalance_move.
+  /// Off by default: migration shaves ~1 device off the peak but can
+  /// defer bursts near demand expiry (measured in bench_abl_rebalance).
+  bool enable_rebalance = false;
+};
+
+/// Device Interface runtime for one Type-2 appliance.
+class DeviceInterface {
+ public:
+  /// `scheduler` must outlive the DI and is shared by all DIs of a
+  /// deployment (it is stateless/pure).
+  DeviceInterface(sim::Simulator& sim, appliance::Type2Appliance appliance,
+                  const sched::Scheduler& scheduler, DiOptions options = {});
+
+  [[nodiscard]] net::NodeId id() const noexcept {
+    return appliance_.info().id;
+  }
+  [[nodiscard]] const appliance::Type2Appliance& appliance() const noexcept {
+    return appliance_;
+  }
+  [[nodiscard]] appliance::Type2Appliance& appliance() noexcept {
+    return appliance_;
+  }
+
+  /// User request: gives the appliance demand for `service`.
+  void add_demand(sim::Duration service);
+
+  /// Own status as shared over the CP (called by the refresh hook).
+  /// Includes the claimed schedule slot (the slot-ledger entry).
+  [[nodiscard]] sched::DeviceStatus own_status() const;
+
+  /// Slot this DI has claimed for the current demand period
+  /// (sched::kNoSlot when idle or not yet claimed).
+  [[nodiscard]] std::uint8_t claimed_slot() const noexcept {
+    return claimed_slot_;
+  }
+
+  /// EP step: runs the policy on `view` and actuates the relay.
+  /// `complete_view` is false when records were missing (stats only).
+  void on_round_complete(const sched::GlobalView& view, bool complete_view);
+
+  /// Instantaneous electrical load of the attached appliance.
+  [[nodiscard]] double load_kw() const {
+    return appliance_.load_kw(sim_.now());
+  }
+
+  [[nodiscard]] const DiStats& stats() const noexcept { return stats_; }
+
+ private:
+  void audit_service_gap(sim::TimePoint now);
+
+  void manage_slot_claim(const sched::GlobalView& view);
+
+  sim::Simulator& sim_;
+  appliance::Type2Appliance appliance_;
+  const sched::Scheduler& scheduler_;
+  DiOptions options_;
+  DiStats stats_;
+  /// End of the last completed/ongoing burst (service-gap audit datum).
+  std::optional<sim::TimePoint> last_burst_touch_;
+  std::uint8_t claimed_slot_ = 0xFF;  // sched::kNoSlot
+  /// maxDCP ring period in which the current/last burst ran; gates
+  /// actuation to at most one burst start per period (slot migrations
+  /// or claims into an open window must not double-run a device).
+  std::optional<sim::Ticks> last_burst_period_;
+  /// First window opening the current claim is scheduled for; the relay
+  /// must not start earlier even if the claimed slot's window is
+  /// already open at claim time (bursts stay window-aligned).
+  std::optional<sim::TimePoint> own_window_from_;
+};
+
+}  // namespace han::core

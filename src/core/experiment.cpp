@@ -1,0 +1,81 @@
+#include "core/experiment.hpp"
+
+#include "metrics/load_monitor.hpp"
+
+namespace han::core {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Simulator sim;
+  HanNetwork net(sim, config.han);
+
+  // Workload is drawn from the same root seed, independent streams.
+  const sim::Rng root(config.han.seed);
+  appliance::WorkloadParams wp = config.workload;
+  if (wp.warmup == sim::Duration::zero()) wp.warmup = config.cp_boot;
+  const std::vector<appliance::Request> trace =
+      appliance::WorkloadGenerator::generate(wp, root.stream("workload"));
+  net.inject_requests(trace);
+
+  metrics::LoadMonitor monitor(
+      sim, [&net]() { return net.total_load_kw(); }, config.sample_interval);
+
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  monitor.start(sim::TimePoint::epoch() + config.cp_boot);
+
+  sim.run_until(sim::TimePoint::epoch() + wp.horizon);
+  monitor.stop();
+
+  ExperimentResult result;
+  result.load = monitor.series();
+  const metrics::RunningStats s = result.load.stats();
+  result.peak_kw = s.max();
+  result.mean_kw = s.mean();
+  result.std_kw = s.stddev();
+  result.max_step_kw = result.load.max_step();
+  result.requests = trace.size();
+  result.network = net.stats();
+  result.events_executed = sim.events_executed();
+  return result;
+}
+
+ReplicatedResult run_replicated(ExperimentConfig config, std::size_t seeds) {
+  ReplicatedResult agg;
+  double coverage_sum = 0.0;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    config.han.seed = config.han.seed + (i == 0 ? 0 : 1);
+    const ExperimentResult r = run_experiment(config);
+    agg.peak_kw.add(r.peak_kw);
+    agg.mean_kw.add(r.mean_kw);
+    agg.std_kw.add(r.std_kw);
+    agg.max_step_kw.add(r.max_step_kw);
+    agg.total_requests += r.requests;
+    agg.min_dcd_violations += r.network.min_dcd_violations;
+    agg.service_gap_violations += r.network.service_gap_violations;
+    coverage_sum += r.network.cp_mean_coverage;
+  }
+  if (seeds > 0) {
+    agg.cp_mean_coverage = coverage_sum / static_cast<double>(seeds);
+  }
+  return agg;
+}
+
+ExperimentConfig paper_config(appliance::ArrivalScenario scenario,
+                              SchedulerKind scheduler, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.han.device_count = 26;
+  cfg.han.topology_kind = TopologyKind::kFlockLab26;
+  cfg.han.scheduler = scheduler;
+  cfg.han.fidelity = CpFidelity::kPacketLevel;
+  cfg.han.rated_kw = 1.0;
+  cfg.han.constraints =
+      appliance::DutyCycleConstraints(sim::minutes(15), sim::minutes(30));
+  cfg.han.seed = seed;
+  cfg.workload.rate_per_hour = appliance::scenario_rate_per_hour(scenario);
+  cfg.workload.device_count = 26;
+  cfg.workload.horizon = sim::minutes(350);
+  cfg.workload.mean_service = sim::minutes(30);  // one duty cycle/request
+  cfg.workload.service_model = appliance::ServiceModel::kFixed;
+  return cfg;
+}
+
+}  // namespace han::core

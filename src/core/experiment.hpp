@@ -1,0 +1,68 @@
+// han::core — figure-grade experiment runner.
+//
+// One call = one run of the paper's setup: build a HanNetwork, generate
+// and inject the request workload, sample the total load every minute,
+// and summarize exactly the quantities Fig. 2 reports (peak, average,
+// standard deviation) plus the audit counters that establish validity
+// (constraint violations, CP coverage, radio cost).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "appliance/workload.hpp"
+#include "core/han_network.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/timeseries.hpp"
+
+namespace han::core {
+
+/// Everything one run needs.
+struct ExperimentConfig {
+  HanConfig han;
+  appliance::WorkloadParams workload;
+  /// Load sampling interval (paper figures: 1 minute).
+  sim::Duration sample_interval = sim::minutes(1);
+  /// CP boot time before the workload/monitoring window opens.
+  sim::Duration cp_boot = sim::seconds(4);
+};
+
+/// Summary of one run.
+struct ExperimentResult {
+  metrics::TimeSeries load;        // total kW, sampled
+  double peak_kw = 0.0;
+  double mean_kw = 0.0;
+  double std_kw = 0.0;
+  double max_step_kw = 0.0;        // largest jump between samples
+  std::uint64_t requests = 0;
+  NetworkStats network;
+  std::uint64_t events_executed = 0;
+};
+
+/// Runs one experiment (deterministic in config.han.seed).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Peak/mean/stddev distributions over `seeds` independent replicas
+/// (seeds config.han.seed, +1, +2, ...).
+struct ReplicatedResult {
+  metrics::RunningStats peak_kw;
+  metrics::RunningStats mean_kw;
+  metrics::RunningStats std_kw;
+  metrics::RunningStats max_step_kw;
+  std::uint64_t total_requests = 0;
+  std::uint64_t min_dcd_violations = 0;
+  std::uint64_t service_gap_violations = 0;
+  double cp_mean_coverage = 1.0;
+};
+
+[[nodiscard]] ReplicatedResult run_replicated(ExperimentConfig config,
+                                              std::size_t seeds);
+
+/// Paper-default configuration: 26 x 1 kW Type-2 devices on the
+/// flocklab26 preset, minDCD 15 min / maxDCP 30 min, 2 s MiniCast,
+/// 350-minute horizon, given arrival scenario and strategy.
+[[nodiscard]] ExperimentConfig paper_config(
+    appliance::ArrivalScenario scenario, SchedulerKind scheduler,
+    std::uint64_t seed = 1);
+
+}  // namespace han::core

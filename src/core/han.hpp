@@ -1,0 +1,45 @@
+// han — public facade.
+//
+// #include "core/han.hpp" pulls in the whole library. Quickstart:
+//
+//   han::core::ExperimentConfig cfg = han::core::paper_config(
+//       han::appliance::ArrivalScenario::kHigh,
+//       han::core::SchedulerKind::kCoordinated);
+//   han::core::ExperimentResult r = han::core::run_experiment(cfg);
+//   std::cout << "peak " << r.peak_kw << " kW\n";
+//
+// Layering (see DESIGN.md):
+//   sim        discrete-event kernel, deterministic RNG
+//   net        802.15.4 radio, channel, medium, topologies
+//   st         Glossy floods, MiniCast (CP), collection, clock sync
+//   appliance  Type-1/2 models, duty-cycle constraints, thermal, workload
+//   sched      coordinated (paper) & uncoordinated (baseline) policies
+//   metrics    stats, time series, load monitor, CSV/tables
+//   core       Device Interface, network assembly, experiment runner
+#pragma once
+
+#include "appliance/appliance.hpp"
+#include "appliance/duty_cycle.hpp"
+#include "appliance/thermal.hpp"
+#include "appliance/workload.hpp"
+#include "core/device_interface.hpp"
+#include "core/experiment.hpp"
+#include "core/han_network.hpp"
+#include "core/status_codec.hpp"
+#include "metrics/csv.hpp"
+#include "metrics/load_monitor.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/timeseries.hpp"
+#include "net/channel.hpp"
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+#include "sched/coordinated.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/uncoordinated.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "st/collection.hpp"
+#include "st/flood.hpp"
+#include "st/minicast.hpp"

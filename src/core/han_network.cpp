@@ -1,0 +1,285 @@
+#include "core/han_network.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/status_codec.hpp"
+
+namespace han::core {
+
+std::string_view to_string(SchedulerKind k) noexcept {
+  switch (k) {
+    case SchedulerKind::kCoordinated:
+      return "coordinated";
+    case SchedulerKind::kUncoordinated:
+      return "uncoordinated";
+  }
+  return "?";
+}
+
+net::Topology make_topology(TopologyKind kind, std::size_t n, sim::Rng& rng) {
+  switch (kind) {
+    case TopologyKind::kFlockLab26: {
+      if (n != 26) {
+        throw std::invalid_argument(
+            "flocklab26 topology requires device_count == 26");
+      }
+      return net::Topology::flocklab26();
+    }
+    case TopologyKind::kGrid: {
+      const auto cols = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(n))));
+      const std::size_t rows = (n + cols - 1) / cols;
+      net::Topology full = net::Topology::grid(cols, rows, 10.0);
+      std::vector<net::Point> pts(full.positions().begin(),
+                                  full.positions().begin() +
+                                      static_cast<std::ptrdiff_t>(n));
+      return net::Topology{std::move(pts)};
+    }
+    case TopologyKind::kLine:
+      return net::Topology::line(n, 10.0);
+    case TopologyKind::kRing:
+      return net::Topology::ring(
+          n, static_cast<double>(n) * 10.0 / (2.0 * 3.14159265358979));
+    case TopologyKind::kRandom: {
+      sim::Rng topo_rng = rng.stream("topology");
+      return net::Topology::random_uniform(n, 60.0, 35.0, topo_rng);
+    }
+    case TopologyKind::kCustom:
+      throw std::invalid_argument(
+          "kCustom requires HanConfig::custom_topology");
+  }
+  throw std::invalid_argument("unknown TopologyKind");
+}
+
+HanNetwork::HanNetwork(sim::Simulator& sim, HanConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      abstract_rng_(rng_.stream("abstract-cp")) {
+  if (config_.device_count == 0) {
+    throw std::invalid_argument("HanNetwork: device_count must be > 0");
+  }
+  if (config_.topology_kind == TopologyKind::kCustom) {
+    if (!config_.custom_topology ||
+        config_.custom_topology->size() != config_.device_count) {
+      throw std::invalid_argument(
+          "HanNetwork: custom topology missing or size mismatch");
+    }
+    topology_ = *config_.custom_topology;
+  } else {
+    topology_ = make_topology(config_.topology_kind, config_.device_count,
+                              rng_);
+  }
+
+  switch (config_.scheduler) {
+    case SchedulerKind::kCoordinated:
+      scheduler_ = std::make_unique<sched::CoordinatedScheduler>();
+      break;
+    case SchedulerKind::kUncoordinated:
+      scheduler_ = std::make_unique<sched::UncoordinatedScheduler>();
+      break;
+  }
+
+  for (std::size_t i = 0; i < config_.device_count; ++i) {
+    appliance::ApplianceInfo info;
+    info.id = static_cast<net::NodeId>(i);
+    info.name = "type2-" + std::to_string(i);
+    info.rated_kw = config_.rated_kw;
+    dis_.push_back(std::make_unique<DeviceInterface>(
+        sim_, appliance::Type2Appliance(info, config_.constraints),
+        *scheduler_, config_.di));
+  }
+
+  if (config_.fidelity == CpFidelity::kPacketLevel) {
+    build_packet_cp();
+  } else {
+    build_abstract_cp();
+  }
+}
+
+HanNetwork::~HanNetwork() {
+  if (minicast_) minicast_->stop();
+  abstract_rounds_.cancel();
+}
+
+void HanNetwork::build_packet_cp() {
+  channel_ = std::make_unique<net::Channel>(topology_, config_.channel, rng_);
+  medium_ = std::make_unique<net::Medium>(sim_, *channel_,
+                                          rng_.stream("medium"));
+  std::vector<net::Radio*> raw;
+  raw.reserve(config_.device_count);
+  for (std::size_t i = 0; i < config_.device_count; ++i) {
+    radios_.push_back(std::make_unique<net::Radio>(
+        sim_, *medium_, static_cast<net::NodeId>(i)));
+    raw.push_back(radios_.back().get());
+  }
+  minicast_ = std::make_unique<st::MiniCastEngine>(
+      sim_, std::move(raw), config_.minicast, rng_.stream("minicast"));
+  minicast_->set_keep_history(false);
+  minicast_->set_refresh_handler(
+      [this](net::NodeId id, std::uint64_t) {
+        return encode_status(dis_[id]->own_status());
+      });
+  minicast_->set_round_complete_handler(
+      [this](net::NodeId id, std::uint64_t round,
+             const st::RecordStore& view) {
+        dispatch_round(id, round, view);
+      });
+}
+
+void HanNetwork::build_abstract_cp() {
+  abstract_views_.assign(config_.device_count,
+                         std::vector<sched::DeviceStatus>(
+                             config_.device_count));
+  abstract_known_.assign(config_.device_count,
+                         std::vector<bool>(config_.device_count, false));
+}
+
+void HanNetwork::start(sim::TimePoint first_round) {
+  if (minicast_) {
+    minicast_->start(first_round);
+  } else {
+    sim_.schedule_at(first_round, [this]() { abstract_round(); });
+    abstract_rounds_ = sim_.schedule_every(
+        first_round + config_.minicast.round_period,
+        config_.minicast.round_period, [this]() { abstract_round(); });
+  }
+}
+
+void HanNetwork::dispatch_round(net::NodeId id, std::uint64_t round,
+                                const st::RecordStore& view) {
+  sched::GlobalView gv;
+  gv.now = sim_.now();
+  gv.devices.reserve(config_.device_count);
+  bool complete = true;
+  const auto want = static_cast<std::uint32_t>(round + 1);
+  for (std::size_t origin = 0; origin < config_.device_count; ++origin) {
+    const st::Record* rec = view.find(static_cast<net::NodeId>(origin));
+    if (rec == nullptr) {
+      complete = false;
+      continue;
+    }
+    if (rec->version < want) complete = false;
+    gv.devices.push_back(
+        decode_status(static_cast<net::NodeId>(origin), rec->data));
+  }
+  dis_[id]->on_round_complete(gv, complete);
+}
+
+void HanNetwork::abstract_round() {
+  const std::size_t n = config_.device_count;
+  // Refresh: snapshot every node's own status once.
+  std::vector<sched::DeviceStatus> fresh;
+  fresh.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) fresh.push_back(dis_[i]->own_status());
+
+  std::size_t covered = 0;
+  for (std::size_t holder = 0; holder < n; ++holder) {
+    for (std::size_t origin = 0; origin < n; ++origin) {
+      const bool delivered =
+          holder == origin ||
+          abstract_rng_.bernoulli(config_.abstract_reliability);
+      if (delivered) {
+        abstract_views_[holder][origin] = fresh[origin];
+        abstract_known_[holder][origin] = true;
+        if (holder != origin) ++covered;
+      }
+    }
+  }
+  if (n > 1) {
+    abstract_coverage_sum_ +=
+        static_cast<double>(covered) / static_cast<double>(n * (n - 1));
+  } else {
+    abstract_coverage_sum_ += 1.0;
+  }
+  ++abstract_round_index_;
+
+  for (std::size_t holder = 0; holder < n; ++holder) {
+    sched::GlobalView gv;
+    gv.now = sim_.now();
+    bool complete = true;
+    for (std::size_t origin = 0; origin < n; ++origin) {
+      if (!abstract_known_[holder][origin]) {
+        complete = false;
+        continue;
+      }
+      gv.devices.push_back(abstract_views_[holder][origin]);
+    }
+    dis_[holder]->on_round_complete(gv, complete);
+  }
+}
+
+void HanNetwork::inject_request(const appliance::Request& request) {
+  if (request.device >= dis_.size()) {
+    throw std::out_of_range("inject_request: unknown device");
+  }
+  ++requests_injected_;
+  sim_.schedule_at(request.at, [this, request]() {
+    dis_[request.device]->add_demand(request.service);
+  });
+}
+
+void HanNetwork::inject_requests(
+    const std::vector<appliance::Request>& requests) {
+  for (const appliance::Request& r : requests) inject_request(r);
+}
+
+std::size_t HanNetwork::add_type1(appliance::ApplianceInfo info) {
+  type1_.emplace_back(std::move(info));
+  return type1_.size() - 1;
+}
+
+void HanNetwork::inject_type1_session(sim::TimePoint at, std::size_t index,
+                                      sim::Duration duration) {
+  if (index >= type1_.size()) {
+    throw std::out_of_range("inject_type1_session: unknown appliance");
+  }
+  sim_.schedule_at(at, [this, index, duration]() {
+    type1_[index].start_session(sim_.now(), duration);
+  });
+}
+
+double HanNetwork::total_load_kw() const {
+  double kw = 0.0;
+  for (const auto& di : dis_) kw += di->load_kw();
+  for (const auto& t1 : type1_) kw += t1.load_kw(sim_.now());
+  return kw;
+}
+
+void HanNetwork::set_node_failed(net::NodeId id, bool failed) {
+  if (minicast_) minicast_->set_node_failed(id, failed);
+}
+
+void HanNetwork::set_forced_drop_rate(double p) {
+  if (medium_) medium_->set_forced_drop_rate(p);
+}
+
+NetworkStats HanNetwork::stats() const {
+  NetworkStats s;
+  s.requests_injected = requests_injected_;
+  for (const auto& di : dis_) {
+    s.min_dcd_violations += di->appliance().min_dcd_violations();
+    s.service_gap_violations += di->stats().service_gap_violations;
+    s.stale_view_rounds += di->stats().stale_view_rounds;
+    s.plan_switches += di->stats().plan_switches;
+  }
+  if (minicast_) {
+    s.cp_mean_coverage = minicast_->stats().mean_coverage();
+    double duty = 0.0;
+    double mah = 0.0;
+    for (const auto& r : radios_) {
+      duty += r->energy().duty_cycle();
+      mah += r->energy().total_mah();
+    }
+    s.mean_radio_duty = duty / static_cast<double>(radios_.size());
+    s.total_radio_mah = mah;
+  } else if (abstract_round_index_ > 0) {
+    s.cp_mean_coverage =
+        abstract_coverage_sum_ / static_cast<double>(abstract_round_index_);
+  }
+  return s;
+}
+
+}  // namespace han::core

@@ -1,0 +1,171 @@
+// han::core — whole-deployment assembly.
+//
+// A HanNetwork wires together, for one customer premise:
+//   topology -> channel -> medium -> one radio per DI  (PHY substrate)
+//   MiniCast engine (CP)  or  the abstract CP model
+//   one DeviceInterface per Type-2 appliance (EP)
+//   optional Type-1 appliances (metered base load)
+//
+// Two communication-plane fidelities:
+//   * kPacketLevel — every flood is simulated at slot granularity over
+//     the SINR/capture medium (the default; used for all paper figures);
+//   * kAbstract    — per-round Bernoulli record delivery with a given
+//     reliability; orders of magnitude faster, used for wide parameter
+//     sweeps (the reliability default is what packet-level runs measure
+//     on the flocklab26 preset).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "appliance/appliance.hpp"
+#include "appliance/workload.hpp"
+#include "core/device_interface.hpp"
+#include "net/channel.hpp"
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+#include "sched/coordinated.hpp"
+#include "sched/uncoordinated.hpp"
+#include "st/minicast.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::core {
+
+enum class SchedulerKind : std::uint8_t { kCoordinated, kUncoordinated };
+enum class CpFidelity : std::uint8_t { kPacketLevel, kAbstract };
+enum class TopologyKind : std::uint8_t {
+  kFlockLab26,  // the 26-node office preset (device_count must be 26)
+  kGrid,
+  kLine,
+  kRing,
+  kRandom,
+  kCustom,
+};
+
+[[nodiscard]] std::string_view to_string(SchedulerKind k) noexcept;
+
+/// Deployment configuration.
+struct HanConfig {
+  std::size_t device_count = 26;
+  TopologyKind topology_kind = TopologyKind::kFlockLab26;
+  std::optional<net::Topology> custom_topology;  // for kCustom
+  net::ChannelParams channel;
+  st::MiniCastParams minicast;
+  SchedulerKind scheduler = SchedulerKind::kCoordinated;
+  CpFidelity fidelity = CpFidelity::kPacketLevel;
+  /// Per-(holder, origin, round) record delivery probability in
+  /// kAbstract mode. 0.999 matches packet-level flocklab26 measurements.
+  double abstract_reliability = 0.999;
+  /// Paper: every device consumes 1 kW.
+  double rated_kw = 1.0;
+  /// Paper: minDCD 15 min, maxDCP 30 min for all devices.
+  appliance::DutyCycleConstraints constraints{};
+  /// DI behaviour toggles (rebalancing etc.).
+  DiOptions di;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated runtime statistics across all DIs.
+struct NetworkStats {
+  std::uint64_t requests_injected = 0;
+  std::uint64_t min_dcd_violations = 0;
+  std::uint64_t service_gap_violations = 0;
+  std::uint64_t stale_view_rounds = 0;
+  std::uint64_t plan_switches = 0;
+  double cp_mean_coverage = 1.0;
+  double mean_radio_duty = 0.0;   // 0 in abstract mode
+  double total_radio_mah = 0.0;   // 0 in abstract mode
+};
+
+/// One simulated premise.
+class HanNetwork {
+ public:
+  HanNetwork(sim::Simulator& sim, HanConfig config);
+  ~HanNetwork();
+
+  HanNetwork(const HanNetwork&) = delete;
+  HanNetwork& operator=(const HanNetwork&) = delete;
+
+  /// Boots the CP; the first round starts at `first_round`.
+  void start(sim::TimePoint first_round);
+
+  /// Schedules a user request for injection at its arrival time.
+  void inject_request(const appliance::Request& request);
+  void inject_requests(const std::vector<appliance::Request>& requests);
+
+  /// Registers a Type-1 appliance; returns its index.
+  std::size_t add_type1(appliance::ApplianceInfo info);
+  /// Schedules a Type-1 usage session.
+  void inject_type1_session(sim::TimePoint at, std::size_t index,
+                            sim::Duration duration);
+
+  /// Instantaneous total load (Type-2 + Type-1), kW.
+  [[nodiscard]] double total_load_kw() const;
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return dis_.size();
+  }
+  [[nodiscard]] DeviceInterface& di(net::NodeId id) { return *dis_.at(id); }
+  [[nodiscard]] const DeviceInterface& di(net::NodeId id) const {
+    return *dis_.at(id);
+  }
+
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return topology_;
+  }
+  /// Packet-level CP engine; nullptr in abstract mode.
+  [[nodiscard]] const st::MiniCastEngine* minicast() const noexcept {
+    return minicast_.get();
+  }
+  /// Fault injection (packet-level mode only).
+  void set_node_failed(net::NodeId id, bool failed);
+  /// Independent per-reception drop probability at the PHY
+  /// (packet-level mode only; no-op in abstract mode).
+  void set_forced_drop_rate(double p);
+
+  [[nodiscard]] NetworkStats stats() const;
+  [[nodiscard]] const HanConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const sched::Scheduler& scheduler() const noexcept {
+    return *scheduler_;
+  }
+
+ private:
+  void build_packet_cp();
+  void build_abstract_cp();
+  void dispatch_round(net::NodeId id, std::uint64_t round,
+                      const st::RecordStore& view);
+  void abstract_round();
+
+  sim::Simulator& sim_;
+  HanConfig config_;
+  sim::Rng rng_;
+  net::Topology topology_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+
+  // Packet-level substrate (empty in abstract mode).
+  std::unique_ptr<net::Channel> channel_;
+  std::unique_ptr<net::Medium> medium_;
+  std::vector<std::unique_ptr<net::Radio>> radios_;
+  std::unique_ptr<st::MiniCastEngine> minicast_;
+
+  // Abstract CP state: per-holder last-known status of every origin.
+  std::vector<std::vector<sched::DeviceStatus>> abstract_views_;
+  std::vector<std::vector<bool>> abstract_known_;
+  sim::Rng abstract_rng_;
+  sim::Simulator::PeriodicHandle abstract_rounds_;
+  std::uint64_t abstract_round_index_ = 0;
+  double abstract_coverage_sum_ = 0.0;
+
+  std::vector<std::unique_ptr<DeviceInterface>> dis_;
+  std::vector<appliance::Type1Appliance> type1_;
+  std::uint64_t requests_injected_ = 0;
+};
+
+/// Topology construction used by HanConfig (exposed for tests).
+[[nodiscard]] net::Topology make_topology(TopologyKind kind, std::size_t n,
+                                          sim::Rng& rng);
+
+}  // namespace han::core

@@ -1,0 +1,91 @@
+#include "core/status_codec.hpp"
+
+#include <algorithm>
+
+namespace han::core {
+namespace {
+
+constexpr std::uint32_t kMaxU24 = 0xFFFFFF;
+
+std::uint32_t clamp_u24_seconds(sim::TimePoint t) noexcept {
+  const sim::Ticks s = t.since_epoch().sec();
+  if (s < 0) return 0;
+  return static_cast<std::uint32_t>(
+      std::min<sim::Ticks>(s, static_cast<sim::Ticks>(kMaxU24)));
+}
+
+std::uint8_t clamp_u8_minutes(sim::Duration d) noexcept {
+  const sim::Ticks m = d.min();
+  return static_cast<std::uint8_t>(std::clamp<sim::Ticks>(m, 0, 255));
+}
+
+void put_u24(std::array<std::uint8_t, st::kRecordBytes>& a, std::size_t at,
+             std::uint32_t v) noexcept {
+  a[at] = static_cast<std::uint8_t>(v);
+  a[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  a[at + 2] = static_cast<std::uint8_t>(v >> 16);
+}
+
+std::uint32_t get_u24(const std::array<std::uint8_t, st::kRecordBytes>& a,
+                      std::size_t at) noexcept {
+  return static_cast<std::uint32_t>(a[at]) |
+         static_cast<std::uint32_t>(a[at + 1]) << 8 |
+         static_cast<std::uint32_t>(a[at + 2]) << 16;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, st::kRecordBytes> encode_status(
+    const sched::DeviceStatus& status) {
+  std::array<std::uint8_t, st::kRecordBytes> out{};
+  out[0] = static_cast<std::uint8_t>((status.has_demand ? 0x01 : 0x00) |
+                                     (status.relay_on ? 0x02 : 0x00) |
+                                     (status.burst_pending ? 0x04 : 0x00));
+  put_u24(out, 1, clamp_u24_seconds(status.demand_since));
+  put_u24(out, 4, clamp_u24_seconds(status.demand_until));
+  out[7] = clamp_u8_minutes(status.min_dcd);
+  out[8] = clamp_u8_minutes(status.max_dcp);
+  const double tenth_kw = status.rated_kw * 10.0;
+  out[9] = static_cast<std::uint8_t>(
+      std::clamp(tenth_kw + 0.5, 0.0, 255.0));
+  out[10] = status.slot;
+  out[11] = 0;
+  return out;
+}
+
+sched::DeviceStatus decode_status(
+    net::NodeId origin,
+    const std::array<std::uint8_t, st::kRecordBytes>& data) {
+  sched::DeviceStatus s;
+  s.id = origin;
+  s.has_demand = (data[0] & 0x01) != 0;
+  s.relay_on = (data[0] & 0x02) != 0;
+  s.burst_pending = (data[0] & 0x04) != 0;
+  s.demand_since =
+      sim::TimePoint::epoch() + sim::seconds(get_u24(data, 1));
+  s.demand_until =
+      sim::TimePoint::epoch() + sim::seconds(get_u24(data, 4));
+  s.min_dcd = sim::minutes(data[7]);
+  s.max_dcp = sim::minutes(data[8]);
+  s.rated_kw = static_cast<double>(data[9]) / 10.0;
+  s.slot = data[10];
+  return s;
+}
+
+bool is_encodable(const sched::DeviceStatus& status) noexcept {
+  const auto sec_ok = [](sim::TimePoint t) {
+    const sim::Ticks s = t.since_epoch().sec();
+    return s >= 0 && s <= static_cast<sim::Ticks>(kMaxU24) &&
+           t.since_epoch().us() % 1'000'000 == 0;
+  };
+  const auto min_ok = [](sim::Duration d) {
+    return d.min() >= 0 && d.min() <= 255 && d.us() % 60'000'000 == 0;
+  };
+  const double tenth = status.rated_kw * 10.0;
+  return sec_ok(status.demand_since) && sec_ok(status.demand_until) &&
+         min_ok(status.min_dcd) && min_ok(status.max_dcp) && tenth >= 0 &&
+         tenth <= 255.0 &&
+         tenth == static_cast<double>(static_cast<int>(tenth));
+}
+
+}  // namespace han::core

@@ -1,0 +1,42 @@
+// han::core — DeviceStatus <-> 10-byte ST record codec.
+//
+// The MiniCast record payload budget is st::kRecordBytes (12 bytes);
+// this codec packs a Type-2 device's status into it:
+//
+//   byte 0      flags: bit0 has_demand, bit1 relay_on, bit2 burst_pending
+//   bytes 1-3   demand_since, seconds since epoch (u24, ~194 days)
+//   bytes 4-6   demand_until, seconds since epoch (u24)
+//   byte 7      minDCD in minutes (u8)
+//   byte 8      maxDCP in minutes (u8)
+//   byte 9      rated power in 0.1 kW units (u8, <= 25.5 kW)
+//   byte 10     claimed schedule slot (0xFF = none) — the slot ledger
+//   byte 11     reserved (zero)
+//
+// Second-level timestamps are ample: scheduling decisions act on
+// 15-minute bursts. Encoding is exact for the supported ranges and
+// encode/decode round-trips (property-tested).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sched/view.hpp"
+#include "st/record.hpp"
+
+namespace han::core {
+
+/// Packs `status` into a record payload. Values outside the supported
+/// ranges are clamped (and flagged by is_encodable()).
+[[nodiscard]] std::array<std::uint8_t, st::kRecordBytes> encode_status(
+    const sched::DeviceStatus& status);
+
+/// Decodes a record payload produced by encode_status. The device id is
+/// taken from `origin` (it is not stored in the payload).
+[[nodiscard]] sched::DeviceStatus decode_status(
+    net::NodeId origin,
+    const std::array<std::uint8_t, st::kRecordBytes>& data);
+
+/// True when `status` fits the wire ranges without clamping.
+[[nodiscard]] bool is_encodable(const sched::DeviceStatus& status) noexcept;
+
+}  // namespace han::core

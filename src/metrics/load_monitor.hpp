@@ -1,0 +1,43 @@
+// han::metrics — periodic sampling of the total system load.
+#pragma once
+
+#include <functional>
+
+#include "metrics/timeseries.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::metrics {
+
+/// Samples a caller-provided load function on a fixed interval into a
+/// TimeSeries (paper figures use 1-minute sampling over 350 minutes).
+class LoadMonitor {
+ public:
+  using LoadFn = std::function<double()>;
+
+  LoadMonitor(sim::Simulator& sim, LoadFn load_fn,
+              sim::Duration interval = sim::minutes(1))
+      : sim_(sim), load_fn_(std::move(load_fn)), interval_(interval) {}
+
+  /// Starts sampling; the first sample is taken at `first`.
+  void start(sim::TimePoint first) {
+    series_ = TimeSeries(first, interval_);
+    sim_.schedule_at(first, [this]() { sample(); });
+    handle_ = sim_.schedule_every(first + interval_, interval_,
+                                  [this]() { sample(); });
+  }
+
+  void stop() { handle_.cancel(); }
+
+  [[nodiscard]] const TimeSeries& series() const noexcept { return series_; }
+
+ private:
+  void sample() { series_.append(load_fn_()); }
+
+  sim::Simulator& sim_;
+  LoadFn load_fn_;
+  sim::Duration interval_;
+  TimeSeries series_;
+  sim::Simulator::PeriodicHandle handle_;
+};
+
+}  // namespace han::metrics

@@ -1,0 +1,47 @@
+// han::metrics — streaming and batch statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace han::metrics {
+
+/// Welford online accumulator: numerically stable mean/variance plus
+/// min/max, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (the paper reports load deviation over the full
+  /// trace, not a sample estimate).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a copy of `values` (linear interpolation, p in [0,100]).
+/// Returns 0 for empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Largest absolute difference between consecutive values ("max step");
+/// the paper's "sudden changes in the overall system".
+[[nodiscard]] double max_step(const std::vector<double>& values) noexcept;
+
+}  // namespace han::metrics

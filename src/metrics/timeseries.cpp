@@ -1,0 +1,20 @@
+#include "metrics/timeseries.hpp"
+
+namespace han::metrics {
+
+TimeSeries TimeSeries::downsample(std::size_t factor) const {
+  if (factor <= 1) return *this;
+  TimeSeries out(start_, interval_ * static_cast<sim::Ticks>(factor));
+  for (std::size_t i = 0; i < values_.size(); i += factor) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < values_.size() && j < i + factor; ++j) {
+      sum += values_[j];
+      ++n;
+    }
+    out.append(sum / static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace han::metrics

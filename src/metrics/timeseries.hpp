@@ -1,0 +1,55 @@
+// han::metrics — uniformly sampled time series.
+#pragma once
+
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "sim/time.hpp"
+
+namespace han::metrics {
+
+/// Values sampled every `interval` starting at `start`.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(sim::TimePoint start, sim::Duration interval)
+      : start_(start), interval_(interval) {}
+
+  void append(double v) { values_.push_back(v); }
+
+  [[nodiscard]] sim::TimePoint start() const noexcept { return start_; }
+  [[nodiscard]] sim::Duration interval() const noexcept { return interval_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] double at(std::size_t i) const { return values_.at(i); }
+  [[nodiscard]] sim::TimePoint time_of(std::size_t i) const {
+    return start_ + interval_ * static_cast<sim::Ticks>(i);
+  }
+
+  [[nodiscard]] RunningStats stats() const {
+    RunningStats s;
+    for (double v : values_) s.add(v);
+    return s;
+  }
+  [[nodiscard]] double peak() const { return stats().max(); }
+  [[nodiscard]] double mean() const { return stats().mean(); }
+  [[nodiscard]] double stddev() const { return stats().stddev(); }
+  /// Largest jump between consecutive samples.
+  [[nodiscard]] double max_step() const {
+    return metrics::max_step(values_);
+  }
+
+  /// Down-samples by averaging `factor` consecutive samples (the tail
+  /// partial bucket is averaged over its actual size).
+  [[nodiscard]] TimeSeries downsample(std::size_t factor) const;
+
+ private:
+  sim::TimePoint start_;
+  sim::Duration interval_ = sim::seconds(1);
+  std::vector<double> values_;
+};
+
+}  // namespace han::metrics

@@ -1,0 +1,193 @@
+#include "net/csma.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace han::net {
+namespace {
+
+constexpr std::uint8_t kFlagAck = 0x01;
+constexpr std::size_t kHeaderBytes = 6;  // dst(2) src(2) seq(1) flags(1)
+
+}  // namespace
+
+CsmaMac::CsmaMac(sim::Simulator& sim, Radio& radio, CsmaParams params,
+                 sim::Rng rng)
+    : sim_(sim),
+      radio_(radio),
+      params_(params),
+      rng_(rng),
+      be_(params.mac_min_be) {
+  radio_.set_receive_handler(
+      [this](const Frame& f, const RxInfo& i) { on_radio_rx(f, i); });
+  radio_.set_tx_done_handler([this]() { on_tx_done(); });
+  radio_.listen();
+}
+
+void CsmaMac::send(NodeId dst, std::vector<std::uint8_t> payload,
+                   DoneFn done) {
+  assert(payload.size() + kHeaderBytes <= kMaxFrameBytes);
+  ++stats_.enqueued;
+  if (queue_.size() >= params_.queue_limit) {
+    ++stats_.drops_queue;
+    if (done) done(false);
+    return;
+  }
+  Outgoing out;
+  out.dst = dst;
+  out.seq = next_seq_++;
+  out.payload = std::move(payload);
+  out.done = std::move(done);
+  queue_.push_back(std::move(out));
+  try_dequeue();
+}
+
+void CsmaMac::try_dequeue() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  start_attempt();
+}
+
+void CsmaMac::start_attempt() {
+  nb_ = 0;
+  be_ = params_.mac_min_be;
+  backoff_then_cca();
+}
+
+void CsmaMac::backoff_then_cca() {
+  const auto slots = rng_.uniform_int(0, (1 << be_) - 1);
+  sim_.schedule_after(params_.backoff_unit * slots, [this]() {
+    if (!busy_) return;
+    // CCA via the shared medium (energy detect); the radio keeps
+    // listening during backoff, as in real MACs.
+    if (radio_.medium().channel_busy(radio_.id(),
+                                     params_.cca_threshold_dbm)) {
+      ++nb_;
+      be_ = std::min(be_ + 1, params_.mac_max_be);
+      if (nb_ > params_.max_csma_backoffs) {
+        ++stats_.drops_cca;
+        finish_current(false);
+      } else {
+        backoff_then_cca();
+      }
+      return;
+    }
+    transmit_current();
+  });
+}
+
+void CsmaMac::transmit_current() {
+  if (radio_.state() == Radio::State::kTx) {
+    // Our own ACK is on the air; retry shortly.
+    sim_.schedule_after(params_.backoff_unit,
+                        [this]() { transmit_current(); });
+    return;
+  }
+  const Outgoing& cur = queue_.front();
+  Frame f;
+  f.kind = FrameKind::kUnicast;
+  f.source = radio_.id();
+  ByteWriter w;
+  w.u16(cur.dst);
+  w.u16(radio_.id());
+  w.u8(cur.seq);
+  w.u8(0);
+  for (std::uint8_t b : cur.payload) w.u8(b);
+  f.payload = std::move(w).take();
+  ++stats_.tx_data_frames;
+  tx_is_ack_ = false;
+  radio_.transmit(std::move(f));
+}
+
+void CsmaMac::on_tx_done() {
+  if (tx_is_ack_) {
+    tx_is_ack_ = false;
+    return;
+  }
+  if (!busy_) return;
+  awaiting_ack_ = true;
+  ack_timer_ = sim_.schedule_after(params_.ack_timeout,
+                                   [this]() { on_ack_timeout(); });
+}
+
+void CsmaMac::on_ack_timeout() {
+  if (!awaiting_ack_) return;
+  awaiting_ack_ = false;
+  Outgoing& cur = queue_.front();
+  if (cur.retries < params_.max_frame_retries) {
+    ++cur.retries;
+    start_attempt();
+  } else {
+    ++stats_.drops_retries;
+    finish_current(false);
+  }
+}
+
+void CsmaMac::on_radio_rx(const Frame& frame, const RxInfo&) {
+  if (frame.kind != FrameKind::kUnicast || frame.payload.size() < kHeaderBytes) {
+    return;
+  }
+  ByteReader r(frame.payload);
+  const NodeId dst = r.u16();
+  const NodeId src = r.u16();
+  const std::uint8_t seq = r.u8();
+  const std::uint8_t flags = r.u8();
+  if (dst != radio_.id()) return;  // overheard
+
+  if ((flags & kFlagAck) != 0) {
+    if (awaiting_ack_ && !queue_.empty() && src == queue_.front().dst &&
+        seq == queue_.front().seq) {
+      awaiting_ack_ = false;
+      sim_.cancel(ack_timer_);
+      finish_current(true);
+    }
+    return;
+  }
+
+  ++stats_.rx_data_frames;
+  send_ack(src, seq);
+
+  if (last_seq_from_.size() <= src) last_seq_from_.resize(src + 1, -1);
+  if (last_seq_from_[src] == seq) {
+    ++stats_.rx_duplicates;  // retransmission of an already-ACKed frame
+    return;
+  }
+  last_seq_from_[src] = seq;
+  if (on_receive_) {
+    on_receive_(src, {frame.payload.begin() +
+                          static_cast<std::ptrdiff_t>(kHeaderBytes),
+                      frame.payload.end()});
+  }
+}
+
+void CsmaMac::send_ack(NodeId dst, std::uint8_t seq) {
+  // ACK after one turnaround (SIFS), without CSMA, per 802.15.4.
+  sim_.schedule_after(kTurnaround, [this, dst, seq]() {
+    if (radio_.state() == Radio::State::kTx) return;  // best effort
+    Frame f;
+    f.kind = FrameKind::kUnicast;
+    f.source = radio_.id();
+    ByteWriter w;
+    w.u16(dst);
+    w.u16(radio_.id());
+    w.u8(seq);
+    w.u8(kFlagAck);
+    f.payload = std::move(w).take();
+    ++stats_.tx_ack_frames;
+    tx_is_ack_ = true;
+    radio_.transmit(std::move(f));
+  });
+}
+
+void CsmaMac::finish_current(bool ok) {
+  assert(busy_ && !queue_.empty());
+  if (ok) ++stats_.sent_ok;
+  Outgoing cur = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = false;
+  if (cur.done) cur.done(ok);
+  try_dequeue();
+}
+
+}  // namespace han::net

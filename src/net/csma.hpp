@@ -1,0 +1,118 @@
+// han::net — unslotted CSMA/CA MAC with acknowledgements (802.15.4).
+//
+// The asynchronous-transmission substrate of the paper's §I comparison.
+// One CsmaMac per node, on top of the same Radio/Medium as the ST
+// stack: random exponential backoff, energy-detect CCA, unicast frames
+// with MAC-level ACKs and bounded retransmissions. Frames to other
+// destinations are overheard by the radio but filtered here.
+//
+// Wire format of a kUnicast PSDU payload:
+//   [dst u16][src u16][seq u8][flags u8 (bit0 = ACK)][payload ...]
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::net {
+
+/// 802.15.4 unslotted CSMA/CA constants (defaults per the standard).
+struct CsmaParams {
+  int mac_min_be = 3;
+  int mac_max_be = 5;
+  int max_csma_backoffs = 4;
+  int max_frame_retries = 3;
+  /// aUnitBackoffPeriod: 20 symbols.
+  sim::Duration backoff_unit = sim::microseconds(320);
+  /// Wait for the ACK: turnaround (192 us) + our 17-byte ACK PSDU
+  /// airtime (736 us) + margin. (The standard's 864 us assumes 5-byte
+  /// imm-ACKs; ours carry full addressing.)
+  sim::Duration ack_timeout = sim::microseconds(1200);
+  double cca_threshold_dbm = -87.0;
+  /// Bound on the transmit queue; overflow counts as a drop.
+  std::size_t queue_limit = 64;
+};
+
+/// MAC-layer statistics.
+struct CsmaStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t sent_ok = 0;         // ACKed
+  std::uint64_t drops_retries = 0;   // retry budget exhausted
+  std::uint64_t drops_cca = 0;       // channel-access failure
+  std::uint64_t drops_queue = 0;     // queue overflow
+  std::uint64_t tx_data_frames = 0;  // incl. retransmissions
+  std::uint64_t tx_ack_frames = 0;
+  std::uint64_t rx_data_frames = 0;
+  std::uint64_t rx_duplicates = 0;
+};
+
+/// Unslotted CSMA/CA MAC entity for one node.
+class CsmaMac {
+ public:
+  using ReceiveFn =
+      std::function<void(NodeId src, const std::vector<std::uint8_t>&)>;
+  using DoneFn = std::function<void(bool delivered)>;
+
+  CsmaMac(sim::Simulator& sim, Radio& radio, CsmaParams params,
+          sim::Rng rng);
+
+  CsmaMac(const CsmaMac&) = delete;
+  CsmaMac& operator=(const CsmaMac&) = delete;
+
+  void set_receive_handler(ReceiveFn fn) { on_receive_ = std::move(fn); }
+
+  /// Enqueues a unicast. `done` fires with the delivery outcome (ACKed
+  /// or dropped). Payload is capped by the PSDU budget minus 6 header
+  /// bytes.
+  void send(NodeId dst, std::vector<std::uint8_t> payload, DoneFn done = {});
+
+  [[nodiscard]] const CsmaStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] NodeId id() const noexcept { return radio_.id(); }
+
+ private:
+  struct Outgoing {
+    NodeId dst;
+    std::uint8_t seq;
+    std::vector<std::uint8_t> payload;
+    DoneFn done;
+    int retries = 0;
+  };
+
+  void try_dequeue();
+  void start_attempt();
+  void backoff_then_cca();
+  void transmit_current();
+  void on_tx_done();
+  void on_ack_timeout();
+  void on_radio_rx(const Frame& frame, const RxInfo& info);
+  void send_ack(NodeId dst, std::uint8_t seq);
+  void finish_current(bool ok);
+
+  sim::Simulator& sim_;
+  Radio& radio_;
+  CsmaParams params_;
+  sim::Rng rng_;
+  ReceiveFn on_receive_;
+  std::deque<Outgoing> queue_;
+  bool busy_ = false;          // an attempt is in progress
+  bool awaiting_ack_ = false;
+  bool tx_is_ack_ = false;     // current radio TX carries an ACK
+  int be_ = 3;
+  int nb_ = 0;                 // backoff attempts this transmission
+  std::uint8_t next_seq_ = 0;
+  sim::EventId ack_timer_{};
+  // Duplicate rejection: last seq seen per source.
+  std::vector<int> last_seq_from_;
+  CsmaStats stats_;
+};
+
+}  // namespace han::net

@@ -1,0 +1,33 @@
+// han::net — 2-D geometry primitives for node placement.
+#pragma once
+
+#include <cmath>
+
+namespace han::net {
+
+/// A point (or displacement) on the deployment plane, in metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr bool operator==(const Point&) const noexcept = default;
+};
+
+[[nodiscard]] constexpr Point operator+(Point a, Point b) noexcept {
+  return {a.x + b.x, a.y + b.y};
+}
+[[nodiscard]] constexpr Point operator-(Point a, Point b) noexcept {
+  return {a.x - b.x, a.y - b.y};
+}
+[[nodiscard]] constexpr Point operator*(Point a, double k) noexcept {
+  return {a.x * k, a.y * k};
+}
+
+/// Euclidean distance between two points, metres.
+[[nodiscard]] inline double distance(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace han::net

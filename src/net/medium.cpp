@@ -1,0 +1,206 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace han::net {
+
+namespace {
+/// History entries older than this relative to "now" can never overlap a
+/// new transmission (max frame airtime is ~4.3 ms) and are pruned.
+constexpr sim::Duration kHistoryHorizon = sim::milliseconds(20);
+}  // namespace
+
+Medium::Medium(sim::Simulator& sim, const Channel& channel, sim::Rng rng)
+    : sim_(sim),
+      channel_(channel),
+      rng_(rng),
+      ci_window_(sim::Duration{1}) {
+  // The Glossy CI window is 0.5 us; we round to 1 tick (1 us) — slot-level
+  // synchronization in the flood engine guarantees sub-tick alignment.
+  radios_.resize(channel.node_count(), nullptr);
+  rx_busy_until_.resize(channel.node_count(), sim::TimePoint::epoch());
+}
+
+void Medium::attach(Radio& radio) {
+  assert(radio.id() < radios_.size());
+  assert(radios_[radio.id()] == nullptr && "duplicate NodeId");
+  radios_[radio.id()] = &radio;
+}
+
+void Medium::detach(Radio& radio) noexcept {
+  if (radio.id() < radios_.size() && radios_[radio.id()] == &radio) {
+    radios_[radio.id()] = nullptr;
+  }
+}
+
+void Medium::begin_tx(Radio& src, Frame frame, sim::Duration airtime) {
+  ++stats_.transmissions;
+  frame.source = frame.source == kInvalidNode ? src.id() : frame.source;
+  ActiveTx tx;
+  tx.src = src.id();
+  tx.frame = std::move(frame);
+  tx.start = sim_.now();
+  tx.end = sim_.now() + airtime;
+  const std::uint64_t key = next_tx_key_++;
+  history_.push_back(std::move(tx));
+  tx_keys_.push_back(key);
+  sim_.schedule_at(history_.back().end, [this, key]() { finish_tx(key); });
+}
+
+void Medium::finish_tx(std::uint64_t tx_key) {
+  const auto it = std::find(tx_keys_.begin(), tx_keys_.end(), tx_key);
+  if (it == tx_keys_.end()) return;  // pruned (should not happen)
+  const std::size_t idx = static_cast<std::size_t>(it - tx_keys_.begin());
+  const NodeId src = history_[idx].src;
+  if (!history_[idx].evaluated) evaluate_group(idx);
+  prune_history();
+  // Return the transmitter to Listen (single event for PHY + radio).
+  if (src < radios_.size() && radios_[src] != nullptr) {
+    radios_[src]->handle_tx_end();
+  }
+}
+
+void Medium::evaluate_group(std::size_t primary_idx) {
+  ActiveTx& primary = history_[primary_idx];
+
+  // Collect the constructive-interference group: identical content,
+  // starts within the CI window of the primary.
+  std::vector<std::size_t> group;
+  sim::TimePoint group_start = primary.start;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    ActiveTx& cand = history_[i];
+    if (cand.evaluated) continue;
+    const sim::Duration skew = cand.start >= primary.start
+                                   ? cand.start - primary.start
+                                   : primary.start - cand.start;
+    if (skew <= ci_window_ && cand.frame.same_content(primary.frame)) {
+      group.push_back(i);
+      group_start = std::min(group_start, cand.start);
+      cand.evaluated = true;
+    }
+  }
+  assert(!group.empty());
+
+  const sim::TimePoint group_end = primary.end;
+
+  // Interference set: any non-group transmission overlapping the group.
+  std::vector<std::size_t> interferers;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const ActiveTx& cand = history_[i];
+    const bool in_group =
+        std::find(group.begin(), group.end(), i) != group.end();
+    if (in_group) continue;
+    if (cand.start < group_end && cand.end > group_start) {
+      interferers.push_back(i);
+    }
+  }
+
+  auto is_group_source = [&](NodeId id) {
+    return std::any_of(group.begin(), group.end(),
+                       [&](std::size_t g) { return history_[g].src == id; });
+  };
+
+  for (NodeId rx = 0; rx < radios_.size(); ++rx) {
+    Radio* radio = radios_[rx];
+    if (radio == nullptr) continue;
+    if (is_group_source(rx)) continue;
+    // Receiver must have been listening for the whole frame.
+    if (radio->state() != Radio::State::kListen) continue;
+    if (radio->listening_since() > group_start) continue;
+    // Receiver already locked onto another frame in this window?
+    if (rx_busy_until_[rx] > group_start) {
+      ++stats_.receiver_busy;
+      continue;
+    }
+
+    double signal_mw = 0.0;
+    double strongest_mw = 0.0;
+    for (std::size_t g : group) {
+      const double p = dbm_to_mw(channel_.rx_power_dbm(
+          history_[g].src, rx, channel_.params().tx_power_dbm));
+      signal_mw += p;
+      strongest_mw = std::max(strongest_mw, p);
+    }
+    // Non-coherent combining gain saturates (see set_ci_max_gain_db).
+    signal_mw = std::min(signal_mw,
+                         strongest_mw * std::pow(10.0, ci_max_gain_db_ / 10.0));
+    double interference_mw = 0.0;
+    for (std::size_t i : interferers) {
+      if (history_[i].src == rx) continue;
+      interference_mw += dbm_to_mw(channel_.rx_power_dbm(
+          history_[i].src, rx, channel_.params().tx_power_dbm));
+    }
+
+    const double signal_dbm = mw_to_dbm(signal_mw);
+    double prr = channel_.prr(signal_dbm, interference_mw,
+                              primary.frame.psdu_bytes());
+    // Capture limit: against non-identical concurrent frames the
+    // receiver needs a minimum SIR to synchronize at all.
+    if (interference_mw > 0.0 &&
+        signal_dbm - mw_to_dbm(interference_mw) < capture_threshold_db_) {
+      prr = 0.0;
+    }
+    if (group.size() > 1 && ci_decode_penalty_ > 0.0) {
+      prr *= 1.0 - ci_decode_penalty_;
+    }
+    if (forced_drop_rate_ > 0.0) prr *= 1.0 - forced_drop_rate_;
+
+    if (rng_.bernoulli(prr)) {
+      rx_busy_until_[rx] = group_end;
+      RxInfo info;
+      info.rssi_dbm = signal_dbm;
+      info.sfd_time = group_start;
+      info.combined_transmitters = group.size();
+      ++stats_.deliveries;
+      if (group.size() > 1) ++stats_.ci_combined;
+      radio->deliver(primary.frame, info);
+    } else {
+      ++stats_.reception_failures;
+    }
+  }
+}
+
+bool Medium::channel_busy(NodeId listener, double cca_threshold_dbm,
+                          sim::Duration ifs) const {
+  double inflight_mw = 0.0;
+  const sim::TimePoint now = sim_.now();
+  for (const ActiveTx& tx : history_) {
+    if (tx.src == listener) continue;
+    if (tx.end <= now) {
+      // Ended recently? The IFS rule keeps the channel reserved so the
+      // receiver's turnaround + ACK fit before anyone else starts.
+      if (tx.end + ifs > now &&
+          channel_.rx_power_dbm(tx.src, listener,
+                                channel_.params().tx_power_dbm) >
+              cca_threshold_dbm) {
+        return true;
+      }
+      continue;
+    }
+    inflight_mw += dbm_to_mw(channel_.rx_power_dbm(
+        tx.src, listener, channel_.params().tx_power_dbm));
+  }
+  return mw_to_dbm(inflight_mw) > cca_threshold_dbm;
+}
+
+void Medium::prune_history() {
+  const sim::TimePoint horizon = sim_.now() - kHistoryHorizon;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const bool keep = history_[i].end >= horizon || !history_[i].evaluated;
+    if (keep) {
+      if (w != i) {
+        history_[w] = std::move(history_[i]);
+        tx_keys_[w] = tx_keys_[i];
+      }
+      ++w;
+    }
+  }
+  history_.resize(w);
+  tx_keys_.resize(w);
+}
+
+}  // namespace han::net

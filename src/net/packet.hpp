@@ -1,0 +1,156 @@
+// han::net — frames and byte-level serialization.
+//
+// A Frame models one 802.15.4 PHY-layer packet: up to 127 payload bytes
+// plus metadata the simulator needs (source, a protocol tag, a logical
+// content hash used by the constructive-interference model). ByteWriter /
+// ByteReader provide bounds-checked little-endian (de)serialization used
+// by the ST protocols to pack appliance records.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace han::net {
+
+/// Maximum 802.15.4 PHY payload (PSDU) in bytes.
+inline constexpr std::size_t kMaxFrameBytes = 127;
+
+/// Protocol discriminator carried in the first payload byte by
+/// convention; the simulator also keeps it out-of-band for dispatch.
+enum class FrameKind : std::uint8_t {
+  kGlossyFlood = 1,    // ST flood slot (sync + payload)
+  kMiniCastChunk = 2,  // aggregated record chunk
+  kCollection = 3,     // many-to-one data collection
+  kUnicast = 4,        // asynchronous (CSMA-style) unicast, centralized mode
+};
+
+/// One over-the-air frame.
+struct Frame {
+  FrameKind kind = FrameKind::kGlossyFlood;
+  NodeId source = kInvalidNode;  // original initiator (not last relayer)
+  std::vector<std::uint8_t> payload;
+
+  /// Total PSDU length: payload + MAC header/footer approximation.
+  /// We charge 11 bytes of MAC overhead (FCF 2, seq 1, PAN 2, dst 2,
+  /// src 2, FCS 2), matching typical ST implementations on CC2420.
+  [[nodiscard]] std::size_t psdu_bytes() const noexcept {
+    return payload.size() + 11;
+  }
+
+  /// Content identity for the constructive-interference model: two
+  /// concurrent transmissions combine only if their bytes are identical.
+  [[nodiscard]] bool same_content(const Frame& other) const noexcept {
+    return kind == other.kind && payload == other.payload;
+  }
+};
+
+/// Bounds-checked little-endian serializer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t capacity = kMaxFrameBytes)
+      : capacity_(capacity) {
+    buf_.reserve(capacity);
+  }
+
+  void u8(std::uint8_t v) { append(&v, 1); }
+  void u16(std::uint16_t v) {
+    std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                         static_cast<std::uint8_t>(v >> 8)};
+    append(b, 2);
+  }
+  void u32(std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    append(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    append(b, 8);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return capacity_ - buf_.size();
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+
+ private:
+  void append(const std::uint8_t* p, std::size_t n) {
+    if (buf_.size() + n > capacity_) {
+      throw std::length_error("ByteWriter: frame capacity exceeded");
+    }
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t capacity_;
+};
+
+/// Bounds-checked little-endian deserializer.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : buf_(buf.data()), size_(buf.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : buf_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(buf_[pos_]) |
+        static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > size_) {
+      throw std::out_of_range("ByteReader: truncated frame");
+    }
+  }
+
+  const std::uint8_t* buf_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace han::net

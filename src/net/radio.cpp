@@ -1,0 +1,90 @@
+#include "net/radio.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/medium.hpp"
+
+namespace han::net {
+
+void EnergyMeter::accumulate(int state_index, sim::Duration dt) noexcept {
+  assert(state_index >= 0 && state_index < 3);
+  in_state_[state_index] += dt;
+}
+
+double EnergyMeter::total_mah() const noexcept {
+  const double hours[3] = {in_state_[0].seconds_f() / 3600.0,
+                           in_state_[1].seconds_f() / 3600.0,
+                           in_state_[2].seconds_f() / 3600.0};
+  return hours[0] * power_.off_ma + hours[1] * power_.listen_ma +
+         hours[2] * power_.tx_ma;
+}
+
+double EnergyMeter::total_mj() const noexcept {
+  return total_mah() * 3600.0 * power_.supply_volts;
+}
+
+sim::Duration EnergyMeter::time_in(int state_index) const noexcept {
+  assert(state_index >= 0 && state_index < 3);
+  return in_state_[state_index];
+}
+
+double EnergyMeter::duty_cycle() const noexcept {
+  const auto total = in_state_[0] + in_state_[1] + in_state_[2];
+  if (total <= sim::Duration::zero()) return 0.0;
+  return (in_state_[1] + in_state_[2]).seconds_f() / total.seconds_f();
+}
+
+Radio::Radio(sim::Simulator& sim, Medium& medium, NodeId id, RadioPower power)
+    : sim_(sim),
+      medium_(medium),
+      id_(id),
+      state_since_(sim.now()),
+      energy_(power) {
+  medium_.attach(*this);
+}
+
+Radio::~Radio() { medium_.detach(*this); }
+
+void Radio::enter_state(State next) {
+  energy_.accumulate(static_cast<int>(state_),
+                     sim_.now() - state_since_);
+  state_ = next;
+  state_since_ = sim_.now();
+  if (next == State::kListen) listen_since_ = sim_.now();
+}
+
+void Radio::turn_off() {
+  assert(state_ != State::kTx && "cannot power down mid-transmission");
+  if (state_ != State::kOff) enter_state(State::kOff);
+}
+
+void Radio::listen() {
+  if (state_ == State::kListen) return;
+  assert(state_ != State::kTx && "TX completes via its own end event");
+  enter_state(State::kListen);
+}
+
+void Radio::transmit(Frame frame) {
+  assert(state_ != State::kTx && "already transmitting");
+  enter_state(State::kTx);
+  ++frames_sent_;
+  const sim::Duration airtime = frame_airtime(frame.psdu_bytes());
+  // The medium's tx-finish event calls handle_tx_end(); one event
+  // serves both PHY delivery and our own state transition.
+  medium_.begin_tx(*this, std::move(frame), airtime);
+}
+
+void Radio::handle_tx_end() {
+  assert(state_ == State::kTx);
+  enter_state(State::kListen);
+  if (on_tx_done_) on_tx_done_();
+}
+
+void Radio::deliver(const Frame& frame, const RxInfo& info) {
+  assert(state_ == State::kListen);
+  ++frames_received_;
+  if (on_receive_) on_receive_(frame, info);
+}
+
+}  // namespace han::net

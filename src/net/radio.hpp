@@ -1,0 +1,149 @@
+// han::net — 802.15.4 radio model (CC2420-class).
+//
+// Each node owns one Radio. The radio is a three-state machine
+// (Off / Listen / Tx) with datasheet-derived timing and current draw.
+// Transmissions are arbitrated by the shared Medium, which calls back
+// into deliver() when a frame is successfully received.
+//
+// Timing at 250 kbit/s: 32 us per byte; every frame is preceded by a
+// 6-byte synchronization header (4 preamble + SFD + length); RX<->TX
+// turnaround is 192 us (12 symbol periods).
+#pragma once
+
+#include <functional>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace han::net {
+
+class Medium;
+
+/// Per-byte airtime at 250 kbit/s.
+inline constexpr sim::Duration kByteAirtime = sim::microseconds(32);
+/// Synchronization header (preamble + SFD + PHR) length in bytes.
+inline constexpr std::size_t kShrBytes = 6;
+/// RX->TX / TX->RX turnaround.
+inline constexpr sim::Duration kTurnaround = sim::microseconds(192);
+
+/// Airtime of a frame with the given PSDU length (header included).
+[[nodiscard]] constexpr sim::Duration frame_airtime(
+    std::size_t psdu_bytes) noexcept {
+  return kByteAirtime * static_cast<sim::Ticks>(psdu_bytes + kShrBytes);
+}
+
+/// Reception metadata handed to the receive callback.
+struct RxInfo {
+  double rssi_dbm = -100.0;   // combined signal power at the antenna
+  sim::TimePoint sfd_time;    // when the frame's header started
+  std::size_t combined_transmitters = 1;  // CI group size that was decoded
+};
+
+/// CC2420-like current draw per state, used by the energy meter.
+struct RadioPower {
+  double off_ma = 0.001;
+  double listen_ma = 18.8;
+  double tx_ma = 17.4;
+  double supply_volts = 3.0;
+};
+
+/// Cumulative radio energy bookkeeping.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(RadioPower power = {}) : power_(power) {}
+
+  /// Accounts `dt` spent in the given state.
+  void accumulate(int state_index, sim::Duration dt) noexcept;
+
+  /// Total charge consumed, milliamp-hours.
+  [[nodiscard]] double total_mah() const noexcept;
+  /// Total energy consumed, millijoules.
+  [[nodiscard]] double total_mj() const noexcept;
+  /// Time spent per state (0=Off, 1=Listen, 2=Tx).
+  [[nodiscard]] sim::Duration time_in(int state_index) const noexcept;
+  /// Radio duty cycle: fraction of accounted time not spent Off.
+  [[nodiscard]] double duty_cycle() const noexcept;
+
+ private:
+  RadioPower power_;
+  sim::Duration in_state_[3] = {};
+};
+
+/// The radio state machine.
+class Radio {
+ public:
+  enum class State { kOff = 0, kListen = 1, kTx = 2 };
+
+  using ReceiveHandler = std::function<void(const Frame&, const RxInfo&)>;
+  using TxDoneHandler = std::function<void()>;
+
+  Radio(sim::Simulator& sim, Medium& medium, NodeId id,
+        RadioPower power = {});
+  ~Radio();
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  /// The shared medium this radio is attached to (CCA queries etc.).
+  [[nodiscard]] Medium& medium() noexcept { return medium_; }
+  [[nodiscard]] const Medium& medium() const noexcept { return medium_; }
+
+  void set_receive_handler(ReceiveHandler fn) { on_receive_ = std::move(fn); }
+  void set_tx_done_handler(TxDoneHandler fn) { on_tx_done_ = std::move(fn); }
+
+  /// Powers the radio down. Aborts nothing: illegal during TX (asserted).
+  void turn_off();
+
+  /// Enters listen (RX) state. No-op if already listening.
+  void listen();
+
+  /// Starts transmitting `frame` immediately (the caller is responsible
+  /// for turnaround spacing; the ST slot structure provides it). Illegal
+  /// while already transmitting. After the frame's airtime the radio
+  /// returns to Listen and the tx-done handler fires.
+  void transmit(Frame frame);
+
+  /// Time at which the current listen period began (valid in Listen).
+  [[nodiscard]] sim::TimePoint listening_since() const noexcept {
+    return listen_since_;
+  }
+
+  /// Called by the Medium on successful reception.
+  void deliver(const Frame& frame, const RxInfo& info);
+
+  /// Called by the Medium when this radio's transmission ends: returns
+  /// to Listen and fires the tx-done handler.
+  void handle_tx_end();
+
+  [[nodiscard]] const EnergyMeter& energy() const noexcept { return energy_; }
+
+  /// Number of frames handed to the receive callback.
+  [[nodiscard]] std::uint64_t frames_received() const noexcept {
+    return frames_received_;
+  }
+  /// Number of frames transmitted.
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_;
+  }
+
+ private:
+  void enter_state(State next);
+
+  sim::Simulator& sim_;
+  Medium& medium_;
+  NodeId id_;
+  State state_ = State::kOff;
+  sim::TimePoint state_since_;
+  sim::TimePoint listen_since_;
+  EnergyMeter energy_;
+  ReceiveHandler on_receive_;
+  TxDoneHandler on_tx_done_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_sent_ = 0;
+};
+
+}  // namespace han::net

@@ -1,0 +1,65 @@
+#include "net/routing.hpp"
+
+#include <queue>
+
+namespace han::net {
+
+RoutingTree RoutingTree::shortest_path(const Channel& channel, NodeId sink,
+                                       double prr_threshold) {
+  const std::size_t n = channel.node_count();
+  RoutingTree tree;
+  tree.sink_ = sink;
+  tree.parent_.assign(n, kInvalidNode);
+  tree.hops_.assign(n, SIZE_MAX);
+
+  std::queue<NodeId> frontier;
+  tree.hops_[sink] = 0;
+  frontier.push(sink);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    // Ascending id order makes parent choice deterministic.
+    for (NodeId v = 0; v < n; ++v) {
+      if (tree.hops_[v] != SIZE_MAX) continue;
+      if (!channel.usable_link(u, v, prr_threshold)) continue;
+      tree.hops_[v] = tree.hops_[u] + 1;
+      tree.parent_[v] = u;
+      frontier.push(v);
+    }
+  }
+  return tree;
+}
+
+std::vector<NodeId> RoutingTree::children(NodeId node) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < parent_.size(); ++v) {
+    if (parent_[v] == node) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t RoutingTree::depth() const {
+  std::size_t best = 0;
+  for (std::size_t h : hops_) {
+    if (h != SIZE_MAX) best = std::max(best, h);
+  }
+  return best;
+}
+
+std::vector<std::size_t> RoutingTree::subtree_sizes() const {
+  const std::size_t n = parent_.size();
+  std::vector<std::size_t> sizes(n, 0);
+  // Accumulate along parent chains; O(n * depth), fine for HAN scale.
+  for (NodeId v = 0; v < n; ++v) {
+    if (!reachable(v) || v == sink_) continue;
+    NodeId p = parent_[v];
+    while (p != kInvalidNode) {
+      ++sizes[p];
+      if (p == sink_) break;
+      p = parent_[p];
+    }
+  }
+  return sizes;
+}
+
+}  // namespace han::net

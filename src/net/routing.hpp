@@ -1,0 +1,55 @@
+// han::net — shortest-path routing tree for the asynchronous baseline.
+//
+// The traditional (AT) HAN realization the paper argues against routes
+// all traffic through a collection tree rooted at the controller. This
+// builds that tree over the channel's usable-link graph (BFS = minimum
+// hop count; ties broken toward the lower node id, deterministically).
+#pragma once
+
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/types.hpp"
+
+namespace han::net {
+
+/// A sink-rooted spanning tree over usable links.
+class RoutingTree {
+ public:
+  /// Builds the minimum-hop tree toward `sink` using links with PRR >=
+  /// `prr_threshold` for a typical frame.
+  [[nodiscard]] static RoutingTree shortest_path(const Channel& channel,
+                                                 NodeId sink,
+                                                 double prr_threshold = 0.9);
+
+  [[nodiscard]] NodeId sink() const noexcept { return sink_; }
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Next hop toward the sink (kInvalidNode for the sink itself and for
+  /// unreachable nodes).
+  [[nodiscard]] NodeId parent(NodeId node) const { return parent_.at(node); }
+
+  /// Hop count to the sink (SIZE_MAX when unreachable).
+  [[nodiscard]] std::size_t hops(NodeId node) const { return hops_.at(node); }
+
+  [[nodiscard]] bool reachable(NodeId node) const {
+    return hops_.at(node) != SIZE_MAX;
+  }
+
+  /// Children of `node` in the tree (order: ascending id).
+  [[nodiscard]] std::vector<NodeId> children(NodeId node) const;
+
+  /// Depth of the whole tree (max hops over reachable nodes).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Number of descendants routed through each node (the sink's value
+  /// is n-1): the congestion profile of the tree.
+  [[nodiscard]] std::vector<std::size_t> subtree_sizes() const;
+
+ private:
+  NodeId sink_ = kInvalidNode;
+  std::vector<NodeId> parent_;
+  std::vector<std::size_t> hops_;
+};
+
+}  // namespace han::net

@@ -1,0 +1,152 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numbers>
+#include <queue>
+
+namespace han::net {
+
+double Topology::extent() const {
+  if (positions_.empty()) return 0.0;
+  double min_x = positions_[0].x, max_x = positions_[0].x;
+  double min_y = positions_[0].y, max_y = positions_[0].y;
+  for (const Point& p : positions_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  return distance({min_x, min_y}, {max_x, max_y});
+}
+
+Topology Topology::line(std::size_t n, double spacing) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<double>(i) * spacing, 0.0});
+  }
+  return Topology{std::move(pts)};
+}
+
+Topology Topology::grid(std::size_t cols, std::size_t rows, double spacing) {
+  std::vector<Point> pts;
+  pts.reserve(cols * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      pts.push_back({static_cast<double>(c) * spacing,
+                     static_cast<double>(r) * spacing});
+    }
+  }
+  return Topology{std::move(pts)};
+}
+
+Topology Topology::ring(std::size_t n, double radius) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(n);
+    pts.push_back({radius * std::cos(theta), radius * std::sin(theta)});
+  }
+  return Topology{std::move(pts)};
+}
+
+Topology Topology::random_uniform(std::size_t n, double width, double height,
+                                  sim::Rng& rng) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, width), rng.uniform(0.0, height)});
+  }
+  return Topology{std::move(pts)};
+}
+
+Topology Topology::flocklab26() {
+  // Office floor ~55 m x 30 m. Two corridors (y = 8 and y = 22) with rooms
+  // on both sides; nodes are in rooms and a few in corridors, mimicking
+  // the multi-hop, wall-attenuated FlockLab deployment. Node 0 is the
+  // "entrance" node (commonly used as flood initiator in ST papers).
+  return Topology{{
+      {2.0, 6.0},    // 0  entrance office
+      {8.0, 4.0},    // 1
+      {14.0, 6.5},   // 2
+      {20.0, 4.0},   // 3
+      {26.0, 6.0},   // 4
+      {32.0, 4.5},   // 5
+      {38.0, 6.0},   // 6
+      {44.0, 4.0},   // 7
+      {50.0, 6.5},   // 8  far end, south corridor
+      {5.0, 11.0},   // 9  south corridor
+      {19.0, 11.5},  // 10 south corridor
+      {35.0, 11.0},  // 11 south corridor
+      {49.0, 11.5},  // 12 south corridor
+      {3.0, 16.0},   // 13 mid rooms
+      {11.0, 15.0},  // 14
+      {18.0, 16.5},  // 15
+      {27.0, 15.5},  // 16
+      {36.0, 16.0},  // 17
+      {45.0, 15.0},  // 18
+      {52.0, 16.5},  // 19
+      {7.0, 21.0},   // 20 north corridor
+      {23.0, 21.5},  // 21 north corridor
+      {41.0, 21.0},  // 22 north corridor
+      {13.0, 26.0},  // 23 north rooms
+      {30.0, 27.0},  // 24
+      {47.0, 26.0},  // 25
+  }};
+}
+
+std::vector<std::vector<bool>> Topology::adjacency_within(double range) const {
+  const std::size_t n = size();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (distance(positions_[a], positions_[b]) <= range) {
+        adj[a][b] = adj[b][a] = true;
+      }
+    }
+  }
+  return adj;
+}
+
+std::vector<std::size_t> Topology::hop_counts(
+    const std::vector<std::vector<bool>>& adj, NodeId source) {
+  const std::size_t n = adj.size();
+  std::vector<std::size_t> dist(n, SIZE_MAX);
+  std::queue<std::size_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (adj[u][v] && dist[v] == SIZE_MAX) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t Topology::diameter(const std::vector<std::vector<bool>>& adj) {
+  std::size_t best = 0;
+  for (std::size_t s = 0; s < adj.size(); ++s) {
+    const auto d = hop_counts(adj, static_cast<NodeId>(s));
+    for (std::size_t v : d) {
+      if (v == SIZE_MAX) return SIZE_MAX;
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+bool Topology::is_connected(const std::vector<std::vector<bool>>& adj) {
+  if (adj.empty()) return true;
+  const auto d = hop_counts(adj, 0);
+  return std::none_of(d.begin(), d.end(),
+                      [](std::size_t v) { return v == SIZE_MAX; });
+}
+
+}  // namespace han::net

@@ -1,0 +1,87 @@
+// han::net — node placement and connectivity analysis.
+//
+// A Topology is the set of node positions of one deployment plus helpers
+// to reason about connectivity once a Channel assigns per-link gains.
+// Builders cover canonical shapes (line/grid/ring/random geometric) and
+// `flocklab26()`, a 26-node office-floor preset standing in for the
+// FlockLab testbed used in the paper (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/geometry.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+
+namespace han::net {
+
+/// Immutable set of node positions.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<Point> positions)
+      : positions_(std::move(positions)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] Point position(NodeId id) const { return positions_.at(id); }
+  [[nodiscard]] const std::vector<Point>& positions() const noexcept {
+    return positions_;
+  }
+
+  [[nodiscard]] double distance_between(NodeId a, NodeId b) const {
+    return distance(positions_.at(a), positions_.at(b));
+  }
+
+  /// Bounding box diagonal, metres (deployment extent).
+  [[nodiscard]] double extent() const;
+
+  // --- Builders -----------------------------------------------------------
+
+  /// `n` nodes on a line with the given spacing (metres).
+  [[nodiscard]] static Topology line(std::size_t n, double spacing);
+
+  /// `cols` x `rows` grid with the given spacing.
+  [[nodiscard]] static Topology grid(std::size_t cols, std::size_t rows,
+                                     double spacing);
+
+  /// `n` nodes on a circle of the given radius.
+  [[nodiscard]] static Topology ring(std::size_t n, double radius);
+
+  /// `n` nodes placed uniformly at random in a width x height rectangle.
+  [[nodiscard]] static Topology random_uniform(std::size_t n, double width,
+                                               double height, sim::Rng& rng);
+
+  /// 26-node office-floor preset standing in for the FlockLab testbed:
+  /// rooms along two corridors over a ~55 m x 30 m floor, giving a
+  /// 3-4 hop network under the default channel model.
+  [[nodiscard]] static Topology flocklab26();
+
+  // --- Connectivity analysis ----------------------------------------------
+
+  /// Adjacency under a boolean link predicate `connected(a, b)`.
+  using LinkPredicate = bool (*)(const Topology&, NodeId, NodeId, double);
+
+  /// Symmetric adjacency matrix for "distance <= range".
+  [[nodiscard]] std::vector<std::vector<bool>> adjacency_within(
+      double range) const;
+
+  /// BFS hop distance from `source` given an adjacency matrix.
+  /// Unreachable nodes get hop count SIZE_MAX.
+  [[nodiscard]] static std::vector<std::size_t> hop_counts(
+      const std::vector<std::vector<bool>>& adj, NodeId source);
+
+  /// Network diameter in hops (max over all pairs); SIZE_MAX when
+  /// disconnected.
+  [[nodiscard]] static std::size_t diameter(
+      const std::vector<std::vector<bool>>& adj);
+
+  /// True if the graph is connected.
+  [[nodiscard]] static bool is_connected(
+      const std::vector<std::vector<bool>>& adj);
+
+ private:
+  std::vector<Point> positions_;
+};
+
+}  // namespace han::net

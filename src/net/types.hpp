@@ -1,0 +1,15 @@
+// han::net — shared identifiers for the network layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace han::net {
+
+/// Index of a node (Device Interface) within one HAN deployment.
+using NodeId = std::uint16_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace han::net

@@ -1,0 +1,125 @@
+#include "sched/coordinated.hpp"
+
+#include <algorithm>
+
+namespace han::sched {
+
+bool CoordinatedScheduler::slot_window_on(sim::TimePoint now,
+                                          std::uint8_t slot,
+                                          sim::Duration min_dcd,
+                                          sim::Duration max_dcp) noexcept {
+  if (slot == kNoSlot) return false;
+  const sim::Ticks k = max_dcp / min_dcd;  // >= 1 by construction
+  const sim::Ticks s = static_cast<sim::Ticks>(slot) % k;
+  const sim::Duration phase = sim::phase_in_period(now, max_dcp);
+  const sim::Duration slot_start = min_dcd * s;
+  return phase >= slot_start && phase < slot_start + min_dcd;
+}
+
+sim::TimePoint CoordinatedScheduler::next_window_opening(
+    sim::TimePoint now, std::uint8_t slot, sim::Duration min_dcd,
+    sim::Duration max_dcp) noexcept {
+  const sim::Ticks k = max_dcp / min_dcd;
+  const sim::Ticks s = static_cast<sim::Ticks>(slot) % k;
+  const sim::Duration phase = sim::phase_in_period(now, max_dcp);
+  const sim::Duration slot_start = min_dcd * s;
+  sim::Duration wait = slot_start - phase;
+  if (wait < sim::Duration::zero()) wait += max_dcp;
+  return now + wait;
+}
+
+std::vector<std::size_t> CoordinatedScheduler::slot_occupancy(
+    const GlobalView& view, std::size_t k_slots) {
+  std::vector<std::size_t> occ(k_slots, 0);
+  if (k_slots == 0) return occ;
+  for (const DeviceStatus& d : view.devices) {
+    if (!d.has_demand || d.demand_until <= view.now) continue;
+    if (!d.slot_assigned()) continue;
+    const bool will_run =
+        d.burst_pending ||
+        d.demand_until >
+            next_window_opening(view.now, d.slot, d.min_dcd, d.max_dcp);
+    if (will_run) occ[d.slot % k_slots] += 1;
+  }
+  return occ;
+}
+
+std::uint8_t CoordinatedScheduler::pick_slot(const GlobalView& view,
+                                             const DeviceStatus& self) {
+  const sim::Ticks k_ticks = self.max_dcp / self.min_dcd;
+  const auto k = static_cast<std::size_t>(std::max<sim::Ticks>(k_ticks, 1));
+  const std::vector<std::size_t> occ = slot_occupancy(view, k);
+
+  const sim::Duration phase = sim::phase_in_period(view.now, self.max_dcp);
+
+  std::size_t best = 0;
+  bool have_best = false;
+  sim::Duration best_wait = sim::Duration::zero();
+  for (std::size_t s = 0; s < k; ++s) {
+    // Wait until slot s's window next *opens*. A window that is already
+    // open counts as its next opening one period later, so ties push new
+    // arrivals into the upcoming slot — requests run one by one and the
+    // first burst is always a full minDCD.
+    const sim::Duration slot_start =
+        self.min_dcd * static_cast<sim::Ticks>(s);
+    sim::Duration wait = slot_start - phase;
+    if (wait < sim::Duration::zero()) wait += self.max_dcp;
+    if (!have_best || occ[s] < occ[best] ||
+        (occ[s] == occ[best] && wait < best_wait)) {
+      best = s;
+      best_wait = wait;
+      have_best = true;
+    }
+  }
+  return static_cast<std::uint8_t>(best);
+}
+
+std::optional<CoordinatedScheduler::Rebalance>
+CoordinatedScheduler::rebalance_move(const GlobalView& view,
+                                     std::size_t k_slots) {
+  if (k_slots < 2) return std::nullopt;
+  const std::vector<std::size_t> occ = slot_occupancy(view, k_slots);
+  std::size_t hi = 0;
+  std::size_t lo = 0;
+  for (std::size_t s = 1; s < k_slots; ++s) {
+    if (occ[s] > occ[hi]) hi = s;
+    if (occ[s] < occ[lo]) lo = s;
+  }
+  if (occ[hi] < occ[lo] + 2) return std::nullopt;
+
+  // Lowest-id active OFF device currently claiming the crowded slot
+  // whose demand still covers the target slot's next opening — moving a
+  // device must never cost it its burst.
+  const DeviceStatus* mover = nullptr;
+  for (const DeviceStatus& d : view.devices) {
+    if (!d.has_demand || d.demand_until <= view.now) continue;
+    if (!d.slot_assigned() || d.slot % k_slots != hi) continue;
+    if (d.relay_on) continue;  // never interrupt a burst
+    const sim::TimePoint target_opening = next_window_opening(
+        view.now, static_cast<std::uint8_t>(lo), d.min_dcd, d.max_dcp);
+    if (d.demand_until <= target_opening) continue;
+    if (mover == nullptr || d.id < mover->id) mover = &d;
+  }
+  if (mover == nullptr) return std::nullopt;
+  return Rebalance{mover->id, static_cast<std::uint8_t>(lo)};
+}
+
+Plan CoordinatedScheduler::plan(const GlobalView& view) const {
+  Plan out(view.devices.size(), false);
+  for (std::size_t i = 0; i < view.devices.size(); ++i) {
+    const DeviceStatus& d = view.devices[i];
+    if (!d.has_demand || d.demand_until <= view.now) continue;
+    out[i] = slot_window_on(view.now, d.slot, d.min_dcd, d.max_dcp);
+  }
+  return out;
+}
+
+std::size_t CoordinatedScheduler::steady_on_count(
+    std::size_t active, sim::Duration min_dcd,
+    sim::Duration max_dcp) noexcept {
+  if (active == 0) return 0;
+  const auto k = static_cast<std::size_t>(max_dcp / min_dcd);
+  return (active + k - 1) / k;
+}
+
+}  // namespace han::sched

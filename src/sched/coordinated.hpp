@@ -1,0 +1,91 @@
+// han::sched — the paper's collaborative duty-cycle coordination (§II).
+//
+// Slot-ledger staggering. The maxDCP period is divided into K = maxDCP /
+// minDCD phase slots of width minDCD, anchored at the epoch that ST time
+// sync gives every node for free. When a device's demand starts, its own
+// DI claims a slot — the least occupied one in its current view, tie
+// broken toward the slot whose window opens soonest — and publishes the
+// claim inside the device's shared record (the "slot ledger"). The claim
+// never moves while demand lasts, so no other device's ON phase is ever
+// disturbed by arrivals or departures.
+//
+// A device is ON exactly while the ring phase lies inside its claimed
+// slot. Properties (each one is a test):
+//   * every active device runs >= one minDCD burst per maxDCP window;
+//   * bursts run staggered ("one by one"), so the concurrent ON count
+//     stays near n/K — with the paper's 15/30-minute constraints the
+//     steady load is half of the uncoordinated worst case (all n ON);
+//   * a new request changes the load by one device at a time;
+//   * claims are made only by the owning DI, so a stale view can only
+//     skew slot balance, never cause two nodes to disagree about who
+//     runs — consistency needs no election and no coordinator.
+//
+// Heterogeneous constraints: each device's ring uses its own (minDCD,
+// maxDCP); occupancy counting treats slot indices modulo the claimant's
+// own K, which reduces exactly to the paper's scheme when constraints
+// are uniform.
+#pragma once
+
+#include <optional>
+
+#include "sched/scheduler.hpp"
+
+namespace han::sched {
+
+class CoordinatedScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Plan plan(const GlobalView& view) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "coordinated";
+  }
+  [[nodiscard]] bool epoch_aligned() const noexcept override { return true; }
+
+  /// True while the ring phase of `now` is inside `slot`'s window.
+  [[nodiscard]] static bool slot_window_on(sim::TimePoint now,
+                                           std::uint8_t slot,
+                                           sim::Duration min_dcd,
+                                           sim::Duration max_dcp) noexcept;
+
+  /// Claims a slot for `self` given the current `view`: least occupied,
+  /// ties broken toward the slot whose window opens soonest after
+  /// view.now, then toward the lower index. Deterministic; only the
+  /// owning DI calls this, exactly once per demand period.
+  [[nodiscard]] static std::uint8_t pick_slot(const GlobalView& view,
+                                              const DeviceStatus& self);
+
+  /// Absolute time at which `slot`'s window next opens at or after
+  /// `now` (== now when the phase is exactly at the window start).
+  [[nodiscard]] static sim::TimePoint next_window_opening(
+      sim::TimePoint now, std::uint8_t slot, sim::Duration min_dcd,
+      sim::Duration max_dcp) noexcept;
+
+  /// Occupancy histogram of claimed slots among active devices, sized
+  /// `k_slots` (indices modulo k_slots). A claimant is counted only if
+  /// it will actually run in its slot's next occurrence: either its
+  /// burst is still pending, or its demand outlives the next opening —
+  /// devices that already ran and are about to expire don't block a
+  /// slot for newcomers.
+  [[nodiscard]] static std::vector<std::size_t> slot_occupancy(
+      const GlobalView& view, std::size_t k_slots);
+
+  /// Departures skew the slot balance over time; this computes the one
+  /// rebalancing move for this round, if any: the lowest-id active,
+  /// currently-OFF device in the most crowded slot migrates to the least
+  /// crowded slot when the difference is >= 2. Exactly one mover per
+  /// round — every node computes the same answer from the same view, so
+  /// migration cannot thrash. Returns (mover id, new slot).
+  struct Rebalance {
+    net::NodeId mover = net::kInvalidNode;
+    std::uint8_t new_slot = kNoSlot;
+  };
+  [[nodiscard]] static std::optional<Rebalance> rebalance_move(
+      const GlobalView& view, std::size_t k_slots);
+
+  /// Steady-state concurrent ON count for `active` homogeneous devices
+  /// under balanced claims (the analytical staircase level).
+  [[nodiscard]] static std::size_t steady_on_count(
+      std::size_t active, sim::Duration min_dcd,
+      sim::Duration max_dcp) noexcept;
+};
+
+}  // namespace han::sched

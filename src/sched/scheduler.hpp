@@ -1,0 +1,31 @@
+// han::sched — scheduler interface.
+#pragma once
+
+#include <string_view>
+
+#include "sched/view.hpp"
+
+namespace han::sched {
+
+/// A load-management policy. Implementations must be pure functions of
+/// the view (no hidden mutable state): every DI runs its own instance on
+/// its own view, and consistency of the resulting global schedule is
+/// exactly the determinism of plan().
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Desired relay state for every entry of `view.devices` (same order).
+  [[nodiscard]] virtual Plan plan(const GlobalView& view) const = 0;
+
+  /// Human-readable policy name (benches/reports).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True when ON windows are anchored at the shared epoch ring (the
+  /// coordinated policy). The DI then enforces at most one burst start
+  /// per maxDCP ring period; policies anchored at per-device times
+  /// (the uncoordinated baseline) must not be gated that way.
+  [[nodiscard]] virtual bool epoch_aligned() const noexcept { return false; }
+};
+
+}  // namespace han::sched

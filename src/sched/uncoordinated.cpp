@@ -1,0 +1,24 @@
+#include "sched/uncoordinated.hpp"
+
+namespace han::sched {
+
+bool UncoordinatedScheduler::free_running_on(sim::TimePoint now,
+                                             sim::TimePoint anchor,
+                                             sim::Duration min_dcd,
+                                             sim::Duration max_dcp) noexcept {
+  if (now < anchor) return false;
+  const sim::Duration phase = (now - anchor) % max_dcp;
+  return phase < min_dcd;
+}
+
+Plan UncoordinatedScheduler::plan(const GlobalView& view) const {
+  Plan out(view.devices.size(), false);
+  for (std::size_t i = 0; i < view.devices.size(); ++i) {
+    const DeviceStatus& d = view.devices[i];
+    if (!d.has_demand || d.demand_until <= view.now) continue;
+    out[i] = free_running_on(view.now, d.demand_since, d.min_dcd, d.max_dcp);
+  }
+  return out;
+}
+
+}  // namespace han::sched

@@ -1,0 +1,28 @@
+// han::sched — the paper's baseline: no inter-device coordination.
+//
+// Each device free-runs its own duty cycle the moment its demand starts:
+// ON for minDCD, OFF for (maxDCP - minDCD), repeating, anchored at its
+// own demand_since. Because arrivals are random, ON bursts of different
+// devices stack on top of each other, producing the tall jagged load
+// profile of Fig. 2(a) "w/o coordination".
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace han::sched {
+
+class UncoordinatedScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Plan plan(const GlobalView& view) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "uncoordinated";
+  }
+
+  /// ON/OFF position of a free-running duty cycle anchored at `anchor`.
+  [[nodiscard]] static bool free_running_on(sim::TimePoint now,
+                                            sim::TimePoint anchor,
+                                            sim::Duration min_dcd,
+                                            sim::Duration max_dcp) noexcept;
+};
+
+}  // namespace han::sched

@@ -1,0 +1,84 @@
+// han::sched — the shared state schedulers plan from.
+//
+// After every CP round each DI holds one DeviceStatus per appliance,
+// decoded from the MiniCast records. A GlobalView is that table plus
+// "now". Schedulers are pure functions of a GlobalView, which is what
+// makes the decentralized design work: identical view => identical plan
+// at every node, with no election and no coordinator.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace han::sched {
+
+/// Marker for "no schedule slot assigned".
+inline constexpr std::uint8_t kNoSlot = 0xFF;
+
+/// Everything a scheduler needs to know about one Type-2 device.
+struct DeviceStatus {
+  net::NodeId id = net::kInvalidNode;
+  bool has_demand = false;
+  bool relay_on = false;
+  /// When the current demand began (valid while has_demand).
+  sim::TimePoint demand_since;
+  /// When the current demand expires.
+  sim::TimePoint demand_until;
+  sim::Duration min_dcd = sim::minutes(15);
+  sim::Duration max_dcp = sim::minutes(30);
+  double rated_kw = 1.0;
+  /// True while the device still owes its demand a full minDCD burst
+  /// (used to weigh slot occupancy by who actually needs to run).
+  bool burst_pending = false;
+  /// Phase slot this device's DI claimed in the maxDCP ring (the "slot
+  /// ledger"); kNoSlot until the owning DI assigns one at demand start.
+  /// Only the owning DI ever writes it — everyone else just reads.
+  std::uint8_t slot = kNoSlot;
+
+  [[nodiscard]] bool slot_assigned() const noexcept {
+    return slot != kNoSlot;
+  }
+
+  bool operator==(const DeviceStatus&) const = default;
+};
+
+/// One node's snapshot of the whole system.
+struct GlobalView {
+  sim::TimePoint now;
+  std::vector<DeviceStatus> devices;  // any order; schedulers sort copies
+
+  /// Devices with unexpired demand, FIFO-ordered by (demand_since, id).
+  [[nodiscard]] std::vector<DeviceStatus> active_fifo() const {
+    std::vector<DeviceStatus> act;
+    act.reserve(devices.size());
+    for (const DeviceStatus& d : devices) {
+      if (d.has_demand && d.demand_until > now) act.push_back(d);
+    }
+    std::sort(act.begin(), act.end(),
+              [](const DeviceStatus& a, const DeviceStatus& b) {
+                if (a.demand_since != b.demand_since) {
+                  return a.demand_since < b.demand_since;
+                }
+                return a.id < b.id;
+              });
+    return act;
+  }
+
+  /// Sum of rated power over devices whose relay is currently on.
+  [[nodiscard]] double load_kw() const {
+    double kw = 0.0;
+    for (const DeviceStatus& d : devices) {
+      if (d.relay_on) kw += d.rated_kw;
+    }
+    return kw;
+  }
+};
+
+/// A plan maps device -> desired relay state for the next round.
+/// Indexed by position in GlobalView::devices.
+using Plan = std::vector<bool>;
+
+}  // namespace han::sched

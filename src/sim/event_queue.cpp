@@ -1,0 +1,90 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace han::sim {
+
+EventId EventQueue::schedule(TimePoint at, EventFn fn) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Node{at, seq, std::move(fn)});
+  slot_of_[seq] = heap_.size() - 1;
+  sift_up(heap_.size() - 1);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = slot_of_.find(id.value);
+  if (it == slot_of_.end()) return false;
+  remove_at(it->second);
+  return true;
+}
+
+TimePoint EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  assert(!heap_.empty());
+  Fired out{heap_.front().time, EventId{heap_.front().seq},
+            std::move(heap_.front().fn)};
+  remove_at(0);
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  slot_of_.clear();
+}
+
+void EventQueue::move_to(std::size_t dst, Node&& n) {
+  slot_of_[n.seq] = dst;
+  heap_[dst] = std::move(n);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Node moving = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(moving, heap_[parent])) break;
+    move_to(i, std::move(heap_[parent]));
+    i = parent;
+  }
+  move_to(i, std::move(moving));
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  Node moving = std::move(heap_[i]);
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && less(heap_[child + 1], heap_[child])) ++child;
+    if (!less(heap_[child], moving)) break;
+    move_to(i, std::move(heap_[child]));
+    i = child;
+  }
+  move_to(i, std::move(moving));
+}
+
+void EventQueue::remove_at(std::size_t i) {
+  assert(i < heap_.size());
+  slot_of_.erase(heap_[i].seq);
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    Node tail = std::move(heap_[last]);
+    heap_.pop_back();
+    move_to(i, std::move(tail));
+    // The replacement may need to move either direction.
+    if (i > 0 && less(heap_[i], heap_[(i - 1) / 2])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
+
+}  // namespace han::sim

@@ -1,0 +1,94 @@
+// han::sim — cancellable priority queue of timed events.
+//
+// A binary min-heap keyed on (time, sequence-number). The sequence number
+// makes ordering of same-time events deterministic (FIFO), which in turn
+// makes whole simulations bit-reproducible. Events can be cancelled in
+// O(log n) via the EventId returned at scheduling time; the heap keeps a
+// handle->slot index for that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace han::sim {
+
+/// Opaque handle identifying a scheduled event. Never reused within one
+/// EventQueue instance.
+struct EventId {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
+  constexpr bool operator==(const EventId&) const noexcept = default;
+};
+
+/// Callback type executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// Min-heap of (TimePoint, callback) with stable same-time ordering and
+/// O(log n) cancellation. Not thread-safe: the simulation kernel is
+/// single-threaded by design.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules `fn` to fire at absolute time `at`. Returns a handle that
+  /// can be used with cancel().
+  EventId schedule(TimePoint at, EventFn fn);
+
+  /// Cancels a pending event. Returns true if the event existed and was
+  /// removed; false if it already fired, was already cancelled, or the
+  /// handle is invalid. Safe to call from inside event callbacks.
+  bool cancel(EventId id);
+
+  /// True if no events are pending.
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Fire time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  struct Fired {
+    TimePoint time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+  /// Removes all pending events.
+  void clear();
+
+  /// Total number of events ever scheduled (diagnostics).
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept {
+    return next_seq_ - 1;
+  }
+
+ private:
+  struct Node {
+    TimePoint time;
+    std::uint64_t seq = 0;  // also the EventId value
+    EventFn fn;
+  };
+
+  [[nodiscard]] static bool less(const Node& a, const Node& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void move_to(std::size_t dst, Node&& n);
+  void remove_at(std::size_t i);
+
+  std::vector<Node> heap_;
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_;  // seq -> heap index
+  std::uint64_t next_seq_ = 1;  // 0 is the invalid EventId
+};
+
+}  // namespace han::sim

@@ -1,0 +1,63 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace han::sim {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger()
+    : sink_([](std::string_view line) {
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fputc('\n', stderr);
+      }) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](std::string_view line) {
+      std::fwrite(line.data(), 1, line.size(), stderr);
+      std::fputc('\n', stderr);
+    };
+  }
+}
+
+void Logger::write(LogLevel level, TimePoint at, std::string_view component,
+                   std::string_view message) {
+  std::string line;
+  line.reserve(component.size() + message.size() + 32);
+  line += '[';
+  line += to_string(level);
+  line += "] ";
+  line += at.to_string();
+  line += ' ';
+  line += component;
+  line += ": ";
+  line += message;
+  sink_(line);
+  ++lines_;
+}
+
+}  // namespace han::sim

@@ -1,0 +1,80 @@
+// han::sim — minimal levelled logger for the simulation kernel.
+//
+// The logger is a process-wide singleton with a configurable level and
+// sink. Log lines carry the simulated timestamp supplied by the caller
+// (the kernel has no global "current simulator", so the time is passed
+// explicitly). Formatting uses printf-style varargs kept type-safe via a
+// small variadic template over streamable values.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace han::sim {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Global logging configuration. Thread-compatible (the simulator is
+/// single-threaded); the default sink writes to stderr.
+class Logger {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_;
+  }
+
+  /// Replaces the output sink (pass nullptr to restore stderr).
+  void set_sink(Sink sink);
+
+  void write(LogLevel level, TimePoint at, std::string_view component,
+             std::string_view message);
+
+  /// Number of lines emitted since construction (used by tests).
+  [[nodiscard]] std::uint64_t lines_emitted() const noexcept { return lines_; }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  std::uint64_t lines_ = 0;
+};
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Logs `parts...` (stream-concatenated) if `level` is enabled.
+template <typename... Parts>
+void log(LogLevel level, TimePoint at, std::string_view component,
+         const Parts&... parts) {
+  Logger& lg = Logger::instance();
+  if (!lg.enabled(level)) return;
+  std::ostringstream os;
+  detail::append_all(os, parts...);
+  lg.write(level, at, component, os.str());
+}
+
+}  // namespace han::sim

@@ -1,0 +1,92 @@
+// han::sim — deterministic random number generation.
+//
+// We deliberately avoid <random>'s distribution objects: their output is
+// implementation-defined, which would make simulations differ between
+// standard libraries. The generator is xoshiro256** (public domain,
+// Blackman & Vigna) and every distribution is implemented here, so a
+// (seed, stream) pair yields identical results on every platform.
+//
+// Streams: a simulation derives independent named sub-generators from the
+// root seed (e.g. "workload", "channel", "node/7") via SplitMix64 hashing,
+// so adding a new consumer of randomness never perturbs existing ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace han::sim {
+
+/// SplitMix64 step; used for seeding and string hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with hand-rolled, platform-stable distributions.
+class Rng {
+ public:
+  /// Seeds the generator; all four state words are derived via SplitMix64,
+  /// so any seed (including 0) is valid.
+  explicit Rng(std::uint64_t seed = 0xC0FFEE'5EED'1234ULL) noexcept;
+
+  /// Derives an independent generator for the named stream. Deterministic:
+  /// same parent seed + same name => same stream.
+  [[nodiscard]] Rng stream(std::string_view name) const noexcept;
+  /// Derives an independent generator for an indexed stream (e.g. per node).
+  [[nodiscard]] Rng stream(std::string_view name, std::uint64_t index) const noexcept;
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform real on [0, 1).
+  double uniform() noexcept;
+  /// Uniform real on [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer on [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential with mean `mean` (> 0). Inter-arrival times of a Poisson
+  /// process with rate 1/mean.
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Uniformly chosen index in [0, n). Precondition: n > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(v[i], v[index(i + 1)]);
+    }
+  }
+
+  /// The seed this generator was constructed from (diagnostics).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace han::sim

@@ -1,0 +1,104 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace han::sim {
+
+struct Simulator::PeriodicHandle::State {
+  Simulator* sim = nullptr;
+  Duration period{};
+  EventFn fn;
+  EventId pending{};
+  bool cancelled = false;
+
+  // The scheduled lambda keeps the state alive via its captured
+  // shared_ptr; no self-reference is stored, so cancelled handles are
+  // freed as soon as the pending event is removed.
+  static void arm(const std::shared_ptr<State>& self, TimePoint at) {
+    self->pending = self->sim->schedule_at(at, [self]() {
+      if (self->cancelled) return;
+      // Re-arm first so the callback may itself cancel the handle.
+      arm(self, self->sim->now() + self->period);
+      self->fn();
+    });
+  }
+};
+
+void Simulator::PeriodicHandle::cancel() {
+  if (!state) return;
+  state->cancelled = true;
+  if (state->pending.valid()) {
+    state->sim->cancel(state->pending);
+    state->pending = EventId{};
+  }
+}
+
+bool Simulator::PeriodicHandle::active() const noexcept {
+  return state && !state->cancelled;
+}
+
+EventId Simulator::schedule_at(TimePoint at, EventFn fn) {
+  if (at < now_) {
+    throw std::logic_error("Simulator::schedule_at: time is in the past");
+  }
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventId Simulator::schedule_after(Duration delay, EventFn fn) {
+  if (delay < Duration::zero()) {
+    throw std::logic_error("Simulator::schedule_after: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+Simulator::PeriodicHandle Simulator::schedule_every(Duration period,
+                                                    EventFn fn) {
+  return schedule_every(now_ + period, period, std::move(fn));
+}
+
+Simulator::PeriodicHandle Simulator::schedule_every(TimePoint first,
+                                                    Duration period,
+                                                    EventFn fn) {
+  if (period <= Duration::zero()) {
+    throw std::logic_error("Simulator::schedule_every: period must be > 0");
+  }
+  auto state = std::make_shared<PeriodicHandle::State>();
+  state->sim = this;
+  state->period = period;
+  state->fn = std::move(fn);
+  PeriodicHandle::State::arm(state, first);
+  PeriodicHandle h;
+  h.state = std::move(state);
+  return h;
+}
+
+void Simulator::fire_one() {
+  auto fired = queue_.pop();
+  assert(fired.time >= now_);
+  now_ = fired.time;
+  ++executed_;
+  fired.fn();
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) fire_one();
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
+    fire_one();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  fire_one();
+  return true;
+}
+
+}  // namespace han::sim

@@ -1,0 +1,89 @@
+// han::sim — single-threaded discrete-event simulator.
+//
+// The simulator owns the event queue and the simulated clock. Components
+// schedule callbacks at absolute or relative times; run() / run_until()
+// drains events in timestamp order, advancing the clock discontinuously.
+// Periodic activities are expressed with schedule_every(), which
+// reschedules itself and can be stopped via the returned handle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace han::sim {
+
+/// Discrete-event simulation kernel.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Advances only inside run()/run_until()/step().
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `at`. `at` must not be in the past.
+  EventId schedule_at(TimePoint at, EventFn fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId schedule_after(Duration delay, EventFn fn);
+
+  /// Schedules `fn` every `period` (> 0), first firing at now+period
+  /// (or at `first` if given). The callback keeps firing until the
+  /// returned handle is cancelled or the simulation ends.
+  struct PeriodicHandle {
+    /// Stops future firings. Safe to call multiple times.
+    void cancel();
+    [[nodiscard]] bool active() const noexcept;
+
+   private:
+    friend class Simulator;
+    struct State;
+    std::shared_ptr<State> state;
+  };
+  PeriodicHandle schedule_every(Duration period, EventFn fn);
+  PeriodicHandle schedule_every(TimePoint first, Duration period, EventFn fn);
+
+  /// Cancels a one-shot event scheduled via schedule_at/schedule_after.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue is empty or stop() is called.
+  void run();
+
+  /// Runs until simulated time `deadline` (inclusive: events exactly at
+  /// the deadline fire). On return, now() == deadline unless the run was
+  /// stopped or the queue drained earlier.
+  void run_until(TimePoint deadline);
+
+  /// Executes exactly one event if one is pending; returns whether an
+  /// event fired.
+  bool step();
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t events_pending() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  void fire_one();
+
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::epoch();
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace han::sim

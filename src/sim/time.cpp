@@ -1,0 +1,29 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace han::sim {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(us_));
+  if (a >= 3600e6) {
+    std::snprintf(buf, sizeof buf, "%.2fh", static_cast<double>(us_) / 3600e6);
+  } else if (a >= 60e6) {
+    std::snprintf(buf, sizeof buf, "%.1fmin", static_cast<double>(us_) / 60e6);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(us_) / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(us_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  return "t+" + since_epoch().to_string();
+}
+
+}  // namespace han::sim

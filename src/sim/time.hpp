@@ -1,0 +1,176 @@
+// han::sim — strong time types for the discrete-event kernel.
+//
+// All simulated time is measured in integer microseconds ("ticks").
+// We use dedicated wrapper types instead of raw int64_t so that a
+// Duration can never be accidentally used where a TimePoint is
+// expected, and vice versa (Core Guidelines I.4: make interfaces
+// precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace han::sim {
+
+/// Number of simulated microseconds; the kernel's base unit.
+using Ticks = std::int64_t;
+
+class Duration;
+
+/// A span of simulated time. Value type; totally ordered; may be negative
+/// (e.g. as the result of subtracting two time points).
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+  constexpr explicit Duration(Ticks us) noexcept : us_(us) {}
+
+  /// Raw value in microseconds.
+  [[nodiscard]] constexpr Ticks us() const noexcept { return us_; }
+  /// Value converted to coarser units (integer division truncates).
+  [[nodiscard]] constexpr Ticks ms() const noexcept { return us_ / 1000; }
+  [[nodiscard]] constexpr Ticks sec() const noexcept { return us_ / 1'000'000; }
+  [[nodiscard]] constexpr Ticks min() const noexcept { return us_ / 60'000'000; }
+
+  /// Value in fractional seconds / minutes / hours (for reporting).
+  [[nodiscard]] constexpr double seconds_f() const noexcept {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double minutes_f() const noexcept {
+    return static_cast<double>(us_) / 60e6;
+  }
+  [[nodiscard]] constexpr double hours_f() const noexcept {
+    return static_cast<double>(us_) / 3600e6;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  constexpr Duration& operator+=(Duration d) noexcept {
+    us_ += d.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) noexcept {
+    us_ -= d.us_;
+    return *this;
+  }
+  constexpr Duration& operator*=(Ticks k) noexcept {
+    us_ *= k;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr Duration operator-() const noexcept {
+    return Duration{-us_};
+  }
+
+  [[nodiscard]] static constexpr Duration zero() noexcept { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() noexcept {
+    return Duration{std::numeric_limits<Ticks>::max()};
+  }
+
+  /// Human-readable rendering, e.g. "2.000s", "15.0min".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Ticks us_ = 0;
+};
+
+[[nodiscard]] constexpr Duration operator+(Duration a, Duration b) noexcept {
+  return Duration{a.us() + b.us()};
+}
+[[nodiscard]] constexpr Duration operator-(Duration a, Duration b) noexcept {
+  return Duration{a.us() - b.us()};
+}
+[[nodiscard]] constexpr Duration operator*(Duration a, Ticks k) noexcept {
+  return Duration{a.us() * k};
+}
+[[nodiscard]] constexpr Duration operator*(Ticks k, Duration a) noexcept {
+  return Duration{a.us() * k};
+}
+[[nodiscard]] constexpr Duration operator/(Duration a, Ticks k) noexcept {
+  return Duration{a.us() / k};
+}
+/// Integral ratio of two durations (how many b fit into a).
+[[nodiscard]] constexpr Ticks operator/(Duration a, Duration b) noexcept {
+  return a.us() / b.us();
+}
+/// Remainder of a modulo b; used for phase computations inside periods.
+[[nodiscard]] constexpr Duration operator%(Duration a, Duration b) noexcept {
+  return Duration{a.us() % b.us()};
+}
+
+// Named constructors (free functions so call sites read naturally:
+// `schedule_after(seconds(2))`).
+[[nodiscard]] constexpr Duration microseconds(Ticks v) noexcept {
+  return Duration{v};
+}
+[[nodiscard]] constexpr Duration milliseconds(Ticks v) noexcept {
+  return Duration{v * 1000};
+}
+[[nodiscard]] constexpr Duration seconds(Ticks v) noexcept {
+  return Duration{v * 1'000'000};
+}
+[[nodiscard]] constexpr Duration minutes(Ticks v) noexcept {
+  return Duration{v * 60'000'000};
+}
+[[nodiscard]] constexpr Duration hours(Ticks v) noexcept {
+  return Duration{v * 3'600'000'000LL};
+}
+/// Fractional-second constructor (rounds to the nearest microsecond).
+[[nodiscard]] constexpr Duration seconds_f(double v) noexcept {
+  return Duration{static_cast<Ticks>(v * 1e6 + (v >= 0 ? 0.5 : -0.5))};
+}
+
+/// An absolute instant on the simulated clock. Epoch = simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() noexcept = default;
+  constexpr explicit TimePoint(Ticks us) noexcept : us_(us) {}
+
+  [[nodiscard]] constexpr Ticks us() const noexcept { return us_; }
+  [[nodiscard]] constexpr Duration since_epoch() const noexcept {
+    return Duration{us_};
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const noexcept = default;
+
+  [[nodiscard]] static constexpr TimePoint epoch() noexcept {
+    return TimePoint{0};
+  }
+  [[nodiscard]] static constexpr TimePoint max() noexcept {
+    return TimePoint{std::numeric_limits<Ticks>::max()};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Ticks us_ = 0;
+};
+
+[[nodiscard]] constexpr TimePoint operator+(TimePoint t, Duration d) noexcept {
+  return TimePoint{t.us() + d.us()};
+}
+[[nodiscard]] constexpr TimePoint operator+(Duration d, TimePoint t) noexcept {
+  return t + d;
+}
+[[nodiscard]] constexpr TimePoint operator-(TimePoint t, Duration d) noexcept {
+  return TimePoint{t.us() - d.us()};
+}
+[[nodiscard]] constexpr Duration operator-(TimePoint a, TimePoint b) noexcept {
+  return Duration{a.us() - b.us()};
+}
+
+/// Phase of `t` inside a repeating period anchored at the epoch.
+/// Used by the coordinated scheduler to map "now" into the maxDCP ring.
+[[nodiscard]] constexpr Duration phase_in_period(TimePoint t,
+                                                 Duration period) noexcept {
+  return t.since_epoch() % period;
+}
+
+/// Start of the period window containing `t` (anchored at the epoch).
+[[nodiscard]] constexpr TimePoint period_start(TimePoint t,
+                                               Duration period) noexcept {
+  return TimePoint{(t.us() / period.us()) * period.us()};
+}
+
+}  // namespace han::sim

@@ -1,0 +1,38 @@
+#include "sim/trace.hpp"
+
+namespace han::sim {
+
+const std::vector<TraceSample> TraceRecorder::kEmpty{};
+
+void TraceRecorder::record(std::string_view name, TimePoint at, double value) {
+  auto it = series_.find(std::string(name));
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(name), std::vector<TraceSample>{}).first;
+  }
+  it->second.push_back(TraceSample{at, value});
+  ++total_;
+}
+
+bool TraceRecorder::has_series(std::string_view name) const {
+  return series_.contains(std::string(name));
+}
+
+const std::vector<TraceSample>& TraceRecorder::series(
+    std::string_view name) const {
+  auto it = series_.find(std::string(name));
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> TraceRecorder::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) names.push_back(name);
+  return names;
+}
+
+void TraceRecorder::clear() {
+  series_.clear();
+  total_ = 0;
+}
+
+}  // namespace han::sim

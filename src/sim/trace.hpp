@@ -1,0 +1,54 @@
+// han::sim — structured trace recording.
+//
+// A TraceRecorder collects (time, category, key, value) samples during a
+// run. It is the bridge between the simulation and the metrics layer:
+// components emit raw samples, benches and tests pull the series they
+// need. Categories are interned to keep recording cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace han::sim {
+
+/// One recorded sample.
+struct TraceSample {
+  TimePoint time;
+  double value = 0.0;
+};
+
+/// Append-only recorder of named numeric time series.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// Records `value` for series `name` at time `at`.
+  void record(std::string_view name, TimePoint at, double value);
+
+  /// True if a series with this name exists.
+  [[nodiscard]] bool has_series(std::string_view name) const;
+
+  /// Samples of a series in recording order (empty if unknown).
+  [[nodiscard]] const std::vector<TraceSample>& series(
+      std::string_view name) const;
+
+  /// All series names (unordered).
+  [[nodiscard]] std::vector<std::string> series_names() const;
+
+  /// Total number of samples across all series.
+  [[nodiscard]] std::size_t total_samples() const noexcept { return total_; }
+
+  void clear();
+
+ private:
+  std::unordered_map<std::string, std::vector<TraceSample>> series_;
+  std::size_t total_ = 0;
+  static const std::vector<TraceSample> kEmpty;
+};
+
+}  // namespace han::sim

@@ -1,0 +1,217 @@
+#include "st/at_collection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace han::st {
+namespace {
+
+constexpr std::uint8_t kMsgRecord = 1;
+constexpr std::uint8_t kMsgCommand = 2;
+
+std::vector<std::uint8_t> encode_record_msg(const Record& rec) {
+  net::ByteWriter w;
+  w.u8(kMsgRecord);
+  write_record(w, rec);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+AtCollectionEngine::AtCollectionEngine(sim::Simulator& sim,
+                                       std::vector<net::Radio*> radios,
+                                       const net::Channel& channel,
+                                       const AtCollectionParams& params,
+                                       sim::Rng rng)
+    : sim_(sim),
+      params_(params),
+      rng_(rng),
+      tree_(net::RoutingTree::shortest_path(channel, params.sink,
+                                            params.prr_threshold)) {
+  if (radios.empty()) {
+    throw std::invalid_argument("AtCollectionEngine: no radios");
+  }
+  if (params_.sink >= radios.size()) {
+    throw std::invalid_argument("AtCollectionEngine: sink out of range");
+  }
+  nodes_.reserve(radios.size());
+  for (std::size_t i = 0; i < radios.size(); ++i) {
+    NodeState st(radios.size());
+    st.mac = std::make_unique<net::CsmaMac>(sim_, *radios[i], params_.mac,
+                                            rng_.stream("mac", i));
+    const auto id = static_cast<net::NodeId>(i);
+    st.mac->set_receive_handler(
+        [this, id](net::NodeId src, const std::vector<std::uint8_t>& msg) {
+          on_mac_receive(id, src, msg);
+        });
+    nodes_.push_back(std::move(st));
+  }
+}
+
+void AtCollectionEngine::start(sim::TimePoint first_round_start) {
+  running_ = true;
+  next_round_event_ =
+      sim_.schedule_at(first_round_start, [this]() { begin_round(); });
+}
+
+void AtCollectionEngine::stop() {
+  running_ = false;
+  if (next_round_event_.valid()) {
+    sim_.cancel(next_round_event_);
+    next_round_event_ = sim::EventId{};
+  }
+}
+
+void AtCollectionEngine::begin_round() {
+  if (!running_) return;
+  round_start_ = sim_.now();
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& st = nodes_[i];
+    st.got_command = false;
+    const auto id = static_cast<net::NodeId>(i);
+
+    Record own;
+    own.origin = id;
+    own.version = static_cast<std::uint32_t>(round_ + 1);
+    if (refresh_) own.data = refresh_(id, round_);
+    st.store.merge(own);
+
+    if (id == params_.sink || !tree_.reachable(id)) continue;
+    // Jittered uplink send.
+    const sim::Duration jitter = sim::Duration{rng_.uniform_int(
+        0, std::max<sim::Ticks>(params_.uplink_jitter.us(), 1))};
+    sim_.schedule_after(jitter, [this, id, own]() {
+      send_upstream(id, own);
+    });
+  }
+
+  if (params_.disseminate_command) {
+    // The controller pushes its command mid-round (after most records
+    // should have arrived).
+    sim_.schedule_after(params_.round_period / 2, [this]() {
+      if (!running_) return;
+      std::vector<std::uint8_t> cmd;
+      if (build_command_) {
+        cmd = build_command_(round_, nodes_[params_.sink].store);
+      }
+      cmd.resize(params_.command_bytes, 0);
+      net::ByteWriter w;
+      w.u8(kMsgCommand);
+      w.u32(static_cast<std::uint32_t>(round_));
+      for (std::uint8_t b : cmd) w.u8(b);
+      const std::vector<std::uint8_t> msg = std::move(w).take();
+      nodes_[params_.sink].got_command = true;
+      forward_command(params_.sink, msg);
+    });
+  }
+
+  sim_.schedule_at(round_start_ + params_.round_period -
+                       sim::milliseconds(1),
+                   [this]() { end_round(); });
+}
+
+void AtCollectionEngine::send_upstream(net::NodeId from, const Record& rec) {
+  const net::NodeId parent = tree_.parent(from);
+  if (parent == net::kInvalidNode) return;
+  // One application-level retry on MAC failure (channel-access failure
+  // or retry exhaustion), as a real collection layer would do.
+  nodes_[from].mac->send(parent, encode_record_msg(rec),
+                         [this, from, rec](bool ok) {
+                           if (ok || !running_) return;
+                           sim_.schedule_after(
+                               sim::milliseconds(50), [this, from, rec]() {
+                                 const net::NodeId p = tree_.parent(from);
+                                 if (p == net::kInvalidNode) return;
+                                 nodes_[from].mac->send(
+                                     p, encode_record_msg(rec));
+                               });
+                         });
+}
+
+void AtCollectionEngine::forward_command(
+    net::NodeId from, const std::vector<std::uint8_t>& msg) {
+  for (net::NodeId child : tree_.children(from)) {
+    nodes_[from].mac->send(child, msg, [this, from, child, msg](bool ok) {
+      if (ok || !running_) return;
+      sim_.schedule_after(sim::milliseconds(50), [this, from, child, msg]() {
+        nodes_[from].mac->send(child, msg);
+      });
+    });
+  }
+}
+
+void AtCollectionEngine::on_mac_receive(
+    net::NodeId me, net::NodeId /*src*/,
+    const std::vector<std::uint8_t>& msg) {
+  if (msg.empty()) return;
+  if (msg[0] == kMsgRecord) {
+    net::ByteReader r(msg.data() + 1, msg.size() - 1);
+    const Record rec = read_record(r);
+    if (me == params_.sink) {
+      if (nodes_[me].store.merge(rec)) {
+        stats_.uplink_latency_sum += sim_.now() - round_start_;
+        ++stats_.uplink_deliveries;
+      }
+      return;
+    }
+    nodes_[me].store.merge(rec);
+    send_upstream(me, rec);  // store-and-forward toward the root
+    return;
+  }
+  if (msg[0] == kMsgCommand) {
+    if (nodes_[me].got_command) return;  // already forwarded this round
+    nodes_[me].got_command = true;
+    if (command_) {
+      net::ByteReader r(msg.data() + 1, msg.size() - 1);
+      const std::uint32_t cmd_round = r.u32();
+      command_(me, cmd_round,
+               {msg.begin() + 5, msg.end()});
+    }
+    forward_command(me, msg);
+  }
+}
+
+void AtCollectionEngine::end_round() {
+  const auto want = static_cast<std::uint32_t>(round_ + 1);
+  std::size_t fresh = 0;
+  std::size_t got_cmd = 0;
+  const NodeState& sink = nodes_[params_.sink];
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == params_.sink) continue;
+    const Record* rec = sink.store.find(static_cast<net::NodeId>(i));
+    if (rec != nullptr && rec->version >= want) ++fresh;
+    if (nodes_[i].got_command) ++got_cmd;
+  }
+  ++stats_.rounds;
+  const double others = static_cast<double>(nodes_.size() - 1);
+  stats_.uplink_coverage_sum += static_cast<double>(fresh) / others;
+  stats_.downlink_coverage_sum += static_cast<double>(got_cmd) / others;
+
+  ++round_;
+  if (running_) {
+    next_round_event_ = sim_.schedule_at(
+        round_start_ + params_.round_period, [this]() { begin_round(); });
+  }
+}
+
+const AtStats& AtCollectionEngine::stats() const {
+  stats_.mac_drops = 0;
+  stats_.mac_tx_frames = 0;
+  for (const NodeState& st : nodes_) {
+    const net::CsmaStats& m = st.mac->stats();
+    stats_.mac_drops += m.drops_retries + m.drops_cca + m.drops_queue;
+    stats_.mac_tx_frames += m.tx_data_frames + m.tx_ack_frames;
+  }
+  return stats_;
+}
+
+std::size_t AtCollectionEngine::max_queue_depth() const {
+  std::size_t best = 0;
+  for (const NodeState& st : nodes_) {
+    best = std::max(best, st.mac->queue_depth());
+  }
+  return best;
+}
+
+}  // namespace han::st

@@ -1,0 +1,138 @@
+// han::st — the traditional asynchronous-transmission (AT) control
+// plane the paper argues against (§I).
+//
+// A centralized HAN over CSMA/CA: status records flow hop-by-hop up a
+// shortest-path tree to the controller (store-and-forward unicasts with
+// MAC ACKs), and the controller's command flows back down the tree.
+// Every message contends for the channel, so the root's neighborhood
+// is the bottleneck: as the update period shrinks or the network grows,
+// queues build, retries burn airtime, and coverage collapses — exactly
+// the dynamic the paper contrasts with ST rounds (bench_abl_at).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/csma.hpp"
+#include "net/routing.hpp"
+#include "st/record.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::st {
+
+/// AT control-plane parameters.
+struct AtCollectionParams {
+  sim::Duration round_period = sim::seconds(2);
+  net::CsmaParams mac;
+  net::NodeId sink = 0;
+  /// Link-quality floor for the routing tree.
+  double prr_threshold = 0.9;
+  /// Uplink sends are jittered over this span to avoid a synchronized
+  /// collision storm at the round edge.
+  sim::Duration uplink_jitter = sim::milliseconds(500);
+  /// Disseminate a controller command down the tree each round.
+  bool disseminate_command = true;
+  std::size_t command_bytes = 32;
+};
+
+/// Cumulative AT statistics.
+struct AtStats {
+  std::uint64_t rounds = 0;
+  double uplink_coverage_sum = 0.0;
+  double downlink_coverage_sum = 0.0;
+  /// Mean time for a record to reach the sink (over delivered records).
+  sim::Duration uplink_latency_sum = sim::Duration::zero();
+  std::uint64_t uplink_deliveries = 0;
+  // Aggregated MAC counters (all nodes).
+  std::uint64_t mac_drops = 0;
+  std::uint64_t mac_tx_frames = 0;
+
+  [[nodiscard]] double mean_uplink() const noexcept {
+    return rounds == 0 ? 1.0
+                       : uplink_coverage_sum / static_cast<double>(rounds);
+  }
+  [[nodiscard]] double mean_downlink() const noexcept {
+    return rounds == 0 ? 1.0
+                       : downlink_coverage_sum / static_cast<double>(rounds);
+  }
+  [[nodiscard]] sim::Duration mean_uplink_latency() const noexcept {
+    return uplink_deliveries == 0
+               ? sim::Duration::zero()
+               : uplink_latency_sum /
+                     static_cast<sim::Ticks>(uplink_deliveries);
+  }
+};
+
+/// Periodic collect-then-command engine over CSMA/CA unicast routing.
+class AtCollectionEngine {
+ public:
+  using RefreshFn = std::function<std::array<std::uint8_t, kRecordBytes>(
+      net::NodeId id, std::uint64_t round)>;
+  using BuildCommandFn = std::function<std::vector<std::uint8_t>(
+      std::uint64_t round, const RecordStore& sink_view)>;
+  using CommandFn = std::function<void(net::NodeId id, std::uint64_t round,
+                                       const std::vector<std::uint8_t>&)>;
+
+  AtCollectionEngine(sim::Simulator& sim, std::vector<net::Radio*> radios,
+                     const net::Channel& channel,
+                     const AtCollectionParams& params, sim::Rng rng);
+
+  AtCollectionEngine(const AtCollectionEngine&) = delete;
+  AtCollectionEngine& operator=(const AtCollectionEngine&) = delete;
+
+  void set_refresh_handler(RefreshFn fn) { refresh_ = std::move(fn); }
+  void set_build_command_handler(BuildCommandFn fn) {
+    build_command_ = std::move(fn);
+  }
+  void set_command_handler(CommandFn fn) { command_ = std::move(fn); }
+
+  void start(sim::TimePoint first_round_start);
+  void stop();
+
+  [[nodiscard]] const AtStats& stats() const;
+  [[nodiscard]] const RecordStore& sink_view() const {
+    return nodes_.at(params_.sink).store;
+  }
+  [[nodiscard]] const net::RoutingTree& routing() const noexcept {
+    return tree_;
+  }
+  /// Current MAC queue depth at the tree root's children (congestion
+  /// probe used by the bottleneck bench).
+  [[nodiscard]] std::size_t max_queue_depth() const;
+
+ private:
+  struct NodeState {
+    std::unique_ptr<net::CsmaMac> mac;
+    RecordStore store;
+    bool got_command = false;
+
+    explicit NodeState(std::size_t n) : store(n) {}
+  };
+
+  void begin_round();
+  void end_round();
+  void send_upstream(net::NodeId from, const Record& rec);
+  void forward_command(net::NodeId from,
+                       const std::vector<std::uint8_t>& msg);
+  void on_mac_receive(net::NodeId me, net::NodeId src,
+                      const std::vector<std::uint8_t>& msg);
+
+  sim::Simulator& sim_;
+  AtCollectionParams params_;
+  sim::Rng rng_;
+  net::RoutingTree tree_;
+  std::vector<NodeState> nodes_;
+  RefreshFn refresh_;
+  BuildCommandFn build_command_;
+  CommandFn command_;
+  std::uint64_t round_ = 0;
+  sim::TimePoint round_start_;
+  sim::EventId next_round_event_{};
+  bool running_ = false;
+  mutable AtStats stats_;
+};
+
+}  // namespace han::st

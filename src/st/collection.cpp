@@ -1,0 +1,218 @@
+#include "st/collection.hpp"
+
+#include "st/minicast.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace han::st {
+
+CollectionEngine::CollectionEngine(sim::Simulator& sim,
+                                   std::vector<net::Radio*> radios,
+                                   const CollectionParams& params,
+                                   sim::Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {
+  if (radios.empty()) {
+    throw std::invalid_argument("CollectionEngine: no radios");
+  }
+  if (params_.sink >= radios.size()) {
+    throw std::invalid_argument("CollectionEngine: sink id out of range");
+  }
+  nodes_.reserve(radios.size());
+  for (std::size_t i = 0; i < radios.size(); ++i) {
+    assert(radios[i] != nullptr);
+    NodeState st(radios.size());
+    st.radio = radios[i];
+    st.glossy = std::make_unique<GlossyNode>(sim_, *radios[i], params_.flood);
+    nodes_.push_back(std::move(st));
+  }
+}
+
+sim::Duration CollectionEngine::slot_duration() const {
+  const std::size_t psdu =
+      std::max(MiniCastEngine::chunk_psdu_bytes(), command_psdu());
+  return params_.flood.flood_length(psdu) + params_.slot_guard;
+}
+
+std::size_t CollectionEngine::command_psdu() const {
+  return params_.command_bytes + 1 + 11;
+}
+
+sim::Duration CollectionEngine::round_active_duration() const {
+  // N uplink slots + 1 downlink slot.
+  return slot_duration() * static_cast<sim::Ticks>(nodes_.size() + 1);
+}
+
+void CollectionEngine::start(sim::TimePoint first_round_start) {
+  if (round_active_duration() + params_.slot_guard > params_.round_period) {
+    throw std::invalid_argument(
+        "CollectionEngine: slots do not fit into round_period");
+  }
+  running_ = true;
+  sim_.schedule_at(first_round_start, [this]() { begin_round(); });
+}
+
+void CollectionEngine::stop() { running_ = false; }
+
+void CollectionEngine::set_node_failed(net::NodeId id, bool failed) {
+  NodeState& st = nodes_.at(id);
+  st.failed = failed;
+  if (failed) {
+    if (st.glossy->armed()) st.glossy->abort();
+    if (st.radio->state() != net::Radio::State::kTx) st.radio->turn_off();
+  }
+}
+
+void CollectionEngine::begin_round() {
+  if (!running_) return;
+  round_start_ = sim_.now();
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& st = nodes_[i];
+    st.got_command = false;
+    if (st.failed) continue;
+    Record own;
+    own.origin = static_cast<net::NodeId>(i);
+    own.version = static_cast<std::uint32_t>(round_ + 1);
+    if (refresh_) own.data = refresh_(static_cast<net::NodeId>(i), round_);
+    st.store.merge(own);
+  }
+
+  const sim::Duration slot_dur = slot_duration();
+  for (std::size_t s = 0; s < nodes_.size(); ++s) {
+    sim_.schedule_at(round_start_ + slot_dur * static_cast<sim::Ticks>(s),
+                     [this, s]() { begin_uplink_slot(s); });
+  }
+  sim_.schedule_at(
+      round_start_ + slot_dur * static_cast<sim::Ticks>(nodes_.size()),
+      [this]() { begin_downlink_slot(); });
+  sim_.schedule_at(
+      round_start_ + round_active_duration() + params_.slot_guard,
+      [this]() { end_round(); });
+}
+
+void CollectionEngine::begin_uplink_slot(std::size_t slot) {
+  const sim::TimePoint slot0 = sim_.now() + params_.slot_guard;
+  const net::NodeId initiator = static_cast<net::NodeId>(slot);
+  const std::size_t psdu = MiniCastEngine::chunk_psdu_bytes();
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].failed) continue;
+    const net::NodeId id = static_cast<net::NodeId>(i);
+
+    // Scheduled (not invoked inline) so the previous slot's same-time
+    // flood-end events complete before re-arming; see MiniCastEngine.
+    sim_.schedule_after(sim::Duration::zero(), [this, id, initiator, slot0,
+                                                slot]() {
+      NodeState& node = nodes_[id];
+      if (node.failed) return;
+      if (node.glossy->armed()) node.glossy->abort();
+
+      auto on_done = [this, id](const FloodResult& result) {
+        NodeState& n = nodes_[id];
+        if (result.received && !result.initiator) {
+          for (const Record& rec :
+               unpack_records(GlossyNode::inner_payload(result.payload))) {
+            if (rec.origin != net::kInvalidNode) n.store.merge(rec);
+          }
+        }
+        if (n.radio->state() == net::Radio::State::kListen) {
+          n.radio->turn_off();
+        }
+      };
+
+      if (id == initiator) {
+        std::vector<Record> recs = node.store.select_for_broadcast(
+            id, records_per_frame(), round_ * (nodes_.size() + 1) + slot + 1);
+        std::vector<std::uint8_t> inner = pack_records(recs);
+        inner.resize(1 + records_per_frame() * kRecordWireBytes, 0);
+        net::Frame frame = GlossyNode::make_flood_frame(
+            net::FrameKind::kCollection, id, inner);
+        node.glossy->arm_initiator(slot0, std::move(frame),
+                                   std::move(on_done));
+      } else {
+        node.glossy->arm_receiver(slot0, MiniCastEngine::chunk_psdu_bytes(),
+                                  std::move(on_done));
+      }
+    });
+  }
+  (void)psdu;
+}
+
+void CollectionEngine::begin_downlink_slot() {
+  const sim::TimePoint slot0 = sim_.now() + params_.slot_guard;
+  NodeState& sink_node = nodes_[params_.sink];
+  if (sink_node.failed) return;  // headless system: no command this round
+
+  std::vector<std::uint8_t> cmd;
+  if (build_command_) cmd = build_command_(round_, sink_node.store);
+  if (cmd.size() > params_.command_bytes) {
+    throw std::length_error("CollectionEngine: command too large");
+  }
+  cmd.resize(params_.command_bytes, 0);
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].failed) continue;
+    const net::NodeId id = static_cast<net::NodeId>(i);
+
+    sim_.schedule_after(sim::Duration::zero(), [this, id, slot0, cmd]() {
+      NodeState& node = nodes_[id];
+      if (node.failed) return;
+      if (node.glossy->armed()) node.glossy->abort();
+
+      auto on_done = [this, id](const FloodResult& result) {
+        NodeState& n = nodes_[id];
+        if (result.received) {
+          n.got_command = true;
+          if (!result.initiator && command_) {
+            command_(id, round_, GlossyNode::inner_payload(result.payload));
+          }
+        }
+        if (n.radio->state() == net::Radio::State::kListen) {
+          n.radio->turn_off();
+        }
+      };
+
+      if (id == params_.sink) {
+        net::Frame frame = GlossyNode::make_flood_frame(
+            net::FrameKind::kCollection, id, cmd);
+        node.glossy->arm_initiator(slot0, std::move(frame),
+                                   std::move(on_done));
+      } else {
+        node.glossy->arm_receiver(slot0, command_psdu(), std::move(on_done));
+      }
+    });
+  }
+}
+
+void CollectionEngine::end_round() {
+  const std::uint32_t want = static_cast<std::uint32_t>(round_ + 1);
+  std::size_t alive = 0;
+  std::size_t at_sink = 0;
+  std::size_t got_cmd = 0;
+  const NodeState& sink = nodes_[params_.sink];
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeState& st = nodes_[i];
+    if (st.failed) continue;
+    ++alive;
+    const Record* rec = sink.store.find(static_cast<net::NodeId>(i));
+    if (!sink.failed && rec != nullptr && rec->version >= want) ++at_sink;
+    if (st.got_command) ++got_cmd;
+  }
+  ++stats_.rounds;
+  if (alive > 0) {
+    stats_.uplink_coverage_sum +=
+        static_cast<double>(at_sink) / static_cast<double>(alive);
+    stats_.downlink_coverage_sum +=
+        static_cast<double>(got_cmd) / static_cast<double>(alive);
+  }
+
+  ++round_;
+  if (running_) {
+    sim_.schedule_at(round_start_ + params_.round_period,
+                     [this]() { begin_round(); });
+  }
+}
+
+}  // namespace han::st

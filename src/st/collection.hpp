@@ -1,0 +1,129 @@
+// han::st — many-to-one collection + command dissemination.
+//
+// A centralized-controller realization over the same ST substrate,
+// modelled on the many-to-one protocol of Saha et al. (INFOCOM'17,
+// ref [8] of the paper). Each round:
+//   1. N TDMA flood slots aggregate every node's record toward the sink
+//      (nodes relay and merge, so aggregation is network-coded upward);
+//   2. the sink computes a command (e.g. a central schedule) from its
+//      view and floods it in one final slot.
+//
+// This engine exists for the comparison experiments (DESIGN.md Abl-5):
+// it shares the radio substrate with MiniCast but reintroduces the
+// single point of failure and the extra downlink latency the paper's
+// decentralized design avoids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/radio.hpp"
+#include "st/flood.hpp"
+#include "st/record.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::st {
+
+/// Collection engine parameters.
+struct CollectionParams {
+  sim::Duration round_period = sim::seconds(2);
+  FloodParams flood{.n_tx = 3, .max_slots = 12,
+                    .processing = sim::microseconds(200)};
+  sim::Duration slot_guard = sim::milliseconds(2);
+  net::NodeId sink = 0;
+  /// Maximum command payload bytes carried by the downlink flood.
+  std::size_t command_bytes = 100;
+};
+
+/// Cumulative statistics.
+struct CollectionStats {
+  std::uint64_t rounds = 0;
+  /// Fraction of alive nodes whose current record reached the sink.
+  double uplink_coverage_sum = 0.0;
+  /// Fraction of alive nodes that received the sink's command.
+  double downlink_coverage_sum = 0.0;
+
+  [[nodiscard]] double mean_uplink() const noexcept {
+    return rounds == 0 ? 1.0
+                       : uplink_coverage_sum / static_cast<double>(rounds);
+  }
+  [[nodiscard]] double mean_downlink() const noexcept {
+    return rounds == 0 ? 1.0
+                       : downlink_coverage_sum / static_cast<double>(rounds);
+  }
+};
+
+/// Periodic collect-then-command engine with a designated sink.
+class CollectionEngine {
+ public:
+  using RefreshFn = std::function<std::array<std::uint8_t, kRecordBytes>(
+      net::NodeId id, std::uint64_t round)>;
+  /// Sink-side: builds the command payload from the sink's view.
+  using BuildCommandFn = std::function<std::vector<std::uint8_t>(
+      std::uint64_t round, const RecordStore& sink_view)>;
+  /// Node-side: delivers the command (only on nodes that received it).
+  using CommandFn = std::function<void(net::NodeId id, std::uint64_t round,
+                                       const std::vector<std::uint8_t>&)>;
+
+  CollectionEngine(sim::Simulator& sim, std::vector<net::Radio*> radios,
+                   const CollectionParams& params, sim::Rng rng);
+
+  CollectionEngine(const CollectionEngine&) = delete;
+  CollectionEngine& operator=(const CollectionEngine&) = delete;
+
+  void set_refresh_handler(RefreshFn fn) { refresh_ = std::move(fn); }
+  void set_build_command_handler(BuildCommandFn fn) {
+    build_command_ = std::move(fn);
+  }
+  void set_command_handler(CommandFn fn) { command_ = std::move(fn); }
+
+  void start(sim::TimePoint first_round_start);
+  void stop();
+
+  /// Fault injection; failing the sink stalls the whole system — the
+  /// single-point-of-failure experiment.
+  void set_node_failed(net::NodeId id, bool failed);
+
+  [[nodiscard]] sim::Duration round_active_duration() const;
+  [[nodiscard]] const CollectionStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const RecordStore& sink_view() const {
+    return nodes_.at(params_.sink).store;
+  }
+
+ private:
+  struct NodeState {
+    net::Radio* radio = nullptr;
+    std::unique_ptr<GlossyNode> glossy;
+    RecordStore store;
+    bool failed = false;
+    bool got_command = false;
+
+    explicit NodeState(std::size_t n) : store(n) {}
+  };
+
+  void begin_round();
+  void begin_uplink_slot(std::size_t slot);
+  void begin_downlink_slot();
+  void end_round();
+  [[nodiscard]] sim::Duration slot_duration() const;
+  [[nodiscard]] std::size_t command_psdu() const;
+
+  sim::Simulator& sim_;
+  CollectionParams params_;
+  sim::Rng rng_;
+  std::vector<NodeState> nodes_;
+  RefreshFn refresh_;
+  BuildCommandFn build_command_;
+  CommandFn command_;
+  std::uint64_t round_ = 0;
+  sim::TimePoint round_start_;
+  bool running_ = false;
+  CollectionStats stats_;
+};
+
+}  // namespace han::st

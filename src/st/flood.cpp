@@ -1,0 +1,149 @@
+#include "st/flood.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace han::st {
+
+GlossyNode::GlossyNode(sim::Simulator& sim, net::Radio& radio,
+                       FloodParams params)
+    : sim_(sim), radio_(radio), params_(params) {
+  radio_.set_receive_handler(
+      [this](const net::Frame& f, const net::RxInfo& i) { on_rx(f, i); });
+}
+
+net::Frame GlossyNode::make_flood_frame(net::FrameKind kind,
+                                        net::NodeId source,
+                                        const std::vector<std::uint8_t>& inner) {
+  net::Frame f;
+  f.kind = kind;
+  f.source = source;
+  f.payload.reserve(inner.size() + 1);
+  f.payload.push_back(0);  // relay counter, rewritten per slot
+  f.payload.insert(f.payload.end(), inner.begin(), inner.end());
+  return f;
+}
+
+std::vector<std::uint8_t> GlossyNode::inner_payload(const net::Frame& frame) {
+  assert(!frame.payload.empty());
+  return {frame.payload.begin() + 1, frame.payload.end()};
+}
+
+void GlossyNode::arm_initiator(sim::TimePoint slot0, net::Frame frame,
+                               CompleteFn done) {
+  assert(!armed_);
+  armed_ = true;
+  is_initiator_ = true;
+  slot0_ = slot0;
+  content_ = std::move(frame);
+  inner_ = inner_payload(content_);
+  have_content_ = true;
+  psdu_bytes_ = content_.psdu_bytes();
+  slot_len_ = params_.slot_length(psdu_bytes_);
+  first_rx_slot_ = -1;
+  tx_done_ = 0;
+  done_ = std::move(done);
+
+  radio_.listen();
+  schedule_transmissions_from(0);
+  end_event_ = sim_.schedule_at(
+      slot0_ + params_.flood_length(psdu_bytes_), [this]() { finish(); });
+}
+
+void GlossyNode::arm_receiver(sim::TimePoint slot0, std::size_t psdu_bytes,
+                              CompleteFn done) {
+  assert(!armed_);
+  armed_ = true;
+  is_initiator_ = false;
+  slot0_ = slot0;
+  psdu_bytes_ = psdu_bytes;
+  slot_len_ = params_.slot_length(psdu_bytes);
+  have_content_ = false;
+  first_rx_slot_ = -1;
+  tx_done_ = 0;
+  done_ = std::move(done);
+
+  // If armed in the past or the future, the radio simply starts listening
+  // now; a late node (clock drift) misses early slots but can still catch
+  // a later relay and resynchronize from its relay counter.
+  radio_.listen();
+  end_event_ = sim_.schedule_at(
+      slot0_ + params_.flood_length(psdu_bytes), [this]() { finish(); });
+}
+
+void GlossyNode::abort() {
+  if (!armed_) return;
+  for (sim::EventId id : pending_) sim_.cancel(id);
+  pending_.clear();
+  sim_.cancel(end_event_);
+  armed_ = false;
+  have_content_ = false;
+  done_ = nullptr;
+}
+
+void GlossyNode::on_rx(const net::Frame& frame, const net::RxInfo& info) {
+  if (!armed_ || have_content_) return;
+  if (frame.payload.empty() || frame.psdu_bytes() != psdu_bytes_) return;
+  const int counter = frame.payload[0];
+  if (counter >= params_.max_slots) return;
+
+  // Resynchronize: the frame's header started exactly counter slots
+  // after the flood's slot 0.
+  slot0_ = info.sfd_time - slot_len_ * counter;
+  first_rx_slot_ = counter;
+  content_ = frame;
+  inner_ = inner_payload(frame);
+  have_content_ = true;
+  schedule_transmissions_from(counter + 1);
+}
+
+void GlossyNode::schedule_transmissions_from(int first_tx_slot) {
+  // Transmit in alternating slots (tx, rx, tx, ...) as in Glossy.
+  int scheduled = 0;
+  for (int slot = first_tx_slot;
+       slot < params_.max_slots && scheduled < params_.n_tx;
+       slot += 2, ++scheduled) {
+    const sim::TimePoint at = slot0_ + slot_len_ * slot;
+    if (at < sim_.now()) continue;  // late reception; skip past slots
+    const int s = slot;
+    pending_.push_back(sim_.schedule_at(at, [this, s]() {
+      transmit_in_slot(s);
+    }));
+  }
+}
+
+void GlossyNode::transmit_in_slot(int slot) {
+  if (!armed_ || !have_content_) return;
+  if (radio_.state() == net::Radio::State::kTx) return;  // defensive
+  net::Frame f = content_;
+  f.payload[0] = static_cast<std::uint8_t>(slot);
+  ++tx_done_;
+  radio_.transmit(std::move(f));
+}
+
+void GlossyNode::finish() {
+  assert(armed_);
+  for (sim::EventId id : pending_) sim_.cancel(id);
+  pending_.clear();
+  armed_ = false;
+
+  FloodResult result;
+  result.initiator = is_initiator_;
+  result.received = have_content_;
+  result.first_rx_slot = first_rx_slot_;
+  result.tx_count = tx_done_;
+  if (have_content_) {
+    result.payload = content_;
+    result.payload.payload[0] = 0;  // normalize the counter byte
+  }
+  have_content_ = false;
+
+  // Leave the radio listening; the layer above decides on duty cycling.
+  if (done_) {
+    CompleteFn done = std::move(done_);
+    done_ = nullptr;
+    done(result);
+  }
+}
+
+}  // namespace han::st

@@ -1,0 +1,119 @@
+// han::st — Glossy-style synchronous-transmission flood.
+//
+// One flood disseminates a single frame from an initiator to the whole
+// network. Time is divided into slots of fixed length (frame airtime +
+// a processing gap). The initiator transmits in slot 0; every node that
+// first receives the frame in slot s retransmits it in slots s+1, s+3,
+// ... up to n_tx transmissions. Because all nodes that received in the
+// same slot saw the *same* reception end instant, their relays start
+// within the constructive-interference window and combine at the next
+// hop (see net::Medium).
+//
+// The relay counter embedded in the frame equals the slot index of the
+// transmission, which lets receivers recover the flood's slot-0 time and
+// stay aligned — this is also how real Glossy implementations obtain
+// network-wide time synchronization.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "net/radio.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace han::st {
+
+/// Flood tuning parameters.
+struct FloodParams {
+  /// Transmissions per participating node (initiator included).
+  int n_tx = 3;
+  /// Flood length in slots; the flood ends unconditionally after this.
+  int max_slots = 16;
+  /// Software/turnaround gap between a slot's reception end and the
+  /// relay transmission (must exceed net::kTurnaround).
+  sim::Duration processing = sim::microseconds(200);
+
+  /// Slot length for a given PSDU size.
+  [[nodiscard]] sim::Duration slot_length(std::size_t psdu_bytes) const {
+    return net::frame_airtime(psdu_bytes) + processing;
+  }
+  /// Whole-flood duration for a given PSDU size.
+  [[nodiscard]] sim::Duration flood_length(std::size_t psdu_bytes) const {
+    return slot_length(psdu_bytes) * max_slots;
+  }
+};
+
+/// Per-node outcome of one flood.
+struct FloodResult {
+  bool initiator = false;
+  bool received = false;   // true for the initiator as well
+  int first_rx_slot = -1;  // slot of first reception (hop-distance proxy)
+  int tx_count = 0;
+  net::Frame payload;      // valid when received
+};
+
+/// Per-node flood state machine. A GlossyNode is re-armed for every
+/// flood (slot) it participates in; between floods it is idle and the
+/// radio can be turned off by the caller.
+class GlossyNode {
+ public:
+  using CompleteFn = std::function<void(const FloodResult&)>;
+
+  GlossyNode(sim::Simulator& sim, net::Radio& radio, FloodParams params);
+
+  GlossyNode(const GlossyNode&) = delete;
+  GlossyNode& operator=(const GlossyNode&) = delete;
+
+  /// Arms this node as the flood initiator. `slot0` is the absolute time
+  /// of the first transmission; the payload PSDU size defines the slot
+  /// length for the whole flood (all relays carry identical bytes).
+  void arm_initiator(sim::TimePoint slot0, net::Frame frame, CompleteFn done);
+
+  /// Arms this node as a receiver/relay. `psdu_bytes` must match the
+  /// initiator's frame size (TDMA slot plans fix the frame size).
+  void arm_receiver(sim::TimePoint slot0, std::size_t psdu_bytes,
+                    CompleteFn done);
+
+  /// Cancels a pending flood (result reported as not received).
+  void abort();
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] const FloodParams& params() const noexcept { return params_; }
+
+  /// Builds the on-air frame for a flood: [relay_counter u8][inner...].
+  [[nodiscard]] static net::Frame make_flood_frame(
+      net::FrameKind kind, net::NodeId source,
+      const std::vector<std::uint8_t>& inner);
+
+  /// Extracts the inner payload (drops the relay counter byte).
+  [[nodiscard]] static std::vector<std::uint8_t> inner_payload(
+      const net::Frame& frame);
+
+ private:
+  void on_rx(const net::Frame& frame, const net::RxInfo& info);
+  void schedule_transmissions_from(int first_tx_slot);
+  void transmit_in_slot(int slot);
+  void finish();
+
+  sim::Simulator& sim_;
+  net::Radio& radio_;
+  FloodParams params_;
+
+  bool armed_ = false;
+  bool is_initiator_ = false;
+  sim::TimePoint slot0_;       // local estimate of the flood start
+  std::size_t psdu_bytes_ = 0;
+  sim::Duration slot_len_{};
+  net::Frame content_;         // frame being flooded (without counter byte)
+  std::vector<std::uint8_t> inner_;
+  bool have_content_ = false;
+  int first_rx_slot_ = -1;
+  int tx_done_ = 0;
+  std::vector<sim::EventId> pending_;
+  sim::EventId end_event_{};
+  CompleteFn done_;
+};
+
+}  // namespace han::st

@@ -1,0 +1,217 @@
+#include "st/minicast.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace han::st {
+
+MiniCastEngine::MiniCastEngine(sim::Simulator& sim,
+                               std::vector<net::Radio*> radios,
+                               const MiniCastParams& params, sim::Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {
+  if (radios.empty()) {
+    throw std::invalid_argument("MiniCastEngine: no radios");
+  }
+  nodes_.reserve(radios.size());
+  for (std::size_t i = 0; i < radios.size(); ++i) {
+    assert(radios[i] != nullptr);
+    NodeState st(radios.size());
+    st.radio = radios[i];
+    st.glossy =
+        std::make_unique<GlossyNode>(sim_, *radios[i], params_.flood);
+    st.clock = DriftClock(
+        rng_.stream("drift", i).uniform(-params_.max_drift_ppm,
+                                        params_.max_drift_ppm));
+    nodes_.push_back(std::move(st));
+  }
+}
+
+sim::Duration MiniCastEngine::slot_duration() const {
+  return params_.flood.flood_length(chunk_psdu_bytes()) + params_.slot_guard;
+}
+
+sim::Duration MiniCastEngine::round_active_duration() const {
+  return slot_duration() * static_cast<sim::Ticks>(nodes_.size());
+}
+
+const RecordStore& MiniCastEngine::view_of(net::NodeId id) const {
+  return nodes_.at(id).store;
+}
+
+void MiniCastEngine::start(sim::TimePoint first_round_start) {
+  if (round_active_duration() + params_.slot_guard > params_.round_period) {
+    throw std::invalid_argument(
+        "MiniCastEngine: slots (" +
+        round_active_duration().to_string() +
+        ") do not fit into the round period (" +
+        params_.round_period.to_string() +
+        "); increase round_period or reduce max_slots");
+  }
+  running_ = true;
+  next_round_event_ =
+      sim_.schedule_at(first_round_start, [this]() { begin_round(); });
+}
+
+void MiniCastEngine::stop() {
+  running_ = false;
+  if (next_round_event_.valid()) {
+    sim_.cancel(next_round_event_);
+    next_round_event_ = sim::EventId{};
+  }
+}
+
+void MiniCastEngine::set_node_failed(net::NodeId id, bool failed) {
+  NodeState& st = nodes_.at(id);
+  st.failed = failed;
+  if (failed) {
+    if (st.glossy->armed()) st.glossy->abort();
+    if (st.radio->state() != net::Radio::State::kTx) st.radio->turn_off();
+  }
+}
+
+void MiniCastEngine::begin_round() {
+  if (!running_) return;
+  round_start_ = sim_.now();
+  current_ = RoundStats{};
+  current_.round = round_;
+
+  // Refresh every alive node's own record; version = round + 1 so that
+  // freshness checks are trivial and identical at all nodes.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& st = nodes_[i];
+    if (st.failed) continue;
+    Record own;
+    own.origin = static_cast<net::NodeId>(i);
+    own.version = static_cast<std::uint32_t>(round_ + 1);
+    if (refresh_) {
+      own.data = refresh_(static_cast<net::NodeId>(i), round_);
+    }
+    st.store.merge(own);
+  }
+
+  const sim::Duration slot_dur = slot_duration();
+  for (std::size_t s = 0; s < nodes_.size(); ++s) {
+    sim_.schedule_at(round_start_ + slot_dur * static_cast<sim::Ticks>(s),
+                     [this, s]() { begin_slot(s); });
+  }
+  // The guard margin keeps end_round strictly after the last flood's end
+  // event even under worst-case clock drift.
+  sim_.schedule_at(round_start_ + round_active_duration() + params_.slot_guard,
+                   [this]() { end_round(); });
+}
+
+void MiniCastEngine::begin_slot(std::size_t slot) {
+  // Global flood start for this slot; each node acts at its local
+  // perception of it (clock drift), and GlossyNode tolerates lateness.
+  const sim::TimePoint slot0 = sim_.now() + params_.slot_guard;
+  const net::NodeId initiator = static_cast<net::NodeId>(slot);
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& st = nodes_[i];
+    if (st.failed) continue;
+
+    sim::TimePoint local = st.clock.local_fire_time(slot0);
+    if (local < sim_.now()) local = sim_.now();
+    const net::NodeId id = static_cast<net::NodeId>(i);
+    const bool is_initiator = (id == initiator);
+
+    // The arm event is scheduled *after* any already-queued same-time
+    // events, so the previous slot's flood-end callback (which reports
+    // the result) always runs before we re-arm; abort() below only hits
+    // floods genuinely stuck past their window (extreme drift).
+    sim_.schedule_at(local, [this, id, is_initiator, local, slot]() {
+      NodeState& node = nodes_[id];
+      if (node.failed) return;
+      if (node.glossy->armed()) node.glossy->abort();
+      auto on_done = [this, id](const FloodResult& result) {
+        NodeState& n = nodes_[id];
+        if (result.received) {
+          ++n.floods_received;
+          ++current_.floods_received;
+          if (!result.initiator) {
+            for (const Record& rec :
+                 unpack_records(GlossyNode::inner_payload(result.payload))) {
+              if (rec.origin != net::kInvalidNode) n.store.merge(rec);
+            }
+            n.clock.resync(sim_.now());
+          }
+        } else {
+          ++n.floods_missed;
+          ++current_.floods_missed;
+        }
+        if (params_.sleep_between_rounds &&
+            n.radio->state() == net::Radio::State::kListen) {
+          n.radio->turn_off();
+        }
+      };
+
+      if (is_initiator) {
+        std::vector<Record> recs = node.store.select_for_broadcast(
+            id, records_per_frame(),
+            round_ * nodes_.size() + slot + 1);
+        std::vector<std::uint8_t> inner = pack_records(recs);
+        inner.resize(chunk_inner_bytes(), 0);
+        net::Frame frame = GlossyNode::make_flood_frame(
+            net::FrameKind::kMiniCastChunk, id, inner);
+        node.glossy->arm_initiator(local, std::move(frame),
+                                   std::move(on_done));
+      } else {
+        node.glossy->arm_receiver(local, chunk_psdu_bytes(),
+                                  std::move(on_done));
+      }
+    });
+  }
+}
+
+void MiniCastEngine::end_round() {
+  // Dissemination quality: a (holder, origin) pair is covered when the
+  // holder has the origin's *current* record version.
+  const std::uint32_t want = static_cast<std::uint32_t>(round_ + 1);
+  std::size_t alive = 0;
+  std::size_t covered = 0;
+  std::size_t pairs = 0;
+  for (const NodeState& st : nodes_) {
+    if (!st.failed) ++alive;
+  }
+  for (std::size_t holder = 0; holder < nodes_.size(); ++holder) {
+    const NodeState& hs = nodes_[holder];
+    if (hs.failed) continue;
+    std::size_t holder_covered = 0;
+    for (std::size_t origin = 0; origin < nodes_.size(); ++origin) {
+      if (nodes_[origin].failed || origin == holder) continue;
+      ++pairs;
+      const Record* rec = hs.store.find(static_cast<net::NodeId>(origin));
+      if (rec != nullptr && rec->version >= want) {
+        ++covered;
+        ++holder_covered;
+      }
+    }
+    if (alive > 0 && holder_covered == alive - 1) ++current_.complete_nodes;
+  }
+  current_.coverage =
+      pairs == 0 ? 1.0
+                 : static_cast<double>(covered) / static_cast<double>(pairs);
+
+  ++stats_.rounds;
+  stats_.coverage_sum += current_.coverage;
+  stats_.min_coverage = std::min(stats_.min_coverage, current_.coverage);
+  stats_.floods_received += current_.floods_received;
+  stats_.floods_missed += current_.floods_missed;
+  if (keep_history_) round_history_.push_back(current_);
+
+  if (round_complete_) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].failed) continue;
+      round_complete_(static_cast<net::NodeId>(i), round_, nodes_[i].store);
+    }
+  }
+
+  ++round_;
+  if (running_) {
+    next_round_event_ = sim_.schedule_at(round_start_ + params_.round_period,
+                                         [this]() { begin_round(); });
+  }
+}
+
+}  // namespace han::st

@@ -1,0 +1,165 @@
+// han::st — MiniCast: many-to-many data sharing over ST floods.
+//
+// Implements the Communication Plane of the paper: every round_period
+// (2 s by default) the network runs one MiniCast round — a TDMA sequence
+// of Glossy floods, one per node, where the slot-s initiator is node s.
+// Each flood carries an aggregated chunk of up to records_per_frame()
+// versioned records (its own plus the least-recently-rebroadcast ones it
+// knows), so after one round every node has the freshest record of every
+// other node with high probability, even across multiple hops.
+//
+// At the end of each round the engine hands every node its local view
+// (RecordStore) — the application (the load scheduler) runs on top of
+// exactly that, and nothing else: there is no central collection point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "st/flood.hpp"
+#include "st/record.hpp"
+#include "st/sync.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::st {
+
+/// MiniCast tuning parameters.
+struct MiniCastParams {
+  sim::Duration round_period = sim::seconds(2);
+  FloodParams flood{.n_tx = 3, .max_slots = 12,
+                    .processing = sim::microseconds(200)};
+  /// Gap between consecutive flood slots (radio turnaround + guard).
+  sim::Duration slot_guard = sim::milliseconds(2);
+  /// Magnitude bound of per-node crystal error; actual drift is drawn
+  /// uniformly from [-max_drift_ppm, +max_drift_ppm].
+  double max_drift_ppm = 40.0;
+  /// Radios sleep between a node's relevant slots when true (LPL-style
+  /// duty cycling of the CP itself).
+  bool sleep_between_rounds = true;
+};
+
+/// Per-round dissemination quality metrics.
+struct RoundStats {
+  std::uint64_t round = 0;
+  /// Fraction of (node, origin) pairs whose record is the current
+  /// version after the round; 1.0 = perfect all-to-all sharing.
+  double coverage = 0.0;
+  /// Number of nodes holding every node's current record.
+  std::size_t complete_nodes = 0;
+  std::uint64_t floods_received = 0;
+  std::uint64_t floods_missed = 0;
+};
+
+/// Cumulative engine statistics.
+struct MiniCastStats {
+  std::uint64_t rounds = 0;
+  double coverage_sum = 0.0;
+  double min_coverage = 1.0;
+  std::uint64_t floods_received = 0;
+  std::uint64_t floods_missed = 0;
+
+  [[nodiscard]] double mean_coverage() const noexcept {
+    return rounds == 0 ? 1.0 : coverage_sum / static_cast<double>(rounds);
+  }
+};
+
+/// Runs the CP for one deployment. Owns per-node protocol state; the
+/// radios (and below them the medium/channel) are owned by the caller.
+class MiniCastEngine {
+ public:
+  /// Refreshes node `id`'s own record content at the start of round
+  /// `round`. The engine assigns the version (the round number + 1).
+  using RefreshFn = std::function<std::array<std::uint8_t, kRecordBytes>(
+      net::NodeId id, std::uint64_t round)>;
+
+  /// Called per node when a round completes, with the node's own view.
+  using RoundCompleteFn = std::function<void(
+      net::NodeId id, std::uint64_t round, const RecordStore& view)>;
+
+  MiniCastEngine(sim::Simulator& sim, std::vector<net::Radio*> radios,
+                 const MiniCastParams& params, sim::Rng rng);
+
+  MiniCastEngine(const MiniCastEngine&) = delete;
+  MiniCastEngine& operator=(const MiniCastEngine&) = delete;
+
+  void set_refresh_handler(RefreshFn fn) { refresh_ = std::move(fn); }
+  void set_round_complete_handler(RoundCompleteFn fn) {
+    round_complete_ = std::move(fn);
+  }
+
+  /// Starts periodic rounds; the first begins at `first_round_start`.
+  void start(sim::TimePoint first_round_start);
+  /// Stops after the current round.
+  void stop();
+
+  /// Marks a node dead/alive (fault injection). Dead nodes neither
+  /// initiate nor relay; the network must route around them.
+  void set_node_failed(net::NodeId id, bool failed);
+
+  /// Duration of one full round of slots (must fit in round_period).
+  [[nodiscard]] sim::Duration round_active_duration() const;
+
+  [[nodiscard]] const MiniCastParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const RecordStore& view_of(net::NodeId id) const;
+  [[nodiscard]] const MiniCastStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<RoundStats>& round_history() const noexcept {
+    return round_history_;
+  }
+  /// Keep only aggregate stats, not per-round history (long runs).
+  void set_keep_history(bool keep) noexcept { keep_history_ = keep; }
+
+  /// Fixed on-air chunk payload size (records + count byte, padded).
+  [[nodiscard]] static constexpr std::size_t chunk_inner_bytes() noexcept {
+    return 1 + records_per_frame() * kRecordWireBytes;
+  }
+  /// PSDU of a chunk flood frame (inner + relay counter + MAC overhead).
+  [[nodiscard]] static constexpr std::size_t chunk_psdu_bytes() noexcept {
+    return chunk_inner_bytes() + 1 + 11;
+  }
+
+ private:
+  struct NodeState {
+    net::Radio* radio = nullptr;
+    std::unique_ptr<GlossyNode> glossy;
+    RecordStore store;
+    DriftClock clock;
+    bool failed = false;
+    std::uint64_t floods_received = 0;
+    std::uint64_t floods_missed = 0;
+
+    NodeState(std::size_t n) : store(n) {}
+  };
+
+  void begin_round();
+  void begin_slot(std::size_t slot);
+  void end_round();
+  [[nodiscard]] sim::Duration slot_duration() const;
+
+  sim::Simulator& sim_;
+  MiniCastParams params_;
+  sim::Rng rng_;
+  std::vector<NodeState> nodes_;
+  RefreshFn refresh_;
+  RoundCompleteFn round_complete_;
+  std::uint64_t round_ = 0;
+  sim::TimePoint round_start_;
+  sim::EventId next_round_event_{};
+  bool running_ = false;
+  bool keep_history_ = true;
+  MiniCastStats stats_;
+  std::vector<RoundStats> round_history_;
+  RoundStats current_;
+};
+
+}  // namespace han::st

@@ -1,0 +1,111 @@
+#include "st/record.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace han::st {
+
+void write_record(net::ByteWriter& w, const Record& rec) {
+  w.u16(rec.origin);
+  w.u32(rec.version);
+  for (std::uint8_t b : rec.data) w.u8(b);
+}
+
+Record read_record(net::ByteReader& r) {
+  Record rec;
+  rec.origin = r.u16();
+  rec.version = r.u32();
+  for (auto& b : rec.data) b = r.u8();
+  return rec;
+}
+
+RecordStore::RecordStore(std::size_t node_count) : records_(node_count) {}
+
+bool RecordStore::merge(const Record& rec) {
+  if (rec.origin >= records_.size()) return false;
+  Entry& e = records_[rec.origin];
+  if (e.valid && e.record.version >= rec.version) return false;
+  if (!e.valid) ++known_;
+  e.record = rec;
+  e.valid = true;
+  return true;
+}
+
+const Record* RecordStore::find(net::NodeId origin) const {
+  if (origin >= records_.size() || !records_[origin].valid) return nullptr;
+  return &records_[origin].record;
+}
+
+std::vector<Record> RecordStore::snapshot() const {
+  std::vector<Record> out;
+  out.reserve(known_);
+  for (const Entry& e : records_) {
+    if (e.valid) out.push_back(e.record);
+  }
+  return out;
+}
+
+std::vector<Record> RecordStore::select_for_broadcast(net::NodeId self,
+                                                      std::size_t max_count,
+                                                      std::uint64_t now_slot) {
+  std::vector<Record> out;
+  if (max_count == 0) return out;
+
+  if (const Record* own = find(self); own != nullptr) {
+    out.push_back(*own);
+    records_[self].last_broadcast = now_slot;
+  }
+
+  // Other origins, least recently broadcast first; origin id breaks ties
+  // deterministically.
+  std::vector<net::NodeId> order;
+  order.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].valid && i != self) {
+      order.push_back(static_cast<net::NodeId>(i));
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](net::NodeId a, net::NodeId b) {
+    const Entry& ea = records_[a];
+    const Entry& eb = records_[b];
+    if (ea.last_broadcast != eb.last_broadcast) {
+      return ea.last_broadcast < eb.last_broadcast;
+    }
+    return a < b;
+  });
+
+  for (net::NodeId id : order) {
+    if (out.size() >= max_count) break;
+    out.push_back(records_[id].record);
+    records_[id].last_broadcast = now_slot;
+  }
+  return out;
+}
+
+void RecordStore::clear() {
+  for (Entry& e : records_) e = Entry{};
+  known_ = 0;
+}
+
+std::vector<std::uint8_t> pack_records(const std::vector<Record>& records) {
+  assert(records.size() <= records_per_frame());
+  net::ByteWriter w(net::kMaxFrameBytes);
+  w.u8(static_cast<std::uint8_t>(records.size()));
+  for (const Record& r : records) write_record(w, r);
+  return std::move(w).take();
+}
+
+std::vector<Record> unpack_records(const std::vector<std::uint8_t>& payload) {
+  net::ByteReader r(payload);
+  const std::size_t count = r.u8();
+  if (count > records_per_frame()) {
+    throw std::invalid_argument("unpack_records: impossible record count");
+  }
+  std::vector<Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(read_record(r));
+  return out;
+}
+
+}  // namespace han::st

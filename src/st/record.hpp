@@ -1,0 +1,98 @@
+// han::st — versioned per-origin records shared by MiniCast.
+//
+// MiniCast disseminates one small, fixed-size record per node. Records
+// are opaque to the ST layer (the application packs appliance status
+// into them) and carry a monotonically increasing version so that stale
+// copies received via gossip never overwrite fresher ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+
+namespace han::st {
+
+/// Application payload bytes per record. 12 bytes carry the appliance
+/// status record incl. its published schedule slot (see
+/// core::StatusCodec) while letting six records fit into one frame.
+inline constexpr std::size_t kRecordBytes = 12;
+
+/// One shared record.
+struct Record {
+  net::NodeId origin = net::kInvalidNode;
+  std::uint32_t version = 0;
+  std::array<std::uint8_t, kRecordBytes> data{};
+
+  bool operator==(const Record&) const = default;
+};
+
+/// Serialized size of one record on the air.
+inline constexpr std::size_t kRecordWireBytes = 2 + 4 + kRecordBytes;
+
+/// Appends `rec` to `w`.
+void write_record(net::ByteWriter& w, const Record& rec);
+/// Reads one record from `r`.
+[[nodiscard]] Record read_record(net::ByteReader& r);
+
+/// Per-node table of the freshest known record from every origin.
+///
+/// Also tracks, per origin, when the local node last re-broadcast the
+/// record; MiniCast's aggregation policy uses this to pick which records
+/// to piggyback so that gossip coverage is uniform.
+class RecordStore {
+ public:
+  explicit RecordStore(std::size_t node_count);
+
+  /// Inserts/updates iff `rec.version` is newer than the stored copy.
+  /// Returns true when the table changed.
+  bool merge(const Record& rec);
+
+  /// Freshest known record from `origin`, if any.
+  [[nodiscard]] const Record* find(net::NodeId origin) const;
+
+  /// All known records, ordered by origin id (deterministic).
+  [[nodiscard]] std::vector<Record> snapshot() const;
+
+  /// Number of distinct origins known.
+  [[nodiscard]] std::size_t known_count() const noexcept { return known_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return records_.size();
+  }
+
+  /// Picks up to `max_count` records to piggyback on a transmission,
+  /// least-recently-broadcast first (always including `self` first if
+  /// known). `now_slot` is a monotonically increasing broadcast epoch.
+  [[nodiscard]] std::vector<Record> select_for_broadcast(
+      net::NodeId self, std::size_t max_count, std::uint64_t now_slot);
+
+  void clear();
+
+ private:
+  struct Entry {
+    Record record;
+    bool valid = false;
+    std::uint64_t last_broadcast = 0;
+  };
+  std::vector<Entry> records_;  // indexed by origin
+  std::size_t known_ = 0;
+};
+
+/// Packs `records` into a MiniCast chunk payload (count byte + records).
+[[nodiscard]] std::vector<std::uint8_t> pack_records(
+    const std::vector<Record>& records);
+
+/// Unpacks a MiniCast chunk payload. Throws on malformed input.
+[[nodiscard]] std::vector<Record> unpack_records(
+    const std::vector<std::uint8_t>& payload);
+
+/// Records that fit in one flood frame given the PSDU budget:
+/// 127 payload bytes - 1 relay counter - 1 count byte.
+[[nodiscard]] constexpr std::size_t records_per_frame() noexcept {
+  return (net::kMaxFrameBytes - 2) / kRecordWireBytes;
+}
+
+}  // namespace han::st

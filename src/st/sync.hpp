@@ -1,0 +1,59 @@
+// han::st — per-node clock drift model.
+//
+// TelosB-class nodes keep time with a 32 kHz crystal whose frequency
+// error is tens of ppm. Between CP rounds a node's notion of "round
+// start" therefore drifts away from the network's; receiving any flood
+// resynchronizes it (Glossy-style sync recovers slot 0 to sub-slot
+// accuracy from the relay counter). We model exactly that: a linear
+// offset that grows from the last resync and collapses on reception.
+#pragma once
+
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace han::st {
+
+/// Linear-drift clock with explicit resync points.
+class DriftClock {
+ public:
+  DriftClock() = default;
+  /// `drift_ppm` may be negative (slow crystal).
+  explicit DriftClock(double drift_ppm) : drift_ppm_(drift_ppm) {}
+
+  /// Offset of the local clock from global time at global instant `now`:
+  /// positive offset means the node acts late.
+  [[nodiscard]] sim::Duration offset(sim::TimePoint now) const {
+    const double elapsed_us =
+        static_cast<double>((now - last_sync_).us());
+    return sim::Duration{
+        residual_.us() +
+        static_cast<sim::Ticks>(std::llround(drift_ppm_ * 1e-6 * elapsed_us))};
+  }
+
+  /// Converts a global deadline into the instant at which this node will
+  /// actually act on it.
+  [[nodiscard]] sim::TimePoint local_fire_time(sim::TimePoint global) const {
+    return global + offset(global);
+  }
+
+  /// Records a resynchronization at global time `now` with the given
+  /// residual error (zero for ST slot-level sync).
+  void resync(sim::TimePoint now,
+              sim::Duration residual = sim::Duration::zero()) {
+    last_sync_ = now;
+    residual_ = residual;
+  }
+
+  [[nodiscard]] double drift_ppm() const noexcept { return drift_ppm_; }
+  [[nodiscard]] sim::TimePoint last_sync() const noexcept {
+    return last_sync_;
+  }
+
+ private:
+  double drift_ppm_ = 0.0;
+  sim::TimePoint last_sync_ = sim::TimePoint::epoch();
+  sim::Duration residual_ = sim::Duration::zero();
+};
+
+}  // namespace han::st

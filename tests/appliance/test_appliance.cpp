@@ -1,0 +1,145 @@
+// Type-1/Type-2 appliance models: demand lifecycle, relay accounting,
+// constraint auditing.
+#include <gtest/gtest.h>
+
+#include "appliance/appliance.hpp"
+
+namespace han::appliance {
+namespace {
+
+using sim::TimePoint;
+
+ApplianceInfo info(net::NodeId id = 0, double kw = 1.0) {
+  ApplianceInfo i;
+  i.id = id;
+  i.name = "test";
+  i.rated_kw = kw;
+  return i;
+}
+
+TimePoint at_min(sim::Ticks m) { return TimePoint::epoch() + sim::minutes(m); }
+
+TEST(Type2, StartsIdle) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  EXPECT_FALSE(a.active(TimePoint::epoch()));
+  EXPECT_FALSE(a.relay_on());
+  EXPECT_DOUBLE_EQ(a.load_kw(TimePoint::epoch()), 0.0);
+}
+
+TEST(Type2, DemandLifecycle) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  a.add_demand(at_min(10), sim::minutes(30));
+  EXPECT_TRUE(a.active(at_min(10)));
+  EXPECT_TRUE(a.active(at_min(39)));
+  EXPECT_FALSE(a.active(at_min(40)));
+  EXPECT_EQ(a.demand_since(), at_min(10));
+  EXPECT_EQ(a.requests_served(), 1u);
+}
+
+TEST(Type2, DemandSnapsToWholePeriods) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  a.add_demand(at_min(0), sim::minutes(20));  // snapped up to 30
+  EXPECT_EQ(a.demand_until(), at_min(30));
+  a.add_demand(at_min(10), sim::minutes(30));  // span 40 -> 2 periods
+  EXPECT_EQ(a.demand_until(), at_min(60));
+}
+
+TEST(Type2, ExtensionKeepsDemandSince) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  a.add_demand(at_min(0), sim::minutes(30));
+  a.add_demand(at_min(20), sim::minutes(30));
+  EXPECT_EQ(a.demand_since(), at_min(0));
+  EXPECT_EQ(a.requests_served(), 2u);
+}
+
+TEST(Type2, NewDemandAfterExpiryResets) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  a.add_demand(at_min(0), sim::minutes(30));
+  a.add_demand(at_min(50), sim::minutes(30));
+  EXPECT_EQ(a.demand_since(), at_min(50));
+  EXPECT_EQ(a.demand_until(), at_min(80));
+}
+
+TEST(Type2, RelayDrawsRatedPower) {
+  Type2Appliance a(info(0, 2.5), DutyCycleConstraints{});
+  a.add_demand(at_min(0), sim::minutes(30));
+  a.set_relay(true, at_min(1));
+  EXPECT_DOUBLE_EQ(a.load_kw(at_min(5)), 2.5);
+  a.set_relay(false, at_min(16));
+  EXPECT_DOUBLE_EQ(a.load_kw(at_min(17)), 0.0);
+}
+
+TEST(Type2, OnTimeAndEnergyAccounting) {
+  Type2Appliance a(info(0, 2.0), DutyCycleConstraints{});
+  a.add_demand(at_min(0), sim::minutes(60));
+  a.set_relay(true, at_min(0));
+  a.set_relay(false, at_min(15));
+  a.set_relay(true, at_min(30));
+  EXPECT_EQ(a.total_on_time(at_min(40)), sim::minutes(25));
+  EXPECT_NEAR(a.energy_kwh(at_min(40)), 2.0 * 25.0 / 60.0, 1e-9);
+  EXPECT_EQ(a.switch_count(), 3u);
+}
+
+TEST(Type2, MinDcdViolationAudited) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  a.add_demand(at_min(0), sim::minutes(30));
+  a.set_relay(true, at_min(0));
+  a.set_relay(false, at_min(5));  // 5 < 15 min
+  EXPECT_EQ(a.min_dcd_violations(), 1u);
+  a.set_relay(true, at_min(10));
+  a.set_relay(false, at_min(25));  // full burst: no new violation
+  EXPECT_EQ(a.min_dcd_violations(), 1u);
+}
+
+TEST(Type2, RedundantRelaySetIsNoop) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  a.set_relay(false, at_min(0));
+  EXPECT_EQ(a.switch_count(), 0u);
+  a.add_demand(at_min(0), sim::minutes(30));
+  a.set_relay(true, at_min(0));
+  a.set_relay(true, at_min(5));
+  EXPECT_EQ(a.switch_count(), 1u);
+}
+
+TEST(Type2, BurstPendingTracksDemand) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  EXPECT_FALSE(a.burst_pending(at_min(0)));  // idle
+  a.add_demand(at_min(0), sim::minutes(30));
+  EXPECT_TRUE(a.burst_pending(at_min(1)));
+  a.set_relay(true, at_min(5));
+  EXPECT_TRUE(a.burst_pending(at_min(10)));   // 5 of 15 min done
+  EXPECT_FALSE(a.burst_pending(at_min(20)));  // 15 min accumulated
+  a.set_relay(false, at_min(20));
+  EXPECT_FALSE(a.burst_pending(at_min(25)));
+}
+
+TEST(Type2, BurstPendingResetsWithNewDemand) {
+  Type2Appliance a(info(), DutyCycleConstraints{});
+  a.add_demand(at_min(0), sim::minutes(30));
+  a.set_relay(true, at_min(0));
+  a.set_relay(false, at_min(15));
+  EXPECT_FALSE(a.burst_pending(at_min(16)));
+  a.add_demand(at_min(40), sim::minutes(30));
+  EXPECT_TRUE(a.burst_pending(at_min(41)));
+}
+
+TEST(Type1, SessionLifecycle) {
+  Type1Appliance a(info(3, 0.1));
+  EXPECT_FALSE(a.running(at_min(0)));
+  a.start_session(at_min(5), sim::minutes(10));
+  EXPECT_TRUE(a.running(at_min(10)));
+  EXPECT_DOUBLE_EQ(a.load_kw(at_min(10)), 0.1);
+  EXPECT_FALSE(a.running(at_min(15)));
+  EXPECT_EQ(a.sessions(), 1u);
+}
+
+TEST(Type1, OverlappingSessionsExtend) {
+  Type1Appliance a(info());
+  a.start_session(at_min(0), sim::minutes(10));
+  a.start_session(at_min(5), sim::minutes(10));
+  EXPECT_TRUE(a.running(at_min(14)));
+  EXPECT_FALSE(a.running(at_min(15)));
+}
+
+}  // namespace
+}  // namespace han::appliance

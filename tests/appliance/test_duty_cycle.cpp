@@ -1,0 +1,54 @@
+// DutyCycleConstraints validation and derived quantities.
+#include <gtest/gtest.h>
+
+#include "appliance/duty_cycle.hpp"
+
+namespace han::appliance {
+namespace {
+
+TEST(DutyCycle, PaperDefaults) {
+  const DutyCycleConstraints c;
+  EXPECT_EQ(c.min_dcd(), sim::minutes(15));
+  EXPECT_EQ(c.max_dcp(), sim::minutes(30));
+  EXPECT_DOUBLE_EQ(c.duty_factor(), 0.5);
+  EXPECT_EQ(c.serial_slots(), 2);
+}
+
+TEST(DutyCycle, RejectsInvalid) {
+  EXPECT_THROW(DutyCycleConstraints(sim::minutes(0), sim::minutes(30)),
+               std::invalid_argument);
+  EXPECT_THROW(DutyCycleConstraints(sim::minutes(-5), sim::minutes(30)),
+               std::invalid_argument);
+  EXPECT_THROW(DutyCycleConstraints(sim::minutes(31), sim::minutes(30)),
+               std::invalid_argument);
+}
+
+TEST(DutyCycle, EqualDurationsAllowed) {
+  // minDCD == maxDCP: device runs continuously while active.
+  const DutyCycleConstraints c(sim::minutes(10), sim::minutes(10));
+  EXPECT_DOUBLE_EQ(c.duty_factor(), 1.0);
+  EXPECT_EQ(c.serial_slots(), 1);
+}
+
+class DutyFactorSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DutyFactorSweep, FactorAndSlotsConsistent) {
+  const auto [dcd_min, dcp_min] = GetParam();
+  const DutyCycleConstraints c(sim::minutes(dcd_min), sim::minutes(dcp_min));
+  EXPECT_NEAR(c.duty_factor(),
+              static_cast<double>(dcd_min) / dcp_min, 1e-12);
+  EXPECT_EQ(c.serial_slots(), dcp_min / dcd_min);
+  EXPECT_GE(c.serial_slots(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, DutyFactorSweep,
+                         ::testing::Values(std::pair{15, 30},
+                                           std::pair{10, 30},
+                                           std::pair{5, 60},
+                                           std::pair{15, 45},
+                                           std::pair{20, 30},
+                                           std::pair{30, 30}));
+
+}  // namespace
+}  // namespace han::appliance

@@ -1,0 +1,126 @@
+// First-order thermal model: dynamics, equilibria, derived constraints.
+#include <gtest/gtest.h>
+
+#include "appliance/thermal.hpp"
+
+namespace han::appliance {
+namespace {
+
+ThermalParams cooling_room() {
+  ThermalParams p;
+  p.capacitance_kwh_per_deg = 0.8;
+  p.resistance_deg_per_kw = 8.0;
+  p.outdoor_deg = 40.0;
+  p.unit_kw = -3.0;
+  p.band_low_deg = 22.0;
+  p.band_high_deg = 26.0;
+  return p;
+}
+
+TEST(Thermal, EquilibriumValues) {
+  const ThermalZone z(cooling_room(), 25.0);
+  EXPECT_DOUBLE_EQ(z.equilibrium(false), 40.0);
+  EXPECT_DOUBLE_EQ(z.equilibrium(true), 40.0 - 24.0);  // 16 C
+}
+
+TEST(Thermal, DriftsTowardOutdoorWhenOff) {
+  ThermalZone z(cooling_room(), 25.0);
+  z.advance(sim::minutes(30), false);
+  EXPECT_GT(z.temperature(), 25.0);
+  EXPECT_LT(z.temperature(), 40.0);
+}
+
+TEST(Thermal, CoolsWhenOn) {
+  ThermalZone z(cooling_room(), 26.0);
+  z.advance(sim::minutes(30), true);
+  EXPECT_LT(z.temperature(), 26.0);
+  EXPECT_GT(z.temperature(), 16.0);
+}
+
+TEST(Thermal, ConvergesToEquilibrium) {
+  ThermalZone z(cooling_room(), 26.0);
+  z.advance(sim::hours(100), true);
+  EXPECT_NEAR(z.temperature(), 16.0, 0.01);
+}
+
+TEST(Thermal, AdvanceIsComposable) {
+  // advance(a+b) == advance(a); advance(b) — closed-form exactness.
+  ThermalZone z1(cooling_room(), 26.0);
+  ThermalZone z2(cooling_room(), 26.0);
+  z1.advance(sim::minutes(40), true);
+  z2.advance(sim::minutes(15), true);
+  z2.advance(sim::minutes(25), true);
+  EXPECT_NEAR(z1.temperature(), z2.temperature(), 1e-9);
+}
+
+TEST(Thermal, TimeToReachInvertsAdvance) {
+  const ThermalZone z(cooling_room(), 26.0);
+  const auto t = z.time_to_reach(26.0, 22.0, true);
+  ASSERT_TRUE(t.has_value());
+  ThermalZone sim_z(cooling_room(), 26.0);
+  sim_z.advance(*t, true);
+  EXPECT_NEAR(sim_z.temperature(), 22.0, 0.01);
+}
+
+TEST(Thermal, UnreachableTargetDetected) {
+  const ThermalZone z(cooling_room(), 26.0);
+  // Cooling equilibrium is 16 C: 10 C is unreachable.
+  EXPECT_FALSE(z.time_to_reach(26.0, 10.0, true).has_value());
+  // Warming up while cooling is on: wrong direction.
+  EXPECT_FALSE(z.time_to_reach(22.0, 30.0, true).has_value());
+}
+
+TEST(Thermal, DerivedConstraintsKeepBand) {
+  const ThermalZone z(cooling_room(), 26.0);
+  const auto c = z.derive_constraints();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GT(c->min_dcd(), sim::Duration::zero());
+  EXPECT_GT(c->max_dcp(), c->min_dcd());
+
+  // Simulate one derived duty cycle: the zone must stay in the band.
+  ThermalZone run(cooling_room(), 26.0);
+  run.advance(c->min_dcd(), true);
+  EXPECT_NEAR(run.temperature(), 22.0, 0.05);
+  run.advance(c->max_dcp() - c->min_dcd(), false);
+  EXPECT_NEAR(run.temperature(), 26.0, 0.05);
+}
+
+TEST(Thermal, HotterOutdoorsRaisesDutyFactor) {
+  // The paper's §II point: constraints are dynamic in the environment.
+  // Hotter outdoors => the zone drifts back through the band faster and
+  // the unit needs longer to cool, so the duty factor rises.
+  ThermalParams mild = cooling_room();
+  mild.outdoor_deg = 32.0;
+  ThermalParams hot = cooling_room();
+  hot.outdoor_deg = 44.0;
+  const auto c_mild = ThermalZone(mild, 26.0).derive_constraints();
+  const auto c_hot = ThermalZone(hot, 26.0).derive_constraints();
+  ASSERT_TRUE(c_mild && c_hot);
+  EXPECT_GT(c_hot->duty_factor(), c_mild->duty_factor());
+  // And the OFF-drift portion alone must shrink.
+  EXPECT_LT(c_hot->max_dcp() - c_hot->min_dcd(),
+            c_mild->max_dcp() - c_mild->min_dcd());
+}
+
+TEST(Thermal, UndersizedUnitYieldsNoConstraints) {
+  ThermalParams weak = cooling_room();
+  weak.unit_kw = -1.0;  // equilibrium 32 C > band
+  const auto c = ThermalZone(weak, 26.0).derive_constraints();
+  EXPECT_FALSE(c.has_value());
+}
+
+TEST(Thermal, HeatingModeWorks) {
+  ThermalParams heater;
+  heater.outdoor_deg = 0.0;
+  heater.unit_kw = 3.0;
+  heater.band_low_deg = 18.0;
+  heater.band_high_deg = 22.0;
+  const auto c = ThermalZone(heater, 18.0).derive_constraints();
+  ASSERT_TRUE(c.has_value());
+  ThermalZone run(heater, 18.0);
+  run.advance(c->min_dcd(), true);
+  EXPECT_NEAR(run.temperature(), 22.0, 0.05);
+}
+
+}  // namespace
+}  // namespace han::appliance

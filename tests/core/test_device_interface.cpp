@@ -1,0 +1,149 @@
+// DeviceInterface: plan actuation, latching, gates, slot-claim lifecycle.
+#include <gtest/gtest.h>
+
+#include "core/device_interface.hpp"
+#include "sched/coordinated.hpp"
+#include "sched/uncoordinated.hpp"
+
+namespace han::core {
+namespace {
+
+using appliance::ApplianceInfo;
+using appliance::DutyCycleConstraints;
+using appliance::Type2Appliance;
+using sched::DeviceStatus;
+using sched::GlobalView;
+
+struct DiRig {
+  explicit DiRig(const sched::Scheduler& policy, net::NodeId id = 0)
+      : di(sim, make_appliance(id), policy) {}
+
+  static Type2Appliance make_appliance(net::NodeId id) {
+    ApplianceInfo info;
+    info.id = id;
+    info.rated_kw = 1.0;
+    return Type2Appliance(info, DutyCycleConstraints{});
+  }
+
+  /// Runs EP rounds every 2 s until `until_min`, feeding the DI a view
+  /// of just itself (single-device system).
+  void run_rounds_until(sim::Ticks until_min) {
+    while (sim.now() < sim::TimePoint::epoch() + sim::minutes(until_min)) {
+      sim.run_until(sim.now() + sim::seconds(2));
+      GlobalView v;
+      v.now = sim.now();
+      v.devices = {di.own_status()};
+      di.on_round_complete(v, true);
+    }
+  }
+
+  sim::Simulator sim;
+  DeviceInterface di;
+};
+
+TEST(DeviceInterface, IdleDeviceNeverSwitches) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy);
+  rig.run_rounds_until(60);
+  EXPECT_EQ(rig.di.appliance().switch_count(), 0u);
+  EXPECT_FALSE(rig.di.appliance().relay_on());
+}
+
+TEST(DeviceInterface, CoordinatedServesOneBurstPerRequest) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy);
+  rig.sim.schedule_at(sim::TimePoint::epoch() + sim::minutes(3),
+                      [&] { rig.di.add_demand(sim::minutes(30)); });
+  rig.run_rounds_until(60);
+  EXPECT_NEAR(rig.di.appliance().total_on_time(rig.sim.now()).minutes_f(),
+              15.0, 0.5);
+  EXPECT_EQ(rig.di.appliance().min_dcd_violations(), 0u);
+  EXPECT_EQ(rig.di.stats().service_gap_violations, 0u);
+}
+
+TEST(DeviceInterface, UncoordinatedServesImmediately) {
+  sched::UncoordinatedScheduler policy;
+  DiRig rig(policy);
+  rig.sim.schedule_at(sim::TimePoint::epoch() + sim::minutes(3),
+                      [&] { rig.di.add_demand(sim::minutes(30)); });
+  rig.run_rounds_until(40);
+  // Free-running: ON within one round of the request.
+  EXPECT_NEAR(rig.di.appliance().total_on_time(rig.sim.now()).minutes_f(),
+              15.0, 0.5);
+}
+
+TEST(DeviceInterface, SlotClaimLifecycle) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy);
+  EXPECT_EQ(rig.di.claimed_slot(), sched::kNoSlot);
+  rig.sim.schedule_at(sim::TimePoint::epoch() + sim::minutes(1),
+                      [&] { rig.di.add_demand(sim::minutes(30)); });
+  rig.run_rounds_until(5);
+  EXPECT_NE(rig.di.claimed_slot(), sched::kNoSlot);
+  rig.run_rounds_until(45);  // demand (snapped to [1, 31)) long expired
+  EXPECT_EQ(rig.di.claimed_slot(), sched::kNoSlot);
+}
+
+TEST(DeviceInterface, MinDcdLatchPreventsShortBurst) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy);
+  // Demand expires sooner than the burst can complete: the latch must
+  // keep the relay closed for the full minDCD anyway.
+  rig.sim.schedule_at(sim::TimePoint::epoch() + sim::minutes(1),
+                      [&] { rig.di.add_demand(sim::minutes(30)); });
+  rig.run_rounds_until(90);
+  EXPECT_EQ(rig.di.appliance().min_dcd_violations(), 0u);
+  EXPECT_GE(rig.di.stats().latch_saves, 0u);
+}
+
+TEST(DeviceInterface, OwnStatusReflectsAppliance) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy, 9);
+  const DeviceStatus s0 = rig.di.own_status();
+  EXPECT_EQ(s0.id, 9);
+  EXPECT_FALSE(s0.has_demand);
+  rig.di.add_demand(sim::minutes(30));
+  const DeviceStatus s1 = rig.di.own_status();
+  EXPECT_TRUE(s1.has_demand);
+  EXPECT_TRUE(s1.burst_pending);
+  EXPECT_EQ(s1.min_dcd, sim::minutes(15));
+}
+
+TEST(DeviceInterface, HoldsStateWhenOwnRecordMissing) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy);
+  rig.di.add_demand(sim::minutes(30));
+  GlobalView empty;
+  empty.now = rig.sim.now();
+  rig.di.on_round_complete(empty, false);
+  EXPECT_EQ(rig.di.stats().stale_view_rounds, 1u);
+}
+
+TEST(DeviceInterface, TwoBackToBackDemandsBothServed) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy);
+  rig.sim.schedule_at(sim::TimePoint::epoch() + sim::minutes(2),
+                      [&] { rig.di.add_demand(sim::minutes(30)); });
+  rig.sim.schedule_at(sim::TimePoint::epoch() + sim::minutes(34),
+                      [&] { rig.di.add_demand(sim::minutes(30)); });
+  rig.run_rounds_until(120);
+  EXPECT_NEAR(rig.di.appliance().total_on_time(rig.sim.now()).minutes_f(),
+              30.0, 1.0);
+  EXPECT_EQ(rig.di.stats().service_gap_violations, 0u);
+}
+
+TEST(DeviceInterface, LongDemandGetsBurstEveryPeriod) {
+  sched::CoordinatedScheduler policy;
+  DiRig rig(policy);
+  rig.sim.schedule_at(sim::TimePoint::epoch() + sim::minutes(2),
+                      [&] { rig.di.add_demand(sim::minutes(90)); });
+  rig.run_rounds_until(150);
+  // 90 min demand = 3 periods = 3 bursts of 15 min.
+  EXPECT_NEAR(rig.di.appliance().total_on_time(rig.sim.now()).minutes_f(),
+              45.0, 1.5);
+  EXPECT_EQ(rig.di.stats().service_gap_violations, 0u);
+  EXPECT_EQ(rig.di.appliance().min_dcd_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace han::core

@@ -1,0 +1,144 @@
+// HanNetwork assembly: topologies, config validation, request routing,
+// abstract CP behaviour, Type-1 integration.
+#include <gtest/gtest.h>
+
+#include "core/han_network.hpp"
+
+namespace han::core {
+namespace {
+
+HanConfig abstract_config(std::size_t n = 6,
+                          SchedulerKind k = SchedulerKind::kCoordinated) {
+  HanConfig c;
+  c.device_count = n;
+  c.topology_kind = TopologyKind::kLine;
+  c.fidelity = CpFidelity::kAbstract;
+  c.scheduler = k;
+  return c;
+}
+
+TEST(HanNetwork, RejectsBadConfigs) {
+  sim::Simulator sim;
+  HanConfig c;
+  c.device_count = 0;
+  EXPECT_THROW(HanNetwork(sim, c), std::invalid_argument);
+
+  HanConfig c2;
+  c2.device_count = 10;
+  c2.topology_kind = TopologyKind::kFlockLab26;  // needs exactly 26
+  EXPECT_THROW(HanNetwork(sim, c2), std::invalid_argument);
+
+  HanConfig c3;
+  c3.topology_kind = TopologyKind::kCustom;  // missing custom topology
+  EXPECT_THROW(HanNetwork(sim, c3), std::invalid_argument);
+}
+
+TEST(HanNetwork, CustomTopologyAccepted) {
+  sim::Simulator sim;
+  HanConfig c = abstract_config(3);
+  c.topology_kind = TopologyKind::kCustom;
+  c.custom_topology = net::Topology::line(3, 7.0);
+  HanNetwork net(sim, c);
+  EXPECT_DOUBLE_EQ(net.topology().distance_between(0, 2), 14.0);
+}
+
+TEST(HanNetwork, MakeTopologyShapes) {
+  sim::Rng rng(1);
+  EXPECT_EQ(make_topology(TopologyKind::kFlockLab26, 26, rng).size(), 26u);
+  EXPECT_EQ(make_topology(TopologyKind::kGrid, 7, rng).size(), 7u);
+  EXPECT_EQ(make_topology(TopologyKind::kLine, 5, rng).size(), 5u);
+  EXPECT_EQ(make_topology(TopologyKind::kRing, 9, rng).size(), 9u);
+  EXPECT_EQ(make_topology(TopologyKind::kRandom, 11, rng).size(), 11u);
+}
+
+TEST(HanNetwork, RequestRoutingToDevice) {
+  sim::Simulator sim;
+  HanNetwork net(sim, abstract_config());
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  appliance::Request r;
+  r.at = sim::TimePoint::epoch() + sim::minutes(1);
+  r.device = 3;
+  r.service = sim::minutes(30);
+  net.inject_request(r);
+  sim.run_until(sim::TimePoint::epoch() + sim::minutes(2));
+  EXPECT_TRUE(net.di(3).appliance().active(sim.now()));
+  EXPECT_FALSE(net.di(2).appliance().active(sim.now()));
+  EXPECT_EQ(net.stats().requests_injected, 1u);
+}
+
+TEST(HanNetwork, RejectsUnknownDevice) {
+  sim::Simulator sim;
+  HanNetwork net(sim, abstract_config(4));
+  appliance::Request r;
+  r.device = 99;
+  EXPECT_THROW(net.inject_request(r), std::out_of_range);
+}
+
+TEST(HanNetwork, AbstractCpDeliversViews) {
+  sim::Simulator sim;
+  HanConfig c = abstract_config(5);
+  c.abstract_reliability = 1.0;
+  HanNetwork net(sim, c);
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  sim.run_until(sim::TimePoint::epoch() + sim::seconds(10));
+  EXPECT_DOUBLE_EQ(net.stats().cp_mean_coverage, 1.0);
+}
+
+TEST(HanNetwork, AbstractCpLossyCoverage) {
+  sim::Simulator sim;
+  HanConfig c = abstract_config(5);
+  c.abstract_reliability = 0.5;
+  HanNetwork net(sim, c);
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  sim.run_until(sim::TimePoint::epoch() + sim::seconds(30));
+  EXPECT_NEAR(net.stats().cp_mean_coverage, 0.5, 0.15);
+}
+
+TEST(HanNetwork, TotalLoadSumsType2AndType1) {
+  sim::Simulator sim;
+  HanNetwork net(sim, abstract_config(4));
+  appliance::ApplianceInfo tv;
+  tv.name = "tv";
+  tv.rated_kw = 0.2;
+  const std::size_t idx = net.add_type1(tv);
+  net.inject_type1_session(sim::TimePoint::epoch() + sim::minutes(1), idx,
+                           sim::minutes(60));
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  appliance::Request r;
+  r.at = sim::TimePoint::epoch() + sim::minutes(1);
+  r.device = 0;
+  r.service = sim::minutes(30);
+  net.inject_request(r);
+  sim.run_until(sim::TimePoint::epoch() + sim::minutes(20));
+  // Type-1 contributes 0.2 kW; the Type-2 device may or may not be in
+  // its window right now, so load is 0.2 or 1.2.
+  const double load = net.total_load_kw();
+  EXPECT_TRUE(load == 0.2 || load == 1.2) << load;
+}
+
+TEST(HanNetwork, PacketLevelBootsAndExchanges) {
+  sim::Simulator sim;
+  HanConfig c;
+  c.device_count = 4;
+  c.topology_kind = TopologyKind::kLine;
+  c.fidelity = CpFidelity::kPacketLevel;
+  c.channel.shadowing_sigma_db = 0.0;
+  HanNetwork net(sim, c);
+  ASSERT_NE(net.minicast(), nullptr);
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  sim.run_until(sim::TimePoint::epoch() + sim::seconds(7));
+  EXPECT_GE(net.minicast()->stats().rounds, 3u);
+  EXPECT_GE(net.minicast()->stats().mean_coverage(), 0.99);
+}
+
+TEST(HanNetwork, SchedulerKindSelectsPolicy) {
+  sim::Simulator sim;
+  HanNetwork a(sim, abstract_config(3, SchedulerKind::kCoordinated));
+  HanNetwork b(sim, abstract_config(3, SchedulerKind::kUncoordinated));
+  EXPECT_EQ(a.scheduler().name(), "coordinated");
+  EXPECT_EQ(b.scheduler().name(), "uncoordinated");
+  EXPECT_EQ(to_string(SchedulerKind::kCoordinated), "coordinated");
+}
+
+}  // namespace
+}  // namespace han::core

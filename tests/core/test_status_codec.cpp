@@ -1,0 +1,90 @@
+// Status codec: round-trip property over the encodable domain, clamping.
+#include <gtest/gtest.h>
+
+#include "core/status_codec.hpp"
+#include "sim/random.hpp"
+
+namespace han::core {
+namespace {
+
+using sched::DeviceStatus;
+
+TEST(StatusCodec, RoundTripsTypicalStatus) {
+  DeviceStatus s;
+  s.id = 7;
+  s.has_demand = true;
+  s.relay_on = true;
+  s.burst_pending = true;
+  s.demand_since = sim::TimePoint::epoch() + sim::minutes(123);
+  s.demand_until = sim::TimePoint::epoch() + sim::minutes(153);
+  s.min_dcd = sim::minutes(15);
+  s.max_dcp = sim::minutes(30);
+  s.rated_kw = 1.0;
+  s.slot = 1;
+  ASSERT_TRUE(is_encodable(s));
+  EXPECT_EQ(decode_status(7, encode_status(s)), s);
+}
+
+TEST(StatusCodec, RoundTripsIdleStatus) {
+  DeviceStatus s;
+  s.id = 3;
+  ASSERT_TRUE(is_encodable(s));
+  EXPECT_EQ(decode_status(3, encode_status(s)), s);
+}
+
+TEST(StatusCodec, NoSlotSurvives) {
+  DeviceStatus s;
+  s.id = 1;
+  s.slot = sched::kNoSlot;
+  const DeviceStatus d = decode_status(1, encode_status(s));
+  EXPECT_FALSE(d.slot_assigned());
+}
+
+TEST(StatusCodec, ClampsOutOfRange) {
+  DeviceStatus s;
+  s.id = 1;
+  s.rated_kw = 99.0;  // 990 tenths > 255
+  s.min_dcd = sim::minutes(500);
+  s.max_dcp = sim::minutes(500);
+  EXPECT_FALSE(is_encodable(s));
+  const DeviceStatus d = decode_status(1, encode_status(s));
+  EXPECT_DOUBLE_EQ(d.rated_kw, 25.5);
+  EXPECT_EQ(d.min_dcd, sim::minutes(255));
+}
+
+TEST(StatusCodec, SubSecondTimesNotEncodable) {
+  DeviceStatus s;
+  s.demand_since = sim::TimePoint{1'500'000};  // 1.5 s
+  EXPECT_FALSE(is_encodable(s));
+}
+
+// Property: encode/decode is the identity on the encodable domain.
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomRoundTrips) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    DeviceStatus s;
+    s.id = static_cast<net::NodeId>(rng.uniform_int(0, 200));
+    s.has_demand = rng.bernoulli(0.7);
+    s.relay_on = rng.bernoulli(0.4);
+    s.burst_pending = rng.bernoulli(0.5);
+    s.demand_since = sim::TimePoint::epoch() +
+                     sim::seconds(rng.uniform_int(0, 0xFFFFFF));
+    s.demand_until = sim::TimePoint::epoch() +
+                     sim::seconds(rng.uniform_int(0, 0xFFFFFF));
+    const auto dcd = rng.uniform_int(1, 120);
+    s.min_dcd = sim::minutes(dcd);
+    s.max_dcp = sim::minutes(rng.uniform_int(dcd, 255));
+    s.rated_kw = static_cast<double>(rng.uniform_int(0, 255)) / 10.0;
+    s.slot = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    ASSERT_TRUE(is_encodable(s));
+    const DeviceStatus d = decode_status(s.id, encode_status(s));
+    EXPECT_EQ(d, s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace han::core

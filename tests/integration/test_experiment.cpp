@@ -1,0 +1,138 @@
+// End-to-end experiment runs (abstract CP for speed) asserting the
+// paper's headline properties hold in-system, plus determinism and the
+// audit invariants.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace han::core {
+namespace {
+
+using appliance::ArrivalScenario;
+
+ExperimentConfig fast_config(ArrivalScenario scenario, SchedulerKind k,
+                             std::uint64_t seed = 1) {
+  ExperimentConfig cfg = paper_config(scenario, k, seed);
+  cfg.han.fidelity = CpFidelity::kAbstract;
+  return cfg;
+}
+
+TEST(Experiment, DeterministicPerSeed) {
+  const auto a =
+      run_experiment(fast_config(ArrivalScenario::kHigh,
+                                 SchedulerKind::kCoordinated, 5));
+  const auto b =
+      run_experiment(fast_config(ArrivalScenario::kHigh,
+                                 SchedulerKind::kCoordinated, 5));
+  EXPECT_EQ(a.load.values(), b.load.values());
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(Experiment, SeedsProduceDifferentTraces) {
+  const auto a =
+      run_experiment(fast_config(ArrivalScenario::kHigh,
+                                 SchedulerKind::kCoordinated, 1));
+  const auto b =
+      run_experiment(fast_config(ArrivalScenario::kHigh,
+                                 SchedulerKind::kCoordinated, 2));
+  EXPECT_NE(a.load.values(), b.load.values());
+}
+
+TEST(Experiment, CoordinationReducesPeakAtHighRate) {
+  const auto un = run_experiment(
+      fast_config(ArrivalScenario::kHigh, SchedulerKind::kUncoordinated));
+  const auto co = run_experiment(
+      fast_config(ArrivalScenario::kHigh, SchedulerKind::kCoordinated));
+  EXPECT_LT(co.peak_kw, un.peak_kw);
+  EXPECT_LE(co.peak_kw, un.peak_kw * 0.8) << "expect >=20% peak reduction";
+}
+
+TEST(Experiment, CoordinationReducesVariability) {
+  const auto un = run_experiment(
+      fast_config(ArrivalScenario::kHigh, SchedulerKind::kUncoordinated));
+  const auto co = run_experiment(
+      fast_config(ArrivalScenario::kHigh, SchedulerKind::kCoordinated));
+  EXPECT_LT(co.std_kw, un.std_kw);
+}
+
+TEST(Experiment, AverageLoadApproximatelyPreserved) {
+  const auto un = run_experiment(
+      fast_config(ArrivalScenario::kHigh, SchedulerKind::kUncoordinated));
+  const auto co = run_experiment(
+      fast_config(ArrivalScenario::kHigh, SchedulerKind::kCoordinated));
+  // Coordination shifts bursts by up to maxDCP; with a finite sampling
+  // window the means match within ~10%.
+  EXPECT_NEAR(co.mean_kw, un.mean_kw, un.mean_kw * 0.10);
+}
+
+TEST(Experiment, NoConstraintViolationsEitherStrategy) {
+  for (SchedulerKind k :
+       {SchedulerKind::kCoordinated, SchedulerKind::kUncoordinated}) {
+    const auto r = run_experiment(fast_config(ArrivalScenario::kHigh, k));
+    EXPECT_EQ(r.network.min_dcd_violations, 0u) << to_string(k);
+    EXPECT_EQ(r.network.service_gap_violations, 0u) << to_string(k);
+  }
+}
+
+class ScenarioSweep : public ::testing::TestWithParam<ArrivalScenario> {};
+
+TEST_P(ScenarioSweep, MeanLoadTracksLittleLaw) {
+  // Expected average load = rate x minDCD x 1 kW (one burst/request),
+  // modulo request merging and edge effects.
+  const auto r = run_experiment(
+      fast_config(GetParam(), SchedulerKind::kUncoordinated));
+  const double expected =
+      appliance::scenario_rate_per_hour(GetParam()) * 0.25;
+  // Poisson arrival-count noise dominates at the low rate (~23 expected
+  // arrivals over the horizon), hence the generous band.
+  EXPECT_GT(r.mean_kw, expected * 0.55);
+  EXPECT_LT(r.mean_kw, expected * 1.45);
+}
+
+TEST_P(ScenarioSweep, PeakAtLeastMean) {
+  for (SchedulerKind k :
+       {SchedulerKind::kCoordinated, SchedulerKind::kUncoordinated}) {
+    const auto r = run_experiment(fast_config(GetParam(), k));
+    EXPECT_GE(r.peak_kw, r.mean_kw);
+    EXPECT_LE(r.peak_kw, 26.0);  // physical bound: 26 x 1 kW
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ScenarioSweep,
+                         ::testing::Values(ArrivalScenario::kLow,
+                                           ArrivalScenario::kModerate,
+                                           ArrivalScenario::kHigh));
+
+TEST(Experiment, ReplicatedAggregatesSeeds) {
+  ExperimentConfig cfg =
+      fast_config(ArrivalScenario::kModerate, SchedulerKind::kCoordinated);
+  cfg.workload.horizon = sim::minutes(120);
+  const ReplicatedResult rep = run_replicated(cfg, 3);
+  EXPECT_EQ(rep.peak_kw.count(), 3u);
+  EXPECT_GT(rep.peak_kw.mean(), 0.0);
+  EXPECT_GT(rep.total_requests, 0u);
+}
+
+TEST(Experiment, PaperConfigMatchesPaperSetup) {
+  const ExperimentConfig cfg =
+      paper_config(ArrivalScenario::kHigh, SchedulerKind::kCoordinated);
+  EXPECT_EQ(cfg.han.device_count, 26u);
+  EXPECT_EQ(cfg.han.topology_kind, TopologyKind::kFlockLab26);
+  EXPECT_EQ(cfg.han.constraints.min_dcd(), sim::minutes(15));
+  EXPECT_EQ(cfg.han.constraints.max_dcp(), sim::minutes(30));
+  EXPECT_EQ(cfg.han.minicast.round_period, sim::seconds(2));
+  EXPECT_EQ(cfg.workload.horizon, sim::minutes(350));
+  EXPECT_DOUBLE_EQ(cfg.workload.rate_per_hour, 30.0);
+}
+
+TEST(Experiment, LoadSampledEveryMinute) {
+  auto cfg = fast_config(ArrivalScenario::kLow, SchedulerKind::kCoordinated);
+  cfg.workload.horizon = sim::minutes(60);
+  const auto r = run_experiment(cfg);
+  // Sampling starts at cp_boot (4 s) and runs to the horizon.
+  EXPECT_NEAR(static_cast<double>(r.load.size()), 60.0, 2.0);
+  EXPECT_EQ(r.load.interval(), sim::minutes(1));
+}
+
+}  // namespace
+}  // namespace han::core

@@ -1,0 +1,96 @@
+// TimeSeries, LoadMonitor, CSV/TextTable rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/csv.hpp"
+#include "metrics/load_monitor.hpp"
+#include "metrics/timeseries.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::metrics {
+namespace {
+
+TEST(TimeSeries, TimeOfSample) {
+  TimeSeries ts(sim::TimePoint::epoch() + sim::minutes(5), sim::minutes(2));
+  ts.append(1);
+  ts.append(2);
+  EXPECT_EQ(ts.time_of(0), sim::TimePoint::epoch() + sim::minutes(5));
+  EXPECT_EQ(ts.time_of(1), sim::TimePoint::epoch() + sim::minutes(7));
+}
+
+TEST(TimeSeries, SummaryStats) {
+  TimeSeries ts(sim::TimePoint::epoch(), sim::minutes(1));
+  for (double v : {1.0, 3.0, 2.0, 8.0}) ts.append(v);
+  EXPECT_DOUBLE_EQ(ts.peak(), 8.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(ts.max_step(), 6.0);
+}
+
+TEST(TimeSeries, DownsampleAverages) {
+  TimeSeries ts(sim::TimePoint::epoch(), sim::minutes(1));
+  for (double v : {1.0, 3.0, 5.0, 7.0, 9.0}) ts.append(v);
+  const TimeSeries d = ts.downsample(2);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(1), 6.0);
+  EXPECT_DOUBLE_EQ(d.at(2), 9.0);  // tail bucket of one
+  EXPECT_EQ(d.interval(), sim::minutes(2));
+}
+
+TEST(TimeSeries, DownsampleFactorOneIsIdentity) {
+  TimeSeries ts(sim::TimePoint::epoch(), sim::minutes(1));
+  ts.append(4.0);
+  EXPECT_EQ(ts.downsample(1).values(), ts.values());
+}
+
+TEST(LoadMonitor, SamplesOnInterval) {
+  sim::Simulator sim;
+  double load = 0.0;
+  LoadMonitor mon(sim, [&] { return load; }, sim::minutes(1));
+  mon.start(sim::TimePoint::epoch());
+  sim.schedule_at(sim::TimePoint::epoch() + sim::seconds(90),
+                  [&] { load = 5.0; });
+  sim.run_until(sim::TimePoint::epoch() + sim::seconds(250));
+  mon.stop();
+  // Samples at 0, 60, 120, 180, 240 s.
+  ASSERT_EQ(mon.series().size(), 5u);
+  EXPECT_DOUBLE_EQ(mon.series().at(0), 0.0);
+  EXPECT_DOUBLE_EQ(mon.series().at(1), 0.0);
+  EXPECT_DOUBLE_EQ(mon.series().at(2), 5.0);
+  EXPECT_DOUBLE_EQ(mon.series().at(4), 5.0);
+}
+
+TEST(Csv, WritesAlignedSeries) {
+  TimeSeries a(sim::TimePoint::epoch(), sim::minutes(1));
+  TimeSeries b(sim::TimePoint::epoch(), sim::minutes(1));
+  a.append(1.0);
+  a.append(2.0);
+  b.append(3.0);
+  std::ostringstream os;
+  write_csv(os, {"with", "without"}, {&a, &b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time_min,with,without"), std::string::npos);
+  EXPECT_NE(out.find("0.00,1.0000,3.0000"), std::string::npos);
+  EXPECT_NE(out.find("1.00,2.0000,"), std::string::npos);  // padded blank
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"scenario", "peak", "avg"});
+  t.add_row("high", {15.0, 7.5});
+  t.add_row({"low", "4.00", "1.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("scenario"), std::string::npos);
+  EXPECT_NE(out.find("15.00"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+}
+
+}  // namespace
+}  // namespace han::metrics

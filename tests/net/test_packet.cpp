@@ -1,0 +1,83 @@
+// Frame model and byte-level serialization.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/packet.hpp"
+
+namespace han::net {
+namespace {
+
+TEST(Packet, PsduIncludesMacOverhead) {
+  Frame f;
+  f.payload = {1, 2, 3};
+  EXPECT_EQ(f.psdu_bytes(), 14u);  // 3 + 11 MAC bytes
+}
+
+TEST(Packet, SameContentComparesPayloadAndKind) {
+  Frame a, b;
+  a.kind = b.kind = FrameKind::kMiniCastChunk;
+  a.payload = b.payload = {1, 2, 3};
+  a.source = 1;
+  b.source = 9;  // source does not affect content identity
+  EXPECT_TRUE(a.same_content(b));
+  b.payload[1] = 7;
+  EXPECT_FALSE(a.same_content(b));
+  b.payload = a.payload;
+  b.kind = FrameKind::kGlossyFlood;
+  EXPECT_FALSE(a.same_content(b));
+}
+
+TEST(ByteWriter, RoundTripsAllWidths) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  const auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 0x02);
+  EXPECT_EQ(b[1], 0x01);
+}
+
+TEST(ByteWriter, CapacityEnforced) {
+  ByteWriter w(4);
+  w.u32(1);
+  EXPECT_EQ(w.remaining(), 0u);
+  EXPECT_THROW(w.u8(1), std::length_error);
+}
+
+TEST(ByteReader, TruncationDetected) {
+  const std::vector<std::uint8_t> buf{1, 2};
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0x0201);
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(ByteReader, RemainingTracksPosition) {
+  const std::vector<std::uint8_t> buf{1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 5u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.done());
+  r.u8();
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace han::net

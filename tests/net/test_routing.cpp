@@ -1,0 +1,92 @@
+// RoutingTree: structure, determinism, congestion profile.
+#include <gtest/gtest.h>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace han::net {
+namespace {
+
+ChannelParams clean() {
+  ChannelParams p;
+  p.shadowing_sigma_db = 0.0;
+  return p;
+}
+
+TEST(Routing, LineTreeIsAChain) {
+  sim::Rng rng(1);
+  const Topology topo = Topology::line(5, 15.0);
+  const Channel ch(topo, clean(), rng);
+  const RoutingTree t = RoutingTree::shortest_path(ch, 0);
+  EXPECT_EQ(t.sink(), 0);
+  EXPECT_EQ(t.parent(0), kInvalidNode);
+  EXPECT_EQ(t.parent(1), 0);
+  EXPECT_EQ(t.parent(2), 1);
+  EXPECT_EQ(t.hops(4), 4u);
+  EXPECT_EQ(t.depth(), 4u);
+}
+
+TEST(Routing, Flocklab26FullyReachable) {
+  sim::Rng rng(1);
+  const Topology topo = Topology::flocklab26();
+  const Channel ch(topo, clean(), rng);
+  const RoutingTree t = RoutingTree::shortest_path(ch, 0);
+  for (NodeId v = 0; v < 26; ++v) {
+    EXPECT_TRUE(t.reachable(v)) << "node " << v;
+  }
+  EXPECT_GE(t.depth(), 2u);
+  EXPECT_LE(t.depth(), 6u);
+}
+
+TEST(Routing, ParentIsOneHopCloser) {
+  sim::Rng rng(1);
+  const Topology topo = Topology::flocklab26();
+  const Channel ch(topo, clean(), rng);
+  const RoutingTree t = RoutingTree::shortest_path(ch, 0);
+  for (NodeId v = 1; v < 26; ++v) {
+    ASSERT_TRUE(t.reachable(v));
+    EXPECT_EQ(t.hops(v), t.hops(t.parent(v)) + 1);
+    EXPECT_TRUE(ch.usable_link(v, t.parent(v)));
+  }
+}
+
+TEST(Routing, Deterministic) {
+  sim::Rng rng(1);
+  const Topology topo = Topology::flocklab26();
+  const Channel ch(topo, clean(), rng);
+  const RoutingTree a = RoutingTree::shortest_path(ch, 0);
+  const RoutingTree b = RoutingTree::shortest_path(ch, 0);
+  for (NodeId v = 0; v < 26; ++v) EXPECT_EQ(a.parent(v), b.parent(v));
+}
+
+TEST(Routing, ChildrenInverseOfParent) {
+  sim::Rng rng(1);
+  const Topology topo = Topology::line(4, 15.0);
+  const Channel ch(topo, clean(), rng);
+  const RoutingTree t = RoutingTree::shortest_path(ch, 0);
+  EXPECT_EQ(t.children(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(t.children(1), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(t.children(3).empty());
+}
+
+TEST(Routing, SubtreeSizesSumAtSink) {
+  sim::Rng rng(1);
+  const Topology topo = Topology::flocklab26();
+  const Channel ch(topo, clean(), rng);
+  const RoutingTree t = RoutingTree::shortest_path(ch, 0);
+  const auto sizes = t.subtree_sizes();
+  EXPECT_EQ(sizes[0], 25u);  // everything routes through the root
+}
+
+TEST(Routing, UnreachableNodesMarked) {
+  sim::Rng rng(1);
+  const Topology topo = Topology::line(3, 400.0);  // disconnected
+  const Channel ch(topo, clean(), rng);
+  const RoutingTree t = RoutingTree::shortest_path(ch, 0);
+  EXPECT_FALSE(t.reachable(1));
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_EQ(t.parent(2), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace han::net

@@ -1,0 +1,88 @@
+// Topology builders and graph analysis.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace han::net {
+namespace {
+
+TEST(Topology, LinePlacement) {
+  const Topology t = Topology::line(4, 10.0);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.distance_between(0, 3), 30.0);
+  EXPECT_DOUBLE_EQ(t.distance_between(1, 2), 10.0);
+}
+
+TEST(Topology, GridPlacement) {
+  const Topology t = Topology::grid(3, 2, 5.0);
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t.distance_between(0, 2), 10.0);  // same row
+  EXPECT_DOUBLE_EQ(t.distance_between(0, 3), 5.0);   // same column
+}
+
+TEST(Topology, RingPlacement) {
+  const Topology t = Topology::ring(8, 10.0);
+  ASSERT_EQ(t.size(), 8u);
+  // All nodes equidistant from the centre.
+  for (NodeId i = 0; i < 8; ++i) {
+    EXPECT_NEAR(distance(t.position(i), {0, 0}), 10.0, 1e-9);
+  }
+  // Opposite nodes are a diameter apart.
+  EXPECT_NEAR(t.distance_between(0, 4), 20.0, 1e-9);
+}
+
+TEST(Topology, RandomUniformInBounds) {
+  sim::Rng rng(5);
+  const Topology t = Topology::random_uniform(50, 60.0, 35.0, rng);
+  ASSERT_EQ(t.size(), 50u);
+  for (const Point& p : t.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 60.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 35.0);
+  }
+}
+
+TEST(Topology, Flocklab26Shape) {
+  const Topology t = Topology::flocklab26();
+  ASSERT_EQ(t.size(), 26u);
+  EXPECT_GT(t.extent(), 40.0);  // office-floor scale
+  EXPECT_LT(t.extent(), 80.0);
+}
+
+TEST(Topology, Flocklab26ConnectedAt20m) {
+  const Topology t = Topology::flocklab26();
+  const auto adj = t.adjacency_within(20.0);
+  EXPECT_TRUE(Topology::is_connected(adj));
+}
+
+TEST(Topology, Flocklab26MultiHopAt20m) {
+  const Topology t = Topology::flocklab26();
+  const auto adj = t.adjacency_within(20.0);
+  const std::size_t d = Topology::diameter(adj);
+  EXPECT_GE(d, 3u);
+  EXPECT_LE(d, 7u);
+}
+
+TEST(Topology, HopCountsFromSource) {
+  const Topology t = Topology::line(5, 10.0);
+  const auto adj = t.adjacency_within(10.5);
+  const auto hops = Topology::hop_counts(adj, 0);
+  EXPECT_EQ(hops, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Topology, DisconnectedDetected) {
+  const Topology t = Topology::line(3, 100.0);
+  const auto adj = t.adjacency_within(50.0);
+  EXPECT_FALSE(Topology::is_connected(adj));
+  EXPECT_EQ(Topology::diameter(adj), SIZE_MAX);
+}
+
+TEST(Topology, ExtentOfEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Topology{}.extent(), 0.0);
+  const Topology single{{{3, 4}}};
+  EXPECT_DOUBLE_EQ(single.extent(), 0.0);
+}
+
+}  // namespace
+}  // namespace han::net

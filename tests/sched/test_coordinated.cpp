@@ -1,0 +1,225 @@
+// Coordinated scheduler: slot windows, claims, occupancy, rebalancing,
+// and the paper's structural properties (staggering, small steps,
+// determinism across replicas).
+#include <gtest/gtest.h>
+
+#include "sched/coordinated.hpp"
+
+namespace han::sched {
+namespace {
+
+using sim::TimePoint;
+
+TimePoint at_min(sim::Ticks m) { return TimePoint::epoch() + sim::minutes(m); }
+
+DeviceStatus dev(net::NodeId id, sim::Ticks since_min, sim::Ticks until_min,
+                 std::uint8_t slot = kNoSlot, bool pending = true) {
+  DeviceStatus d;
+  d.id = id;
+  d.has_demand = true;
+  d.demand_since = at_min(since_min);
+  d.demand_until = at_min(until_min);
+  d.slot = slot;
+  d.burst_pending = pending;
+  return d;
+}
+
+TEST(Coordinated, SlotWindowPhases) {
+  const auto on = [](sim::Ticks now_min, std::uint8_t slot) {
+    return CoordinatedScheduler::slot_window_on(
+        at_min(now_min), slot, sim::minutes(15), sim::minutes(30));
+  };
+  EXPECT_TRUE(on(0, 0));
+  EXPECT_TRUE(on(14, 0));
+  EXPECT_FALSE(on(15, 0));
+  EXPECT_FALSE(on(0, 1));
+  EXPECT_TRUE(on(15, 1));
+  EXPECT_TRUE(on(29, 1));
+  EXPECT_TRUE(on(30, 0));  // periodic
+  EXPECT_FALSE(on(10, kNoSlot));
+}
+
+TEST(Coordinated, NextWindowOpening) {
+  const auto next = [](sim::Ticks now_min, std::uint8_t slot) {
+    return CoordinatedScheduler::next_window_opening(
+               at_min(now_min), slot, sim::minutes(15), sim::minutes(30))
+        .since_epoch()
+        .min();
+  };
+  EXPECT_EQ(next(0, 0), 0);    // exactly at the opening
+  EXPECT_EQ(next(1, 0), 30);   // open window: next occurrence
+  EXPECT_EQ(next(1, 1), 15);
+  EXPECT_EQ(next(16, 0), 30);
+  EXPECT_EQ(next(16, 1), 45);  // its own window just opened
+}
+
+TEST(Coordinated, PickSlotPrefersLeastOccupied) {
+  GlobalView v;
+  v.now = at_min(2);
+  v.devices = {dev(0, 0, 60, 0), dev(1, 0, 60, 0), dev(2, 0, 60, 1)};
+  DeviceStatus self = dev(3, 2, 32);
+  EXPECT_EQ(CoordinatedScheduler::pick_slot(v, self), 1);
+}
+
+TEST(Coordinated, PickSlotTieBreaksToSoonestOpening) {
+  GlobalView v;
+  v.now = at_min(2);  // slot 0 open; slot 1 opens at 15, slot 0 again at 30
+  DeviceStatus self = dev(3, 2, 32);
+  EXPECT_EQ(CoordinatedScheduler::pick_slot(v, self), 1);
+  v.now = at_min(16);  // slot 1 open; slot 0 opens at 30, slot 1 at 45
+  EXPECT_EQ(CoordinatedScheduler::pick_slot(v, self), 0);
+}
+
+TEST(Coordinated, OccupancyCountsOnlyFutureRunners) {
+  GlobalView v;
+  v.now = at_min(2);
+  // Device 0: pending burst => counted.
+  // Device 1: burst done, demand ends before its slot's next opening
+  //           (slot 0 reopens at 30, demand ends at 29) => not counted.
+  // Device 2: burst done but demand covers next opening => counted.
+  v.devices = {dev(0, 0, 30, 0, true), dev(1, 0, 29, 0, false),
+               dev(2, 0, 60, 0, false)};
+  const auto occ = CoordinatedScheduler::slot_occupancy(v, 2);
+  EXPECT_EQ(occ[0], 2u);
+  EXPECT_EQ(occ[1], 0u);
+}
+
+TEST(Coordinated, PlanActivatesOnlyClaimedWindows) {
+  CoordinatedScheduler s;
+  GlobalView v;
+  v.now = at_min(16);  // slot 1 live
+  v.devices = {dev(0, 0, 60, 0), dev(1, 0, 60, 1), dev(2, 0, 60)};
+  const Plan p = s.plan(v);
+  EXPECT_FALSE(p[0]);  // slot 0: not its window
+  EXPECT_TRUE(p[1]);   // slot 1: live window
+  EXPECT_FALSE(p[2]);  // unassigned: waits for claim
+}
+
+TEST(Coordinated, PlanIsDeterministicAcrossReplicas) {
+  // The decentralization property: same view => same plan, regardless of
+  // device ordering in the vector.
+  CoordinatedScheduler s;
+  GlobalView v1, v2;
+  v1.now = v2.now = at_min(47);
+  for (net::NodeId i = 0; i < 10; ++i) {
+    v1.devices.push_back(dev(i, i, 60, static_cast<std::uint8_t>(i % 2)));
+  }
+  v2.devices.assign(v1.devices.rbegin(), v1.devices.rend());
+  const Plan p1 = s.plan(v1);
+  const Plan p2 = s.plan(v2);
+  for (std::size_t i = 0; i < v1.devices.size(); ++i) {
+    const net::NodeId id = v1.devices[i].id;
+    for (std::size_t j = 0; j < v2.devices.size(); ++j) {
+      if (v2.devices[j].id == id) EXPECT_EQ(p1[i], p2[j]) << "device " << id;
+    }
+  }
+}
+
+TEST(Coordinated, StaggeringBoundsConcurrentOn) {
+  // With balanced claims, at most ceil(n/K) devices are ON at any time.
+  CoordinatedScheduler s;
+  for (sim::Ticks t = 0; t < 60; t += 1) {
+    GlobalView v;
+    v.now = at_min(t);
+    for (net::NodeId i = 0; i < 12; ++i) {
+      v.devices.push_back(dev(i, 0, 120, static_cast<std::uint8_t>(i % 2)));
+    }
+    const Plan p = s.plan(v);
+    int on = 0;
+    for (bool b : p) on += b;
+    EXPECT_LE(on, 6);
+    EXPECT_GE(on, 6);  // exactly one slot live at a time
+  }
+}
+
+TEST(Coordinated, EveryActiveDeviceRunsOncePerPeriod) {
+  // Structural guarantee: over one maxDCP, each claimed device's window
+  // occurs exactly once.
+  CoordinatedScheduler s;
+  std::vector<int> on_minutes(8, 0);
+  for (sim::Ticks t = 0; t < 30; ++t) {
+    GlobalView v;
+    v.now = at_min(t);
+    for (net::NodeId i = 0; i < 8; ++i) {
+      v.devices.push_back(dev(i, 0, 120, static_cast<std::uint8_t>(i % 2)));
+    }
+    const Plan p = s.plan(v);
+    for (std::size_t i = 0; i < p.size(); ++i) on_minutes[i] += p[i];
+  }
+  for (int m : on_minutes) EXPECT_EQ(m, 15);
+}
+
+TEST(Coordinated, SteadyOnCount) {
+  const auto k1530 = [](std::size_t n) {
+    return CoordinatedScheduler::steady_on_count(n, sim::minutes(15),
+                                                 sim::minutes(30));
+  };
+  EXPECT_EQ(k1530(0), 0u);
+  EXPECT_EQ(k1530(1), 1u);
+  EXPECT_EQ(k1530(2), 1u);
+  EXPECT_EQ(k1530(26), 13u);
+  EXPECT_EQ(CoordinatedScheduler::steady_on_count(9, sim::minutes(10),
+                                                  sim::minutes(30)),
+            3u);
+}
+
+TEST(Coordinated, RebalanceMovesFromCrowdedSlot) {
+  GlobalView v;
+  v.now = at_min(2);
+  v.devices = {dev(0, 0, 90, 0), dev(1, 0, 90, 0), dev(2, 0, 90, 0)};
+  const auto move = CoordinatedScheduler::rebalance_move(v, 2);
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->mover, 0);  // lowest id in the crowded slot
+  EXPECT_EQ(move->new_slot, 1);
+}
+
+TEST(Coordinated, RebalanceRespectsHysteresis) {
+  GlobalView v;
+  v.now = at_min(2);
+  v.devices = {dev(0, 0, 90, 0), dev(1, 0, 90, 1), dev(2, 0, 90, 0)};
+  // Occupancy 2 vs 1: difference < 2 => no move.
+  EXPECT_FALSE(CoordinatedScheduler::rebalance_move(v, 2).has_value());
+}
+
+TEST(Coordinated, RebalanceNeverInterruptsBurst) {
+  GlobalView v;
+  v.now = at_min(2);
+  auto d0 = dev(0, 0, 90, 0);
+  d0.relay_on = true;
+  auto d1 = dev(1, 0, 90, 0);
+  d1.relay_on = true;
+  v.devices = {d0, d1, dev(2, 0, 90, 0)};
+  const auto move = CoordinatedScheduler::rebalance_move(v, 2);
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->mover, 2);  // only the OFF device may move
+}
+
+TEST(Coordinated, RebalanceNeverCostsABurst) {
+  GlobalView v;
+  v.now = at_min(2);
+  // All three crowd slot 0, but their demands end before slot 1's next
+  // opening (15): moving any of them would lose its burst.
+  v.devices = {dev(0, 0, 14, 0), dev(1, 0, 14, 0), dev(2, 0, 14, 0)};
+  EXPECT_FALSE(CoordinatedScheduler::rebalance_move(v, 2).has_value());
+}
+
+TEST(Coordinated, IsEpochAligned) {
+  EXPECT_TRUE(CoordinatedScheduler{}.epoch_aligned());
+  EXPECT_EQ(CoordinatedScheduler{}.name(), "coordinated");
+}
+
+// Heterogeneous constraints: a 10/30 device uses K=3 slots.
+TEST(Coordinated, HeterogeneousConstraints) {
+  const auto on = [](sim::Ticks now_min, std::uint8_t slot) {
+    return CoordinatedScheduler::slot_window_on(
+        at_min(now_min), slot, sim::minutes(10), sim::minutes(30));
+  };
+  EXPECT_TRUE(on(5, 0));
+  EXPECT_FALSE(on(5, 1));
+  EXPECT_TRUE(on(15, 1));
+  EXPECT_TRUE(on(25, 2));
+  EXPECT_TRUE(on(35, 0));
+}
+
+}  // namespace
+}  // namespace han::sched

@@ -1,0 +1,161 @@
+// Randomized property tests on the schedulers themselves: determinism,
+// order independence, occupancy bounds, and window structure, over
+// generated views.
+#include <gtest/gtest.h>
+
+#include "sched/coordinated.hpp"
+#include "sched/uncoordinated.hpp"
+#include "sim/random.hpp"
+
+namespace han::sched {
+namespace {
+
+GlobalView random_view(sim::Rng& rng, std::size_t n) {
+  GlobalView v;
+  v.now = sim::TimePoint::epoch() +
+          sim::seconds(rng.uniform_int(0, 6 * 3600));
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceStatus d;
+    d.id = static_cast<net::NodeId>(i);
+    d.has_demand = rng.bernoulli(0.7);
+    const sim::TimePoint since =
+        v.now - sim::seconds(rng.uniform_int(0, 1800));
+    d.demand_since = since;
+    d.demand_until =
+        since + sim::minutes(30 * rng.uniform_int(1, 3));
+    d.relay_on = rng.bernoulli(0.3);
+    d.burst_pending = rng.bernoulli(0.5);
+    d.slot = rng.bernoulli(0.8)
+                 ? static_cast<std::uint8_t>(rng.uniform_int(0, 1))
+                 : kNoSlot;
+    v.devices.push_back(d);
+  }
+  return v;
+}
+
+class SchedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedFuzz, PlanIsPureAndOrderIndependent) {
+  sim::Rng rng(GetParam());
+  const CoordinatedScheduler co;
+  const UncoordinatedScheduler un;
+  for (int iter = 0; iter < 50; ++iter) {
+    GlobalView v = random_view(rng, 16);
+    const Plan p1 = co.plan(v);
+    const Plan p2 = co.plan(v);
+    EXPECT_EQ(p1, p2) << "plan must be a pure function";
+
+    GlobalView shuffled = v;
+    std::reverse(shuffled.devices.begin(), shuffled.devices.end());
+    const Plan ps = co.plan(shuffled);
+    for (std::size_t i = 0; i < v.devices.size(); ++i) {
+      EXPECT_EQ(p1[i], ps[v.devices.size() - 1 - i])
+          << "device order must not matter";
+    }
+    EXPECT_EQ(un.plan(v), un.plan(v));
+  }
+}
+
+TEST_P(SchedFuzz, NoPlanPowersExpiredOrIdleDevices) {
+  sim::Rng rng(GetParam());
+  const CoordinatedScheduler co;
+  const UncoordinatedScheduler un;
+  for (int iter = 0; iter < 50; ++iter) {
+    const GlobalView v = random_view(rng, 16);
+    for (const Scheduler* s :
+         std::initializer_list<const Scheduler*>{&co, &un}) {
+      const Plan p = s->plan(v);
+      for (std::size_t i = 0; i < v.devices.size(); ++i) {
+        const DeviceStatus& d = v.devices[i];
+        if (!d.has_demand || d.demand_until <= v.now) {
+          EXPECT_FALSE(p[i]) << s->name() << " powered idle device "
+                             << d.id;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SchedFuzz, CoordinatedOnImpliesOwnWindow) {
+  sim::Rng rng(GetParam());
+  const CoordinatedScheduler co;
+  for (int iter = 0; iter < 50; ++iter) {
+    const GlobalView v = random_view(rng, 16);
+    const Plan p = co.plan(v);
+    for (std::size_t i = 0; i < v.devices.size(); ++i) {
+      if (!p[i]) continue;
+      const DeviceStatus& d = v.devices[i];
+      EXPECT_TRUE(CoordinatedScheduler::slot_window_on(
+          v.now, d.slot, d.min_dcd, d.max_dcp));
+    }
+  }
+}
+
+TEST_P(SchedFuzz, PickSlotAlwaysValidAndDeterministic) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const GlobalView v = random_view(rng, 16);
+    DeviceStatus self;
+    self.id = 99;
+    self.has_demand = true;
+    self.demand_since = v.now;
+    self.demand_until = v.now + sim::minutes(30);
+    const std::uint8_t s1 = CoordinatedScheduler::pick_slot(v, self);
+    const std::uint8_t s2 = CoordinatedScheduler::pick_slot(v, self);
+    EXPECT_EQ(s1, s2);
+    EXPECT_LT(s1, 2);  // K = 2 for the default constraints
+  }
+}
+
+TEST_P(SchedFuzz, PickSlotNeverExceedsMinOccupancyPlusOne) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const GlobalView v = random_view(rng, 16);
+    DeviceStatus self;
+    self.id = 99;
+    self.has_demand = true;
+    self.demand_since = v.now;
+    self.demand_until = v.now + sim::minutes(30);
+    const std::uint8_t chosen = CoordinatedScheduler::pick_slot(v, self);
+    const auto occ = CoordinatedScheduler::slot_occupancy(v, 2);
+    const std::size_t min_occ = std::min(occ[0], occ[1]);
+    EXPECT_EQ(occ[chosen], min_occ)
+        << "greedy claim must target a least-occupied slot";
+  }
+}
+
+TEST_P(SchedFuzz, NextWindowOpeningIsConsistent) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    const sim::TimePoint now =
+        sim::TimePoint::epoch() + sim::seconds(rng.uniform_int(0, 36000));
+    const auto slot = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+    const sim::TimePoint open = CoordinatedScheduler::next_window_opening(
+        now, slot, sim::minutes(15), sim::minutes(30));
+    EXPECT_GE(open, now);
+    EXPECT_LT((open - now).us(), sim::minutes(30).us());
+    // At the opening instant the window must be on.
+    EXPECT_TRUE(CoordinatedScheduler::slot_window_on(
+        open, slot, sim::minutes(15), sim::minutes(30)));
+  }
+}
+
+TEST_P(SchedFuzz, RebalanceMoveIsConsistentAcrossReplicas) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const GlobalView v = random_view(rng, 16);
+    const auto m1 = CoordinatedScheduler::rebalance_move(v, 2);
+    const auto m2 = CoordinatedScheduler::rebalance_move(v, 2);
+    ASSERT_EQ(m1.has_value(), m2.has_value());
+    if (m1) {
+      EXPECT_EQ(m1->mover, m2->mover);
+      EXPECT_EQ(m1->new_slot, m2->new_slot);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace han::sched

@@ -1,0 +1,93 @@
+// Uncoordinated baseline: free-running duty cycles anchored at demand.
+#include <gtest/gtest.h>
+
+#include "sched/uncoordinated.hpp"
+
+namespace han::sched {
+namespace {
+
+using sim::TimePoint;
+
+TimePoint at_min(sim::Ticks m) { return TimePoint::epoch() + sim::minutes(m); }
+
+DeviceStatus dev(net::NodeId id, sim::Ticks since_min, sim::Ticks until_min) {
+  DeviceStatus d;
+  d.id = id;
+  d.has_demand = true;
+  d.demand_since = at_min(since_min);
+  d.demand_until = at_min(until_min);
+  return d;
+}
+
+TEST(Uncoordinated, FreeRunningPhase) {
+  const auto on = [](sim::Ticks now_min, sim::Ticks anchor_min) {
+    return UncoordinatedScheduler::free_running_on(
+        at_min(now_min), at_min(anchor_min), sim::minutes(15),
+        sim::minutes(30));
+  };
+  EXPECT_TRUE(on(0, 0));
+  EXPECT_TRUE(on(14, 0));
+  EXPECT_FALSE(on(15, 0));
+  EXPECT_FALSE(on(29, 0));
+  EXPECT_TRUE(on(30, 0));   // second period
+  EXPECT_TRUE(on(17, 10));  // anchored at 10: ON within [10,25)
+  EXPECT_FALSE(on(5, 10));  // before the anchor
+}
+
+TEST(Uncoordinated, PlanTurnsOnFreshDemand) {
+  UncoordinatedScheduler s;
+  GlobalView v;
+  v.now = at_min(5);
+  v.devices = {dev(0, 5, 35), dev(1, 0, 30)};
+  const Plan p = s.plan(v);
+  EXPECT_TRUE(p[0]);   // 0 min into its cycle
+  EXPECT_TRUE(p[1]);   // 5 min into its cycle
+}
+
+TEST(Uncoordinated, PlanTurnsOffAfterMinDcd) {
+  UncoordinatedScheduler s;
+  GlobalView v;
+  v.now = at_min(20);
+  v.devices = {dev(0, 0, 30)};
+  EXPECT_FALSE(s.plan(v)[0]);  // 20 min in: OFF phase
+}
+
+TEST(Uncoordinated, ExpiredDemandStaysOff) {
+  UncoordinatedScheduler s;
+  GlobalView v;
+  v.now = at_min(40);
+  v.devices = {dev(0, 0, 30)};
+  EXPECT_FALSE(s.plan(v)[0]);
+}
+
+TEST(Uncoordinated, IdleDeviceStaysOff) {
+  UncoordinatedScheduler s;
+  GlobalView v;
+  v.now = at_min(5);
+  DeviceStatus d;
+  d.id = 0;
+  d.has_demand = false;
+  v.devices = {d};
+  EXPECT_FALSE(s.plan(v)[0]);
+}
+
+TEST(Uncoordinated, SimultaneousArrivalsStack) {
+  // The failure mode coordination fixes: n simultaneous requests are all
+  // ON together.
+  UncoordinatedScheduler s;
+  GlobalView v;
+  v.now = at_min(10);
+  for (net::NodeId i = 0; i < 10; ++i) v.devices.push_back(dev(i, 10, 40));
+  const Plan p = s.plan(v);
+  int on = 0;
+  for (bool b : p) on += b;
+  EXPECT_EQ(on, 10);
+}
+
+TEST(Uncoordinated, NotEpochAligned) {
+  EXPECT_FALSE(UncoordinatedScheduler{}.epoch_aligned());
+  EXPECT_EQ(UncoordinatedScheduler{}.name(), "uncoordinated");
+}
+
+}  // namespace
+}  // namespace han::sched

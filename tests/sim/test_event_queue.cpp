@@ -1,0 +1,130 @@
+// EventQueue: ordering, stability, cancellation, heap integrity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace han::sim {
+namespace {
+
+TimePoint at(Ticks us) { return TimePoint{us}; }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(at(30), [&] { fired.push_back(3); });
+  q.schedule(at(10), [&] { fired.push_back(1); });
+  q.schedule(at(20), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(at(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(at(10), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(at(10), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.schedule(at(10), [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{12345}));
+}
+
+TEST(EventQueue, CancelMiddlePreservesOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(at(10), [&] { fired.push_back(1); });
+  const EventId mid = q.schedule(at(20), [&] { fired.push_back(2); });
+  q.schedule(at(30), [&] { fired.push_back(3); });
+  q.schedule(at(40), [&] { fired.push_back(4); });
+  EXPECT_TRUE(q.cancel(mid));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(EventQueue, NextTimeTracksEarliest) {
+  EventQueue q;
+  q.schedule(at(50), [] {});
+  EXPECT_EQ(q.next_time(), at(50));
+  const EventId early = q.schedule(at(5), [] {});
+  EXPECT_EQ(q.next_time(), at(5));
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), at(50));
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule(at(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// Randomized heap-integrity check: interleaved schedule/cancel/pop must
+// always yield a non-decreasing fire-time sequence.
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, RandomOpsKeepHeapOrdered) {
+  Rng rng(GetParam());
+  EventQueue q;
+  std::vector<EventId> live;
+  Ticks last_popped = -1;
+  Ticks clock = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const double r = rng.uniform();
+    if (r < 0.55) {
+      const Ticks t = clock + rng.uniform_int(0, 1000);
+      live.push_back(q.schedule(at(t), [] {}));
+    } else if (r < 0.75 && !live.empty()) {
+      const std::size_t i = rng.index(live.size());
+      q.cancel(live[i]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (!q.empty()) {
+      const auto fired = q.pop();
+      EXPECT_GE(fired.time.us(), last_popped);
+      last_popped = fired.time.us();
+      clock = fired.time.us();
+    }
+  }
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time.us(), last_popped);
+    last_popped = fired.time.us();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1, 2, 3, 7, 11, 13, 42, 99));
+
+}  // namespace
+}  // namespace han::sim

@@ -1,0 +1,157 @@
+// Simulator: clock advancement, run modes, periodic events, stop().
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace han::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Ticks> seen;
+  sim.schedule_after(seconds(2), [&] { seen.push_back(sim.now().us()); });
+  sim.schedule_after(seconds(1), [&] { seen.push_back(sim.now().us()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<Ticks>{1'000'000, 2'000'000}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  sim.schedule_after(seconds(1), [] {});
+  sim.run_until(TimePoint::epoch() + seconds(10));
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + seconds(10));
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(TimePoint::epoch() + seconds(5), [&] { fired = true; });
+  sim.run_until(TimePoint::epoch() + seconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(TimePoint::epoch() + seconds(6), [&] { fired = true; });
+  sim.run_until(TimePoint::epoch() + seconds(5));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_after(seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::epoch() + seconds(1), [] {}),
+               std::logic_error);
+  EXPECT_THROW(sim.schedule_after(seconds(-1), [] {}), std::logic_error);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sim.schedule_after(seconds(1), recurse);
+  };
+  sim.schedule_after(seconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + seconds(5));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_after(seconds(i), [&] {
+      if (++fired == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.events_pending(), 7u);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(seconds(1), [&] { ++fired; });
+  sim.schedule_after(seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicFiresAtFixedInterval) {
+  Simulator sim;
+  std::vector<Ticks> times;
+  auto handle = sim.schedule_every(seconds(2), [&] {
+    times.push_back(sim.now().us());
+  });
+  sim.run_until(TimePoint::epoch() + seconds(9));
+  handle.cancel();
+  EXPECT_EQ(times, (std::vector<Ticks>{2'000'000, 4'000'000, 6'000'000,
+                                       8'000'000}));
+}
+
+TEST(Simulator, PeriodicCancelStopsFiring) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_every(seconds(1), [&] { ++fired; });
+  sim.run_until(TimePoint::epoch() + seconds(3));
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run_until(TimePoint::epoch() + seconds(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::PeriodicHandle handle;
+  handle = sim.schedule_every(seconds(1), [&] {
+    if (++fired == 2) handle.cancel();
+  });
+  sim.run_until(TimePoint::epoch() + seconds(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicWithExplicitFirstFiring) {
+  Simulator sim;
+  std::vector<Ticks> times;
+  sim.schedule_every(TimePoint::epoch() + seconds(5), seconds(3),
+                     [&] { times.push_back(sim.now().us()); });
+  sim.run_until(TimePoint::epoch() + seconds(12));
+  EXPECT_EQ(times, (std::vector<Ticks>{5'000'000, 8'000'000, 11'000'000}));
+}
+
+TEST(Simulator, PeriodicRejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_every(Duration::zero(), [] {}),
+               std::logic_error);
+}
+
+TEST(Simulator, EventsExecutedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_after(seconds(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, CancelOneShotEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace han::sim

@@ -1,0 +1,92 @@
+// Strong time types: arithmetic, conversions, period/phase helpers.
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace han::sim {
+namespace {
+
+TEST(Time, DurationConstructors) {
+  EXPECT_EQ(microseconds(5).us(), 5);
+  EXPECT_EQ(milliseconds(3).us(), 3000);
+  EXPECT_EQ(seconds(2).us(), 2'000'000);
+  EXPECT_EQ(minutes(1).us(), 60'000'000);
+  EXPECT_EQ(hours(1).us(), 3'600'000'000LL);
+  EXPECT_EQ(seconds_f(1.5).us(), 1'500'000);
+  EXPECT_EQ(seconds_f(-1.5).us(), -1'500'000);
+}
+
+TEST(Time, DurationUnitViews) {
+  const Duration d = minutes(90);
+  EXPECT_EQ(d.ms(), 90 * 60 * 1000);
+  EXPECT_EQ(d.sec(), 5400);
+  EXPECT_EQ(d.min(), 90);
+  EXPECT_DOUBLE_EQ(d.hours_f(), 1.5);
+  EXPECT_DOUBLE_EQ(d.minutes_f(), 90.0);
+  EXPECT_DOUBLE_EQ(d.seconds_f(), 5400.0);
+}
+
+TEST(Time, DurationArithmetic) {
+  EXPECT_EQ(seconds(3) + seconds(2), seconds(5));
+  EXPECT_EQ(seconds(3) - seconds(5), seconds(-2));
+  EXPECT_EQ(seconds(3) * 4, seconds(12));
+  EXPECT_EQ(4 * seconds(3), seconds(12));
+  EXPECT_EQ(seconds(10) / 2, seconds(5));
+  EXPECT_EQ(minutes(45) / minutes(15), 3);
+  EXPECT_EQ(minutes(50) % minutes(15), minutes(5));
+  EXPECT_EQ(-seconds(7), seconds(-7));
+}
+
+TEST(Time, DurationCompoundAssignment) {
+  Duration d = seconds(1);
+  d += seconds(2);
+  EXPECT_EQ(d, seconds(3));
+  d -= seconds(4);
+  EXPECT_EQ(d, seconds(-1));
+  d *= -6;
+  EXPECT_EQ(d, seconds(6));
+}
+
+TEST(Time, DurationOrdering) {
+  EXPECT_LT(seconds(1), seconds(2));
+  EXPECT_GT(minutes(1), seconds(59));
+  EXPECT_LE(Duration::zero(), microseconds(0));
+  EXPECT_LT(Duration::zero(), Duration::max());
+}
+
+TEST(Time, TimePointArithmetic) {
+  const TimePoint t = TimePoint::epoch() + minutes(10);
+  EXPECT_EQ(t.us(), minutes(10).us());
+  EXPECT_EQ((t + seconds(30)) - t, seconds(30));
+  EXPECT_EQ(t - minutes(10), TimePoint::epoch());
+  EXPECT_EQ(t.since_epoch(), minutes(10));
+}
+
+TEST(Time, PhaseInPeriod) {
+  const Duration period = minutes(30);
+  EXPECT_EQ(phase_in_period(TimePoint::epoch(), period), Duration::zero());
+  EXPECT_EQ(phase_in_period(TimePoint::epoch() + minutes(45), period),
+            minutes(15));
+  EXPECT_EQ(phase_in_period(TimePoint::epoch() + minutes(60), period),
+            Duration::zero());
+}
+
+TEST(Time, PeriodStart) {
+  const Duration period = minutes(30);
+  EXPECT_EQ(period_start(TimePoint::epoch() + minutes(44), period),
+            TimePoint::epoch() + minutes(30));
+  EXPECT_EQ(period_start(TimePoint::epoch() + minutes(30), period),
+            TimePoint::epoch() + minutes(30));
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(microseconds(12).to_string(), "12us");
+  EXPECT_EQ(milliseconds(2).to_string(), "2.000ms");
+  EXPECT_EQ(seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(minutes(15).to_string(), "15.0min");
+  EXPECT_EQ(hours(2).to_string(), "2.00h");
+  EXPECT_EQ((TimePoint::epoch() + seconds(1)).to_string(), "t+1.000s");
+}
+
+}  // namespace
+}  // namespace han::sim

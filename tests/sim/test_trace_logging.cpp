@@ -1,0 +1,63 @@
+// TraceRecorder and Logger basics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+#include "sim/trace.hpp"
+
+namespace han::sim {
+namespace {
+
+TEST(Trace, RecordsSeriesInOrder) {
+  TraceRecorder tr;
+  tr.record("load", TimePoint{10}, 1.0);
+  tr.record("load", TimePoint{20}, 2.5);
+  ASSERT_TRUE(tr.has_series("load"));
+  const auto& s = tr.series("load");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].time, TimePoint{10});
+  EXPECT_DOUBLE_EQ(s[1].value, 2.5);
+}
+
+TEST(Trace, UnknownSeriesIsEmpty) {
+  TraceRecorder tr;
+  EXPECT_FALSE(tr.has_series("nope"));
+  EXPECT_TRUE(tr.series("nope").empty());
+}
+
+TEST(Trace, SeriesNamesAndTotals) {
+  TraceRecorder tr;
+  tr.record("a", TimePoint{1}, 1);
+  tr.record("b", TimePoint{1}, 2);
+  tr.record("a", TimePoint{2}, 3);
+  EXPECT_EQ(tr.total_samples(), 3u);
+  auto names = tr.series_names();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  tr.clear();
+  EXPECT_EQ(tr.total_samples(), 0u);
+  EXPECT_FALSE(tr.has_series("a"));
+}
+
+TEST(Logging, LevelFiltering) {
+  Logger& lg = Logger::instance();
+  std::vector<std::string> lines;
+  lg.set_sink([&](std::string_view l) { lines.emplace_back(l); });
+  lg.set_level(LogLevel::kWarn);
+  log(LogLevel::kDebug, TimePoint{0}, "test", "hidden");
+  log(LogLevel::kWarn, TimePoint{0}, "test", "shown ", 42);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("shown 42"), std::string::npos);
+  EXPECT_NE(lines[0].find("[WARN]"), std::string::npos);
+  lg.set_sink(nullptr);
+  lg.set_level(LogLevel::kOff);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace han::sim

@@ -1,0 +1,147 @@
+// CollectionEngine (many-to-one + command dissemination): sink coverage,
+// command delivery, single-point-of-failure behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/channel.hpp"
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+#include "st/collection.hpp"
+
+namespace han::st {
+namespace {
+
+using net::NodeId;
+using net::Radio;
+using net::Topology;
+
+struct CollectionRig {
+  explicit CollectionRig(Topology topo, CollectionParams params = {},
+                         std::uint64_t seed = 1)
+      : topo_(std::move(topo)),
+        rng_(seed),
+        channel_(topo_, clean(), rng_),
+        medium_(sim_, channel_, rng_.stream("medium")) {
+    std::vector<Radio*> raw;
+    for (std::size_t i = 0; i < topo_.size(); ++i) {
+      radios_.push_back(
+          std::make_unique<Radio>(sim_, medium_, static_cast<NodeId>(i)));
+      raw.push_back(radios_.back().get());
+    }
+    params.round_period = sim::seconds(4);  // N+1 slots need more room
+    engine_ = std::make_unique<CollectionEngine>(sim_, raw, params,
+                                                 rng_.stream("collection"));
+  }
+
+  static net::ChannelParams clean() {
+    net::ChannelParams p;
+    p.shadowing_sigma_db = 0.0;
+    return p;
+  }
+
+  void run_rounds(std::uint64_t rounds) {
+    const sim::TimePoint t0 = sim_.now() + sim::milliseconds(10);
+    engine_->start(t0);
+    sim_.run_until(t0 + sim::seconds(4) * static_cast<sim::Ticks>(rounds - 1) +
+                   engine_->round_active_duration() + sim::milliseconds(100));
+    engine_->stop();
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  sim::Rng rng_;
+  net::Channel channel_;
+  net::Medium medium_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::unique_ptr<CollectionEngine> engine_;
+};
+
+TEST(Collection, SinkCollectsAllRecords) {
+  CollectionRig rig(Topology::flocklab26());
+  rig.engine_->set_refresh_handler([](NodeId id, std::uint64_t) {
+    std::array<std::uint8_t, kRecordBytes> d{};
+    d[0] = static_cast<std::uint8_t>(id + 1);
+    return d;
+  });
+  rig.run_rounds(2);
+  EXPECT_GE(rig.engine_->stats().mean_uplink(), 0.95);
+  for (NodeId i = 0; i < 26; ++i) {
+    const Record* rec = rig.engine_->sink_view().find(i);
+    ASSERT_NE(rec, nullptr) << "sink missing node " << i;
+    EXPECT_EQ(rec->data[0], static_cast<std::uint8_t>(i + 1));
+  }
+}
+
+TEST(Collection, CommandReachesAllNodes) {
+  CollectionRig rig(Topology::flocklab26());
+  std::vector<int> got(26, 0);
+  rig.engine_->set_build_command_handler(
+      [](std::uint64_t round, const RecordStore&) {
+        return std::vector<std::uint8_t>{static_cast<std::uint8_t>(round + 1),
+                                         0x42};
+      });
+  rig.engine_->set_command_handler(
+      [&](NodeId id, std::uint64_t, const std::vector<std::uint8_t>& cmd) {
+        ASSERT_GE(cmd.size(), 2u);
+        EXPECT_EQ(cmd[1], 0x42);
+        ++got[id];
+      });
+  rig.run_rounds(2);
+  EXPECT_GE(rig.engine_->stats().mean_downlink(), 0.95);
+  int reached = 0;
+  for (NodeId i = 1; i < 26; ++i) reached += got[i] > 0;
+  EXPECT_GE(reached, 24);
+}
+
+TEST(Collection, SinkFailureStallsSystem) {
+  CollectionRig rig(Topology::flocklab26());
+  int commands = 0;
+  rig.engine_->set_build_command_handler(
+      [](std::uint64_t, const RecordStore&) {
+        return std::vector<std::uint8_t>{1};
+      });
+  rig.engine_->set_command_handler(
+      [&](NodeId, std::uint64_t, const std::vector<std::uint8_t>&) {
+        ++commands;
+      });
+  rig.engine_->set_node_failed(0, true);  // the sink
+  rig.run_rounds(2);
+  // The single point of failure: no commands at all.
+  EXPECT_EQ(commands, 0);
+  EXPECT_LT(rig.engine_->stats().mean_downlink(), 0.05);
+}
+
+TEST(Collection, NonSinkFailureTolerated) {
+  CollectionRig rig(Topology::flocklab26());
+  rig.engine_->set_build_command_handler(
+      [](std::uint64_t, const RecordStore&) {
+        return std::vector<std::uint8_t>{1};
+      });
+  rig.engine_->set_node_failed(13, true);
+  rig.run_rounds(2);
+  EXPECT_GE(rig.engine_->stats().mean_uplink(), 0.9);
+  EXPECT_GE(rig.engine_->stats().mean_downlink(), 0.9);
+}
+
+TEST(Collection, RejectsBadConfig) {
+  sim::Simulator sim;
+  EXPECT_THROW(
+      CollectionEngine(sim, {}, CollectionParams{}, sim::Rng(1)),
+      std::invalid_argument);
+}
+
+TEST(Collection, OversizedCommandThrows) {
+  CollectionRig rig(Topology::line(3, 10.0));
+  rig.engine_->set_build_command_handler(
+      [](std::uint64_t, const RecordStore&) {
+        return std::vector<std::uint8_t>(200, 1);  // > command_bytes
+      });
+  rig.engine_->start(rig.sim_.now() + sim::milliseconds(10));
+  EXPECT_THROW(rig.sim_.run_until(rig.sim_.now() + sim::seconds(4)),
+               std::length_error);
+}
+
+}  // namespace
+}  // namespace han::st

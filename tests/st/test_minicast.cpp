@@ -1,0 +1,227 @@
+// MiniCast engine tests: all-to-all dissemination quality, periodicity,
+// aggregation policy, fault tolerance, and drift resilience.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+#include "st/minicast.hpp"
+
+namespace han {
+namespace {
+
+using net::ChannelParams;
+using net::NodeId;
+using net::Radio;
+using net::Topology;
+using st::MiniCastEngine;
+using st::MiniCastParams;
+using st::Record;
+
+class MiniCastRig {
+ public:
+  explicit MiniCastRig(Topology topo, MiniCastParams params = {},
+                       std::uint64_t seed = 1,
+                       ChannelParams cp = ChannelParams{})
+      : topo_(std::move(topo)),
+        rng_(seed),
+        channel_(topo_, cp, rng_),
+        medium_(sim_, channel_, rng_.stream("medium")) {
+    std::vector<Radio*> raw;
+    for (std::size_t i = 0; i < topo_.size(); ++i) {
+      radios_.push_back(
+          std::make_unique<Radio>(sim_, medium_, static_cast<NodeId>(i)));
+      raw.push_back(radios_.back().get());
+    }
+    engine_ = std::make_unique<MiniCastEngine>(sim_, raw, params,
+                                               rng_.stream("minicast"));
+  }
+
+  void run_rounds(std::uint64_t rounds,
+                  sim::Duration period = sim::seconds(2)) {
+    const sim::TimePoint t0 = sim_.now() + sim::milliseconds(10);
+    engine_->start(t0);
+    // Stop after the last observed round's end_round but before the next
+    // round begins (active duration < period is validated by start()).
+    sim_.run_until(t0 + period * static_cast<sim::Ticks>(rounds - 1) +
+                   engine_->round_active_duration() + sim::milliseconds(100));
+    engine_->stop();
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  sim::Rng rng_;
+  net::Channel channel_;
+  net::Medium medium_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::unique_ptr<MiniCastEngine> engine_;
+};
+
+ChannelParams clean_channel() {
+  ChannelParams cp;
+  cp.shadowing_sigma_db = 0.0;
+  return cp;
+}
+
+TEST(MiniCast, RoundFitsInDefaultPeriod) {
+  MiniCastRig rig(Topology::flocklab26());
+  EXPECT_LE(rig.engine_->round_active_duration().us(),
+            sim::seconds(2).us());
+}
+
+TEST(MiniCast, RejectsImpossiblePeriod) {
+  MiniCastParams p;
+  p.round_period = sim::milliseconds(100);  // 26 flood slots cannot fit
+  MiniCastRig rig(Topology::flocklab26(), p);
+  EXPECT_THROW(rig.engine_->start(sim::TimePoint::epoch()),
+               std::invalid_argument);
+}
+
+TEST(MiniCast, FullCoverageOnCleanFlocklab26) {
+  MiniCastRig rig(Topology::flocklab26(), MiniCastParams{}, 11,
+                  clean_channel());
+  rig.run_rounds(3);
+  ASSERT_GE(rig.engine_->stats().rounds, 3u);
+  EXPECT_GE(rig.engine_->stats().mean_coverage(), 0.99);
+}
+
+TEST(MiniCast, EveryNodeLearnsEveryRecord) {
+  MiniCastRig rig(Topology::flocklab26(), MiniCastParams{}, 5,
+                  clean_channel());
+  rig.engine_->set_refresh_handler(
+      [](NodeId id, std::uint64_t) {
+        std::array<std::uint8_t, st::kRecordBytes> d{};
+        d[0] = static_cast<std::uint8_t>(id * 3 + 1);
+        return d;
+      });
+  rig.run_rounds(2);
+  for (NodeId holder = 0; holder < 26; ++holder) {
+    const st::RecordStore& view = rig.engine_->view_of(holder);
+    for (NodeId origin = 0; origin < 26; ++origin) {
+      const Record* rec = view.find(origin);
+      ASSERT_NE(rec, nullptr) << holder << " missing " << origin;
+      EXPECT_EQ(rec->data[0], static_cast<std::uint8_t>(origin * 3 + 1));
+    }
+  }
+}
+
+TEST(MiniCast, PeriodicRoundsAdvance) {
+  MiniCastRig rig(Topology::line(4, 10.0), MiniCastParams{}, 2,
+                  clean_channel());
+  rig.run_rounds(5);
+  EXPECT_EQ(rig.engine_->stats().rounds, 5u);
+  ASSERT_EQ(rig.engine_->round_history().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rig.engine_->round_history()[i].round, i);
+  }
+}
+
+TEST(MiniCast, RoundCompleteFiresPerAliveNode) {
+  MiniCastRig rig(Topology::line(5, 10.0), MiniCastParams{}, 2,
+                  clean_channel());
+  std::vector<int> calls(5, 0);
+  rig.engine_->set_round_complete_handler(
+      [&](NodeId id, std::uint64_t, const st::RecordStore&) {
+        calls[id]++;
+      });
+  rig.run_rounds(3);
+  for (int c : calls) EXPECT_EQ(c, 3);
+}
+
+TEST(MiniCast, FreshRecordsWinOverStale) {
+  // Versions rise every round; after two rounds every view must hold
+  // version >= round for every origin (no stale overwrite).
+  MiniCastRig rig(Topology::flocklab26(), MiniCastParams{}, 9,
+                  clean_channel());
+  rig.run_rounds(4);
+  for (NodeId holder = 0; holder < 26; ++holder) {
+    const st::RecordStore& view = rig.engine_->view_of(holder);
+    for (NodeId origin = 0; origin < 26; ++origin) {
+      const Record* rec = view.find(origin);
+      ASSERT_NE(rec, nullptr);
+      EXPECT_GE(rec->version, 3u);
+    }
+  }
+}
+
+TEST(MiniCast, SurvivesSingleNodeFailure) {
+  MiniCastRig rig(Topology::flocklab26(), MiniCastParams{}, 4,
+                  clean_channel());
+  rig.engine_->set_node_failed(13, true);
+  rig.run_rounds(3);
+  // Coverage among alive nodes stays high: no single point of failure.
+  EXPECT_GE(rig.engine_->stats().mean_coverage(), 0.95);
+}
+
+TEST(MiniCast, SurvivesRotatingFailures) {
+  MiniCastRig rig(Topology::flocklab26(), MiniCastParams{}, 4,
+                  clean_channel());
+  rig.engine_->set_node_failed(3, true);
+  rig.run_rounds(1);
+  rig.engine_->set_node_failed(3, false);
+  rig.engine_->set_node_failed(20, true);
+  rig.engine_->start(rig.sim_.now() + sim::milliseconds(10));
+  rig.sim_.run_until(rig.sim_.now() + sim::seconds(4));
+  EXPECT_GE(rig.engine_->stats().mean_coverage(), 0.90);
+}
+
+TEST(MiniCast, DriftedClocksStillConverge) {
+  MiniCastParams p;
+  p.max_drift_ppm = 80.0;  // worse than typical crystals
+  MiniCastRig rig(Topology::flocklab26(), p, 21, clean_channel());
+  rig.run_rounds(3);
+  EXPECT_GE(rig.engine_->stats().mean_coverage(), 0.98);
+}
+
+TEST(MiniCast, ModerateForcedLossFullyAbsorbed) {
+  // 30 % independent per-reception loss is what n_tx retransmissions and
+  // gossip aggregation are designed to hide: coverage stays essentially
+  // perfect — this robustness is the reason the paper picks ST.
+  MiniCastRig rig(Topology::flocklab26(), MiniCastParams{}, 17,
+                  clean_channel());
+  rig.medium_.set_forced_drop_rate(0.3);
+  rig.run_rounds(3);
+  EXPECT_GE(rig.engine_->stats().mean_coverage(), 0.95);
+}
+
+TEST(MiniCast, ExtremeForcedLossDegradesGracefully) {
+  MiniCastRig harsh(Topology::flocklab26(), MiniCastParams{}, 17,
+                    clean_channel());
+  harsh.medium_.set_forced_drop_rate(0.95);
+  harsh.run_rounds(3);
+  const double harsh_cov = harsh.engine_->stats().mean_coverage();
+  EXPECT_GT(harsh_cov, 0.01) << "network must not collapse outright";
+  EXPECT_LT(harsh_cov, 0.95) << "95% loss must be visible in coverage";
+
+  MiniCastRig mild(Topology::flocklab26(), MiniCastParams{}, 17,
+                   clean_channel());
+  mild.medium_.set_forced_drop_rate(0.5);
+  mild.run_rounds(3);
+  EXPECT_GT(mild.engine_->stats().mean_coverage(), harsh_cov)
+      << "coverage must be monotone in loss rate";
+}
+
+TEST(MiniCast, ChunkSizingConstants) {
+  EXPECT_LE(MiniCastEngine::chunk_psdu_bytes(), net::kMaxFrameBytes + 11u);
+  EXPECT_GE(st::records_per_frame(), 5u);
+}
+
+TEST(MiniCast, RadiosSleepBetweenRounds) {
+  MiniCastParams p;
+  p.sleep_between_rounds = true;
+  MiniCastRig rig(Topology::line(3, 10.0), p, 2, clean_channel());
+  rig.run_rounds(2);
+  // With 2 s periods and ~170 ms of activity, radio duty cycle must be
+  // well below 50 %.
+  for (auto& r : rig.radios_) {
+    if (r->state() != net::Radio::State::kOff) r->turn_off();
+    EXPECT_LT(r->energy().duty_cycle(), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace han

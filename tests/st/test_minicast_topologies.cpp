@@ -1,0 +1,91 @@
+// MiniCast dissemination quality across deployment shapes and seeds:
+// the CP must deliver all-to-all coverage on any reasonable home/office
+// layout, not just the flocklab26 preset.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/channel.hpp"
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "net/topology.hpp"
+#include "st/minicast.hpp"
+
+namespace han::st {
+namespace {
+
+using net::NodeId;
+using net::Radio;
+using net::Topology;
+
+enum class Shape { kLine, kGrid, kRing, kRandom, kFlockLab };
+
+struct Case {
+  Shape shape;
+  std::uint64_t seed;
+};
+
+Topology make(Shape shape, sim::Rng& rng) {
+  switch (shape) {
+    case Shape::kLine:
+      return Topology::line(10, 9.0);  // 81 m: several hops
+    case Shape::kGrid:
+      return Topology::grid(4, 4, 9.0);
+    case Shape::kRing:
+      return Topology::ring(12, 18.0);
+    case Shape::kRandom: {
+      sim::Rng topo = rng.stream("topo");
+      return Topology::random_uniform(16, 45.0, 30.0, topo);
+    }
+    case Shape::kFlockLab:
+      return Topology::flocklab26();
+  }
+  return Topology::line(2, 5.0);
+}
+
+class MiniCastTopoSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MiniCastTopoSweep, CoverageHighOnConnectedDeployments) {
+  const Case c = GetParam();
+  sim::Rng rng(c.seed);
+  const Topology topo = make(c.shape, rng);
+
+  net::ChannelParams cp;
+  cp.shadowing_sigma_db = 2.0;  // mild, keeps the graph connected
+  net::Channel channel(topo, cp, rng);
+  // Only meaningful when the drawn channel is connected; random layouts
+  // with harsh shadowing may legitimately partition.
+  if (!Topology::is_connected(channel.connectivity(0.5))) {
+    GTEST_SKIP() << "disconnected draw";
+  }
+
+  sim::Simulator sim;
+  net::Medium medium(sim, channel, rng.stream("medium"));
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<Radio*> raw;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    radios.push_back(
+        std::make_unique<Radio>(sim, medium, static_cast<NodeId>(i)));
+    raw.push_back(radios.back().get());
+  }
+  MiniCastEngine engine(sim, raw, MiniCastParams{}, rng.stream("mc"));
+  engine.start(sim.now() + sim::milliseconds(10));
+  sim.run_until(sim.now() + sim::seconds(6));  // 3 rounds
+  engine.stop();
+
+  EXPECT_GE(engine.stats().rounds, 3u);
+  EXPECT_GE(engine.stats().mean_coverage(), 0.97)
+      << "shape=" << static_cast<int>(c.shape) << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MiniCastTopoSweep,
+    ::testing::Values(Case{Shape::kLine, 1}, Case{Shape::kLine, 2},
+                      Case{Shape::kGrid, 1}, Case{Shape::kGrid, 2},
+                      Case{Shape::kRing, 1}, Case{Shape::kRing, 2},
+                      Case{Shape::kRandom, 1}, Case{Shape::kRandom, 2},
+                      Case{Shape::kRandom, 3}, Case{Shape::kFlockLab, 1},
+                      Case{Shape::kFlockLab, 2}, Case{Shape::kFlockLab, 3}));
+
+}  // namespace
+}  // namespace han::st

@@ -1,0 +1,123 @@
+// Record store and wire format: merge semantics, selection policy.
+#include <gtest/gtest.h>
+
+#include "st/record.hpp"
+
+namespace han::st {
+namespace {
+
+Record make(net::NodeId origin, std::uint32_t version, std::uint8_t tag = 0) {
+  Record r;
+  r.origin = origin;
+  r.version = version;
+  r.data[0] = tag;
+  return r;
+}
+
+TEST(Record, WireRoundTrip) {
+  net::ByteWriter w;
+  Record r = make(7, 42, 0xAB);
+  r.data[kRecordBytes - 1] = 0xCD;
+  write_record(w, r);
+  EXPECT_EQ(w.size(), kRecordWireBytes);
+  net::ByteReader rd(w.bytes());
+  EXPECT_EQ(read_record(rd), r);
+}
+
+TEST(Record, PackUnpackRoundTrip) {
+  std::vector<Record> recs{make(1, 10, 0x11), make(2, 20, 0x22),
+                           make(3, 30, 0x33)};
+  const auto payload = pack_records(recs);
+  EXPECT_EQ(unpack_records(payload), recs);
+}
+
+TEST(Record, UnpackIgnoresPadding) {
+  std::vector<Record> recs{make(5, 9)};
+  auto payload = pack_records(recs);
+  payload.resize(payload.size() + 40, 0);  // zero padding
+  EXPECT_EQ(unpack_records(payload), recs);
+}
+
+TEST(Record, UnpackRejectsBogusCount) {
+  std::vector<std::uint8_t> payload{255};
+  EXPECT_THROW(unpack_records(payload), std::invalid_argument);
+}
+
+TEST(RecordStore, MergeKeepsFreshest) {
+  RecordStore store(4);
+  EXPECT_TRUE(store.merge(make(1, 5, 0xA)));
+  EXPECT_FALSE(store.merge(make(1, 4, 0xB)));  // stale
+  EXPECT_FALSE(store.merge(make(1, 5, 0xC)));  // equal version
+  EXPECT_TRUE(store.merge(make(1, 6, 0xD)));
+  EXPECT_EQ(store.find(1)->data[0], 0xD);
+  EXPECT_EQ(store.known_count(), 1u);
+}
+
+TEST(RecordStore, RejectsOutOfRangeOrigin) {
+  RecordStore store(4);
+  EXPECT_FALSE(store.merge(make(9, 1)));
+  EXPECT_EQ(store.find(3), nullptr);
+}
+
+TEST(RecordStore, SnapshotOrderedByOrigin) {
+  RecordStore store(5);
+  store.merge(make(3, 1));
+  store.merge(make(0, 1));
+  store.merge(make(4, 1));
+  const auto snap = store.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].origin, 0);
+  EXPECT_EQ(snap[1].origin, 3);
+  EXPECT_EQ(snap[2].origin, 4);
+}
+
+TEST(RecordStore, SelectIncludesOwnFirst) {
+  RecordStore store(6);
+  for (net::NodeId i = 0; i < 6; ++i) store.merge(make(i, 1));
+  const auto sel = store.select_for_broadcast(2, 3, 1);
+  ASSERT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel[0].origin, 2);
+}
+
+TEST(RecordStore, SelectRotatesLeastRecentlyBroadcast) {
+  RecordStore store(5);
+  for (net::NodeId i = 0; i < 5; ++i) store.merge(make(i, 1));
+  // First broadcast: own(0) + 1, 2 (lowest ids, never broadcast).
+  auto s1 = store.select_for_broadcast(0, 3, 1);
+  EXPECT_EQ(s1[1].origin, 1);
+  EXPECT_EQ(s1[2].origin, 2);
+  // Second: 3, 4 are now least recently broadcast.
+  auto s2 = store.select_for_broadcast(0, 3, 2);
+  EXPECT_EQ(s2[1].origin, 3);
+  EXPECT_EQ(s2[2].origin, 4);
+  // Third: 1, 2 again (round robin).
+  auto s3 = store.select_for_broadcast(0, 3, 3);
+  EXPECT_EQ(s3[1].origin, 1);
+  EXPECT_EQ(s3[2].origin, 2);
+}
+
+TEST(RecordStore, SelectWithoutOwnRecord) {
+  RecordStore store(4);
+  store.merge(make(1, 1));
+  const auto sel = store.select_for_broadcast(0, 3, 1);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].origin, 1);
+}
+
+TEST(RecordStore, ClearResets) {
+  RecordStore store(3);
+  store.merge(make(1, 1));
+  store.clear();
+  EXPECT_EQ(store.known_count(), 0u);
+  EXPECT_EQ(store.find(1), nullptr);
+}
+
+TEST(Record, FrameBudgetConstants) {
+  // 6 records of 18 wire bytes + count byte fit a 127-byte PSDU budget.
+  EXPECT_EQ(kRecordWireBytes, 18u);
+  EXPECT_GE(records_per_frame(), 6u);
+  EXPECT_LE(1 + records_per_frame() * kRecordWireBytes, net::kMaxFrameBytes);
+}
+
+}  // namespace
+}  // namespace han::st

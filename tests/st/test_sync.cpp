@@ -1,0 +1,51 @@
+// DriftClock model.
+#include <gtest/gtest.h>
+
+#include "st/sync.hpp"
+
+namespace han::st {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(DriftClock, ZeroDriftHasZeroOffset) {
+  DriftClock c(0.0);
+  EXPECT_EQ(c.offset(TimePoint{10'000'000}).us(), 0);
+}
+
+TEST(DriftClock, OffsetGrowsLinearly) {
+  DriftClock c(40.0);  // 40 ppm fast-acting => acts late
+  // After 2 s: 40e-6 * 2e6 us = 80 us.
+  EXPECT_EQ(c.offset(TimePoint{2'000'000}).us(), 80);
+  EXPECT_EQ(c.offset(TimePoint{4'000'000}).us(), 160);
+}
+
+TEST(DriftClock, NegativeDriftActsEarly) {
+  DriftClock c(-20.0);
+  EXPECT_EQ(c.offset(TimePoint{1'000'000}).us(), -20);
+  EXPECT_LT(c.local_fire_time(TimePoint{1'000'000}),
+            TimePoint{1'000'000});
+}
+
+TEST(DriftClock, ResyncCollapsesOffset) {
+  DriftClock c(40.0);
+  c.resync(TimePoint{10'000'000});
+  EXPECT_EQ(c.offset(TimePoint{10'000'000}).us(), 0);
+  EXPECT_EQ(c.offset(TimePoint{12'000'000}).us(), 80);
+}
+
+TEST(DriftClock, ResidualCarriesOver) {
+  DriftClock c(0.0);
+  c.resync(TimePoint{0}, Duration{50});
+  EXPECT_EQ(c.offset(TimePoint{5'000'000}).us(), 50);
+}
+
+TEST(DriftClock, LocalFireTimeShiftsDeadline) {
+  DriftClock c(100.0);
+  const TimePoint deadline{1'000'000};
+  EXPECT_EQ(c.local_fire_time(deadline), deadline + Duration{100});
+}
+
+}  // namespace
+}  // namespace han::st
