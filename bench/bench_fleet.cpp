@@ -1,0 +1,86 @@
+// bench_fleet — thread scaling of the neighborhood fleet engine.
+//
+// Prints a wall-clock scaling table for a scale_sweep fleet run at
+// 1/2/4/8 executor threads (same seed, so every row computes the
+// identical FleetResult), then runs google-benchmark timings over a
+// small fleet.
+//
+// Environment knobs (CI smoke runs use tiny values):
+//   HAN_FLEET_PREMISES   fleet size for the scaling table (default 200)
+//   HAN_FLEET_MAX_THREADS  widest row of the table (default 8)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace han;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+void print_scaling_table() {
+  const std::size_t premises = env_size("HAN_FLEET_PREMISES", 200);
+  const std::size_t max_threads = env_size("HAN_FLEET_MAX_THREADS", 8);
+
+  std::printf(
+      "\n================================================================\n"
+      "fleet scaling — scale_sweep wall clock vs threads\n"
+      "(paper: Debadarshini & Saha, ICDCS'22; see EXPERIMENTS.md)\n"
+      "CP fidelity: abstract (fleet runs always use the calibrated "
+      "abstract CP)\n"
+      "================================================================\n");
+  std::printf("premises: %zu, horizon: 6 h, seed 1\n\n", premises);
+
+  metrics::TextTable table(
+      {"threads", "wall (s)", "speedup", "coincident peak (kW)"});
+  double base_seconds = 0.0;
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    const fleet::FleetEngine engine(fleet::make_scenario(
+        fleet::ScenarioKind::kScaleSweep, premises, /*seed=*/1));
+    fleet::Executor executor(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const fleet::FleetResult result = engine.run(executor);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (threads == 1) base_seconds = seconds;
+    table.add_row({std::to_string(threads), metrics::fmt(seconds, 3),
+                   metrics::fmt(seconds > 0 ? base_seconds / seconds : 0.0),
+                   metrics::fmt(result.feeder.coincident_peak_kw)});
+  }
+  table.print(std::cout);
+  std::printf("\n(identical peak on every row = thread-count independence)\n");
+}
+
+void BM_FleetScaleSweep(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const fleet::FleetEngine engine(fleet::make_scenario(
+      fleet::ScenarioKind::kScaleSweep, /*premise_count=*/16, /*seed=*/1));
+  fleet::Executor executor(threads);
+  double peak = 0.0;
+  for (auto _ : state) {
+    const fleet::FleetResult r = engine.run(executor);
+    peak = r.feeder.coincident_peak_kw;
+    benchmark::DoNotOptimize(peak);
+  }
+  state.counters["coincident_peak_kw"] = peak;
+}
+BENCHMARK(BM_FleetScaleSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,15 +5,18 @@
 namespace han::core {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  sim::Simulator sim;
-  HanNetwork net(sim, config.han);
-
   // Workload is drawn from the same root seed, independent streams.
   const sim::Rng root(config.han.seed);
   appliance::WorkloadParams wp = config.workload;
   if (wp.warmup == sim::Duration::zero()) wp.warmup = config.cp_boot;
-  const std::vector<appliance::Request> trace =
-      appliance::WorkloadGenerator::generate(wp, root.stream("workload"));
+  return run_experiment(
+      config, appliance::WorkloadGenerator::generate(wp, root.stream("workload")));
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const std::vector<appliance::Request>& trace) {
+  sim::Simulator sim;
+  HanNetwork net(sim, config.han);
   net.inject_requests(trace);
 
   metrics::LoadMonitor monitor(
@@ -22,7 +25,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
   monitor.start(sim::TimePoint::epoch() + config.cp_boot);
 
-  sim.run_until(sim::TimePoint::epoch() + wp.horizon);
+  sim.run_until(sim::TimePoint::epoch() + config.workload.horizon);
   monitor.stop();
 
   ExperimentResult result;

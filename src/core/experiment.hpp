@@ -42,6 +42,15 @@ struct ExperimentResult {
 /// Runs one experiment (deterministic in config.han.seed).
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
 
+/// Runs one experiment over a caller-supplied request trace instead of
+/// generating one from config.workload (rate/service fields are ignored;
+/// the horizon still bounds the run). This is the fleet path: premise
+/// construction stays cheaply repeatable while workload shaping (evening
+/// windows, clustered bursts, partial adoption) happens outside core.
+[[nodiscard]] ExperimentResult run_experiment(
+    const ExperimentConfig& config,
+    const std::vector<appliance::Request>& trace);
+
 /// Peak/mean/stddev distributions over `seeds` independent replicas
 /// (seeds config.han.seed, +1, +2, ...).
 struct ReplicatedResult {

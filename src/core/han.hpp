@@ -16,6 +16,7 @@
 //   sched      coordinated (paper) & uncoordinated (baseline) policies
 //   metrics    stats, time series, load monitor, CSV/tables
 //   core       Device Interface, network assembly, experiment runner
+//   fleet      multi-premise parallel simulation, feeder aggregation
 #pragma once
 
 #include "appliance/appliance.hpp"
@@ -26,6 +27,10 @@
 #include "core/experiment.hpp"
 #include "core/han_network.hpp"
 #include "core/status_codec.hpp"
+#include "fleet/aggregate.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/executor.hpp"
+#include "fleet/scenario.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/load_monitor.hpp"
 #include "metrics/stats.hpp"

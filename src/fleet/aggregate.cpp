@@ -1,0 +1,84 @@
+#include "fleet/aggregate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace han::fleet {
+
+metrics::TimeSeries sum_series(
+    const std::vector<const metrics::TimeSeries*>& series) {
+  metrics::TimeSeries out;
+  std::size_t longest = 0;
+  for (const metrics::TimeSeries* s : series) {
+    if (s == nullptr) throw std::invalid_argument("sum_series: null series");
+    longest = std::max(longest, s->size());
+  }
+  if (longest == 0) return out;
+
+  const metrics::TimeSeries* first = series.front();
+  for (const metrics::TimeSeries* s : series) {
+    if (s->start() != first->start() || s->interval() != first->interval()) {
+      throw std::invalid_argument(
+          "sum_series: series must share start and interval");
+    }
+  }
+
+  std::vector<double> sums(longest, 0.0);
+  for (const metrics::TimeSeries* s : series) {
+    const std::vector<double>& v = s->values();
+    for (std::size_t i = 0; i < v.size(); ++i) sums[i] += v[i];
+  }
+
+  out = metrics::TimeSeries(first->start(), first->interval());
+  for (double v : sums) out.append(v);
+  return out;
+}
+
+metrics::TimeSeries resample(const metrics::TimeSeries& s,
+                             sim::Duration interval) {
+  if (interval <= sim::Duration::zero() ||
+      s.interval() <= sim::Duration::zero() ||
+      interval.us() % s.interval().us() != 0) {
+    throw std::invalid_argument(
+        "resample: interval must be a positive multiple of the source");
+  }
+  // Exact division is guaranteed by the modulo check, so downsample's
+  // output interval (source * factor) is the requested one.
+  return s.downsample(static_cast<std::size_t>(interval / s.interval()));
+}
+
+FeederMetrics feeder_metrics(const metrics::TimeSeries& feeder_load,
+                             double transformer_capacity_kw,
+                             double sum_premise_peaks_kw,
+                             std::size_t premises) {
+  FeederMetrics m;
+  m.premises = premises;
+  m.sum_premise_peaks_kw = sum_premise_peaks_kw;
+  m.transformer_capacity_kw = transformer_capacity_kw;
+  if (feeder_load.empty()) return m;
+
+  const metrics::RunningStats s = feeder_load.stats();
+  m.coincident_peak_kw = s.max();
+  m.mean_kw = s.mean();
+  m.max_step_kw = feeder_load.max_step();
+  if (m.coincident_peak_kw > 0.0) {
+    m.diversity_factor = sum_premise_peaks_kw / m.coincident_peak_kw;
+  }
+  if (m.mean_kw > 0.0) {
+    m.peak_to_average = m.coincident_peak_kw / m.mean_kw;
+  }
+
+  const double interval_hours = feeder_load.interval().hours_f();
+  m.energy_mwh = s.sum() * interval_hours / 1000.0;
+  if (transformer_capacity_kw > 0.0) {
+    std::size_t over = 0;
+    for (double v : feeder_load.values()) {
+      if (v > transformer_capacity_kw) ++over;
+    }
+    m.overload_minutes =
+        static_cast<double>(over) * feeder_load.interval().minutes_f();
+  }
+  return m;
+}
+
+}  // namespace han::fleet

@@ -1,0 +1,61 @@
+// han::fleet — feeder-level aggregation of per-premise load series.
+//
+// The distribution feeder sees the *sum* of the premises it serves; the
+// quantities that matter to the utility are therefore properties of the
+// summed series, not of any single home: the coincident peak (what the
+// transformer must actually carry), the peak-to-average ratio (how
+// badly capacity is sized for the worst minute), the diversity factor
+// (how much staggering across homes buys relative to every home peaking
+// at once), and how many minutes the transformer spends above rating.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/timeseries.hpp"
+#include "sim/time.hpp"
+
+namespace han::fleet {
+
+/// What the feeder transformer experiences over one scenario run.
+struct FeederMetrics {
+  std::size_t premises = 0;
+  /// Max of the summed load — the demand the feeder must actually carry.
+  double coincident_peak_kw = 0.0;
+  /// Sum of each premise's individual peak (the non-coincident demand).
+  double sum_premise_peaks_kw = 0.0;
+  /// sum_premise_peaks / coincident_peak; >= 1, higher = more staggering.
+  double diversity_factor = 1.0;
+  double mean_kw = 0.0;
+  /// coincident_peak / mean (PAR).
+  double peak_to_average = 0.0;
+  /// Largest jump between consecutive feeder samples.
+  double max_step_kw = 0.0;
+  /// Energy delivered over the horizon.
+  double energy_mwh = 0.0;
+  double transformer_capacity_kw = 0.0;
+  /// Simulated minutes the feeder load exceeds the transformer rating.
+  double overload_minutes = 0.0;
+};
+
+/// Element-wise sum of premise series. All series must share start and
+/// interval (the fleet engine samples every premise on one grid);
+/// shorter series are zero-padded to the longest. Empty input yields an
+/// empty series.
+[[nodiscard]] metrics::TimeSeries sum_series(
+    const std::vector<const metrics::TimeSeries*>& series);
+
+/// Resamples to a coarser grid by averaging whole buckets: `interval`
+/// must be a positive integer multiple of s.interval(). The tail
+/// partial bucket is averaged over its actual size.
+[[nodiscard]] metrics::TimeSeries resample(const metrics::TimeSeries& s,
+                                           sim::Duration interval);
+
+/// Derives feeder metrics from the summed series. `sum_premise_peaks_kw`
+/// comes from the per-premise results (it cannot be recovered from the
+/// sum); `transformer_capacity_kw` <= 0 disables overload accounting.
+[[nodiscard]] FeederMetrics feeder_metrics(
+    const metrics::TimeSeries& feeder_load, double transformer_capacity_kw,
+    double sum_premise_peaks_kw, std::size_t premises);
+
+}  // namespace han::fleet

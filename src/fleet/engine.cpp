@@ -1,0 +1,178 @@
+#include "fleet/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace han::fleet {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Diurnal Type-1 base-load factor at simulated time `t`: peaks at
+/// 19:00, troughs at 07:00, unit daily mean.
+double diurnal_factor(sim::TimePoint t, double swing) {
+  const double h = t.since_epoch().hours_f();
+  return 1.0 + swing * std::cos(2.0 * kPi * (h - 19.0) / 24.0);
+}
+
+}  // namespace
+
+std::vector<core::TopologyKind> default_fleet_topologies() {
+  return {core::TopologyKind::kLine, core::TopologyKind::kRing,
+          core::TopologyKind::kGrid, core::TopologyKind::kRandom};
+}
+
+FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
+  if (config_.premise_count == 0) {
+    throw std::invalid_argument("FleetEngine: premise_count must be > 0");
+  }
+  const PremiseProfile& p = config_.profile;
+  if (p.min_devices == 0 || p.max_devices < p.min_devices) {
+    throw std::invalid_argument("FleetEngine: bad device-count range");
+  }
+  if (p.topologies.empty()) {
+    throw std::invalid_argument("FleetEngine: profile.topologies empty");
+  }
+  if (p.min_rated_kw < 0.0 || p.max_rated_kw < p.min_rated_kw) {
+    throw std::invalid_argument("FleetEngine: bad rated-kW range");
+  }
+  if (p.min_base_kw < 0.0 || p.max_base_kw < p.min_base_kw) {
+    throw std::invalid_argument("FleetEngine: bad base-load range");
+  }
+}
+
+PremiseSpec FleetEngine::make_spec(std::size_t index) const {
+  const PremiseProfile& p = config_.profile;
+  const sim::Rng rng = sim::Rng(config_.seed).stream("premise", index);
+  sim::Rng draw = rng.stream("draw");
+
+  PremiseSpec spec;
+  spec.index = index;
+
+  const auto devices = static_cast<std::size_t>(draw.uniform_int(
+      static_cast<std::int64_t>(p.min_devices),
+      static_cast<std::int64_t>(p.max_devices)));
+  const core::TopologyKind topology = p.topologies[draw.index(p.topologies.size())];
+  const double rated_kw = draw.uniform(p.min_rated_kw, p.max_rated_kw);
+  spec.base_kw = draw.uniform(p.min_base_kw, p.max_base_kw);
+  spec.base_swing = p.base_swing;
+  // Last draw on this stream: bernoulli(0)/bernoulli(1) consume nothing,
+  // so changing the adoption fraction never perturbs the other draws.
+  const bool coordinated = draw.bernoulli(p.coordination_adoption);
+
+  core::ExperimentConfig& cfg = spec.experiment;
+  cfg.han.device_count = devices;
+  cfg.han.topology_kind = topology;
+  cfg.han.scheduler = coordinated ? core::SchedulerKind::kCoordinated
+                                  : core::SchedulerKind::kUncoordinated;
+  cfg.han.fidelity = core::CpFidelity::kAbstract;
+  cfg.han.abstract_reliability = config_.abstract_reliability;
+  cfg.han.minicast.round_period = config_.round_period;
+  cfg.han.rated_kw = rated_kw;
+  cfg.han.constraints = p.constraints;
+  cfg.han.seed = rng.stream("han").next_u64();
+  cfg.sample_interval = config_.sample_interval;
+
+  appliance::WorkloadParams wp;
+  wp.rate_per_hour = p.base_rate_per_device_hour * static_cast<double>(devices);
+  wp.device_count = devices;
+  wp.horizon = config_.horizon;
+  wp.mean_service = p.mean_service;
+  wp.service_model = p.service_model;
+  wp.warmup = cfg.cp_boot;
+  cfg.workload = wp;
+
+  spec.trace = appliance::WorkloadGenerator::generate(wp, rng.stream("workload"));
+
+  if (p.surge && p.surge_end > p.surge_start) {
+    appliance::WorkloadParams sw = wp;
+    sw.warmup = sim::Duration::zero();
+    sw.horizon = p.surge_end - p.surge_start;
+    appliance::ClusterParams cl;
+    cl.clusters_per_hour = p.surge_clusters_per_hour;
+    cl.cluster_size = std::min(p.surge_cluster_size, devices);
+    cl.spread = p.surge_spread;
+    std::vector<appliance::Request> surge =
+        appliance::WorkloadGenerator::generate_clustered(sw, cl,
+                                                         rng.stream("surge"));
+    for (appliance::Request& r : surge) {
+      r.at = r.at + p.surge_start;  // shift into the surge window
+      // Drop requests past the horizon (a surge window may outlast a
+      // short run); they would never execute but would still be counted.
+      if (r.at.since_epoch() > config_.horizon) continue;
+      spec.trace.push_back(r);
+    }
+    std::sort(spec.trace.begin(), spec.trace.end(),
+              [](const appliance::Request& a, const appliance::Request& b) {
+                return a.at < b.at;
+              });
+  }
+  return spec;
+}
+
+PremiseResult FleetEngine::run_premise(const PremiseSpec& spec) {
+  const core::ExperimentResult r =
+      core::run_experiment(spec.experiment, spec.trace);
+
+  PremiseResult out;
+  out.index = spec.index;
+  out.device_count = spec.experiment.han.device_count;
+  out.scheduler = spec.experiment.han.scheduler;
+  out.requests = spec.trace.size();
+  out.network = r.network;
+
+  // Overlay the deterministic diurnal Type-1 base load on the sampled
+  // Type-2 series.
+  out.load = metrics::TimeSeries(r.load.start(), r.load.interval());
+  for (std::size_t i = 0; i < r.load.size(); ++i) {
+    const double base =
+        spec.base_kw * diurnal_factor(r.load.time_of(i), spec.base_swing);
+    out.load.append(r.load.at(i) + base);
+  }
+  const metrics::RunningStats s = out.load.stats();
+  out.peak_kw = s.max();
+  out.mean_kw = s.mean();
+  return out;
+}
+
+FleetResult FleetEngine::run(Executor& executor) const {
+  FleetResult out;
+  out.premises.resize(config_.premise_count);
+  executor.parallel_for(config_.premise_count, [this, &out](std::size_t i) {
+    out.premises[i] = run_premise(make_spec(i));
+  });
+
+  // Aggregation is sequential over index order, so the result is
+  // independent of which thread ran which premise.
+  std::vector<const metrics::TimeSeries*> series;
+  series.reserve(out.premises.size());
+  double sum_peaks = 0.0;
+  for (const PremiseResult& p : out.premises) {
+    series.push_back(&p.load);
+    sum_peaks += p.peak_kw;
+    if (p.scheduler == core::SchedulerKind::kCoordinated) {
+      ++out.coordinated_premises;
+    }
+    out.total_requests += p.requests;
+    out.min_dcd_violations += p.network.min_dcd_violations;
+    out.service_gap_violations += p.network.service_gap_violations;
+  }
+  out.feeder_load = sum_series(series);
+
+  const double capacity =
+      config_.transformer_capacity_kw > 0.0
+          ? config_.transformer_capacity_kw
+          : 2.0 * static_cast<double>(config_.premise_count);
+  out.feeder = feeder_metrics(out.feeder_load, capacity, sum_peaks,
+                              config_.premise_count);
+  return out;
+}
+
+FleetResult FleetEngine::run(std::size_t threads) const {
+  Executor executor(threads);
+  return run(executor);
+}
+
+}  // namespace han::fleet

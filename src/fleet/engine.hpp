@@ -1,0 +1,151 @@
+// han::fleet — neighborhood fleet engine.
+//
+// The paper coordinates duty cycles inside ONE customer premise; the
+// fleet engine simulates MANY independent premises at once and measures
+// what the shared distribution feeder sees. Each premise is a complete
+// HanNetwork (own Simulator, own topology, own scheduler, own workload)
+// drawn deterministically from the fleet seed, so a fleet run is
+// reproducible bit-for-bit regardless of how many threads execute it:
+//
+//   FleetConfig (seed) --make_spec(i)--> PremiseSpec (pure function)
+//   PremiseSpec --run_premise--> PremiseResult (thread-confined sim)
+//   PremiseResult[] --sum/aggregate--> feeder series + FeederMetrics
+//
+// Premise heterogeneity: device count, topology, appliance rating,
+// scheduler kind (coordination adoption fraction) and workload are all
+// drawn from per-premise RNG streams. Type-1 (non-deferrable) base load
+// is modeled as a deterministic diurnal profile added to the sampled
+// Type-2 series — it is not controllable, so simulating it adds nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "appliance/workload.hpp"
+#include "core/experiment.hpp"
+#include "fleet/aggregate.hpp"
+#include "fleet/executor.hpp"
+
+namespace han::fleet {
+
+/// Default premise topology pool: every generator-backed kind except
+/// flocklab26 (which pins the device count to 26). Out-of-line so the
+/// defaulted profile copy does not trip GCC's initializer-list
+/// -Wmaybe-uninitialized false positive.
+[[nodiscard]] std::vector<core::TopologyKind> default_fleet_topologies();
+
+/// Distributions each premise is drawn from.
+struct PremiseProfile {
+  /// Device count, uniform on [min_devices, max_devices].
+  std::size_t min_devices = 4;
+  std::size_t max_devices = 12;
+  /// Topology drawn uniformly from this set (flocklab26 is excluded by
+  /// default: it pins the device count to 26).
+  std::vector<core::TopologyKind> topologies = default_fleet_topologies();
+  /// Per-device rating, uniform on [min_rated_kw, max_rated_kw].
+  double min_rated_kw = 0.8;
+  double max_rated_kw = 1.5;
+  /// Probability a premise runs the coordinated scheduler; the rest run
+  /// the uncoordinated baseline (partial deployment adoption).
+  double coordination_adoption = 1.0;
+  appliance::DutyCycleConstraints constraints{};
+
+  // --- Workload shape ---------------------------------------------------
+  /// Background Poisson request rate, per device per hour (the premise
+  /// rate scales with its size).
+  double base_rate_per_device_hour = 0.15;
+  sim::Duration mean_service = sim::minutes(30);
+  appliance::ServiceModel service_model = appliance::ServiceModel::kFixed;
+  /// Optional demand surge: clustered near-simultaneous requests inside
+  /// [surge_start, surge_end) (a family coming home; a heat spike).
+  bool surge = false;
+  sim::Duration surge_start = sim::hours(17);
+  sim::Duration surge_end = sim::hours(21);
+  double surge_clusters_per_hour = 2.0;
+  std::size_t surge_cluster_size = 6;
+  sim::Duration surge_spread = sim::minutes(5);
+
+  // --- Type-1 (non-deferrable) base load --------------------------------
+  /// Daily-mean base load, uniform on [min_base_kw, max_base_kw].
+  double min_base_kw = 0.2;
+  double max_base_kw = 0.5;
+  /// Relative diurnal swing in [0, 1]: the profile is
+  /// base * (1 + swing * cos(2*pi*(h - 19)/24)), peaking at 19:00.
+  double base_swing = 0.5;
+};
+
+/// One neighborhood run.
+struct FleetConfig {
+  std::size_t premise_count = 100;
+  std::uint64_t seed = 1;
+  sim::Duration horizon = sim::hours(24);
+  sim::Duration sample_interval = sim::minutes(1);
+  /// CP round period per premise. Fleet runs use the calibrated abstract
+  /// CP; 10 s rounds are ample for 15-minute duty-cycle granularity.
+  sim::Duration round_period = sim::seconds(10);
+  double abstract_reliability = 0.999;
+  /// Feeder transformer rating; <= 0 derives 2 kW per premise.
+  double transformer_capacity_kw = 0.0;
+  PremiseProfile profile;
+};
+
+/// Fully resolved inputs of one premise: pure function of (seed, index).
+struct PremiseSpec {
+  std::size_t index = 0;
+  core::ExperimentConfig experiment;
+  std::vector<appliance::Request> trace;
+  double base_kw = 0.0;
+  double base_swing = 0.0;
+};
+
+/// Output of one premise simulation.
+struct PremiseResult {
+  std::size_t index = 0;
+  std::size_t device_count = 0;
+  core::SchedulerKind scheduler = core::SchedulerKind::kCoordinated;
+  double peak_kw = 0.0;
+  double mean_kw = 0.0;
+  std::uint64_t requests = 0;
+  core::NetworkStats network;
+  metrics::TimeSeries load;  // Type-2 + diurnal base, fleet sample grid
+};
+
+/// Output of one fleet run. `premises` is ordered by index, so equality
+/// of two FleetResults is independent of executor thread count.
+struct FleetResult {
+  std::vector<PremiseResult> premises;
+  metrics::TimeSeries feeder_load;
+  FeederMetrics feeder;
+  std::size_t coordinated_premises = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t min_dcd_violations = 0;
+  std::uint64_t service_gap_violations = 0;
+};
+
+/// Runs N independent premises concurrently and aggregates the feeder
+/// view. Deterministic in config.seed for any executor width.
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetConfig config);
+
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+  /// Deterministically draws premise `index`'s full configuration and
+  /// request trace from the fleet seed (exposed for tests).
+  [[nodiscard]] PremiseSpec make_spec(std::size_t index) const;
+
+  /// Simulates one premise. Creates the Simulator/HanNetwork in the
+  /// calling thread; specs are value types, so this is thread-confined.
+  [[nodiscard]] static PremiseResult run_premise(const PremiseSpec& spec);
+
+  /// Runs the whole fleet on `executor`.
+  [[nodiscard]] FleetResult run(Executor& executor) const;
+  /// Convenience: runs on a temporary executor with `threads` workers
+  /// (0 = hardware concurrency).
+  [[nodiscard]] FleetResult run(std::size_t threads = 0) const;
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace han::fleet

@@ -1,0 +1,168 @@
+#include "fleet/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace han::fleet {
+
+struct Executor::Impl {
+  struct Shard {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  /// One parallel_for invocation. Heap-allocated and shared with the
+  /// workers so a worker still scanning for steals can outlive the
+  /// submitter's wait without touching freed shards.
+  struct Job {
+    explicit Job(std::size_t worker_count) : shards(worker_count) {}
+
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::vector<Shard> shards;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  explicit Impl(std::size_t threads) {
+    workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers.emplace_back([this, i]() { worker_loop(i); });
+    }
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      shutdown = true;
+    }
+    wake_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  void worker_loop(std::size_t wid) {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      wake_cv.wait(lock, [this]() { return shutdown || job != nullptr; });
+      if (shutdown) return;
+      const std::shared_ptr<Job> j = job;
+      lock.unlock();
+      run_tasks(*j, wid);
+      lock.lock();
+      // No runnable task found anywhere. If the job is still in flight
+      // (its last tasks are executing on other workers), sleep until it
+      // is retired rather than spinning over empty shards.
+      if (job == j) {
+        wake_cv.wait(lock,
+                     [this, &j]() { return shutdown || job != j; });
+      }
+    }
+  }
+
+  void run_tasks(Job& j, std::size_t wid) {
+    const std::size_t w = j.shards.size();
+    for (;;) {
+      std::size_t index = 0;
+      bool found = false;
+      {  // Own deque: LIFO-free front pop (indices were dealt round-robin).
+        Shard& own = j.shards[wid];
+        const std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+          index = own.tasks.front();
+          own.tasks.pop_front();
+          found = true;
+        }
+      }
+      if (!found) {  // Steal from the back of the first non-empty victim.
+        for (std::size_t off = 1; off < w && !found; ++off) {
+          Shard& victim = j.shards[(wid + off) % w];
+          const std::lock_guard<std::mutex> lock(victim.mutex);
+          if (!victim.tasks.empty()) {
+            index = victim.tasks.back();
+            victim.tasks.pop_back();
+            found = true;
+          }
+        }
+      }
+      if (!found) return;
+
+      try {
+        (*j.fn)(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(j.error_mutex);
+        if (!j.error) j.error = std::current_exception();
+      }
+      if (j.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task: retire the job and release submitter + idle workers.
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          job = nullptr;
+        }
+        done_cv.notify_all();
+        wake_cv.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers;
+  std::mutex mutex;                  // guards job / shutdown
+  std::condition_variable wake_cv;   // workers wait for a job
+  std::condition_variable done_cv;   // submitters wait for retirement
+  std::mutex submit_mutex;           // serializes parallel_for callers
+  std::shared_ptr<Job> job;
+  bool shutdown = false;
+};
+
+namespace {
+
+std::size_t resolve_thread_count(std::size_t threads) {
+  // A wildly large request is a caller bug (e.g. a negative count pushed
+  // through size_t); fail loudly instead of dying inside std::vector.
+  constexpr std::size_t kMaxThreads = 4096;
+  if (threads > kMaxThreads) {
+    throw std::invalid_argument("Executor: thread count too large");
+  }
+  if (threads > 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+Executor::Executor(std::size_t threads)
+    : impl_(std::make_unique<Impl>(resolve_thread_count(threads))) {}
+
+Executor::~Executor() = default;
+
+std::size_t Executor::thread_count() const noexcept {
+  return impl_->workers.size();
+}
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::lock_guard<std::mutex> submit(impl_->submit_mutex);
+
+  auto j = std::make_shared<Impl::Job>(impl_->workers.size());
+  j->fn = &fn;
+  j->remaining.store(n, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    j->shards[i % j->shards.size()].tasks.push_back(i);
+  }
+
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->job = j;
+  impl_->wake_cv.notify_all();
+  impl_->done_cv.wait(lock, [this]() { return impl_->job == nullptr; });
+  lock.unlock();
+
+  if (j->error) std::rethrow_exception(j->error);
+}
+
+}  // namespace han::fleet

@@ -1,0 +1,48 @@
+// han::fleet — work-stealing executor for premise-parallel simulation.
+//
+// Premise simulations are embarrassingly parallel but wildly uneven in
+// cost (device counts, workload intensity and horizon all vary per
+// home), so a static partition of premises over threads leaves workers
+// idle behind the largest homes. The executor keeps one task deque per
+// worker: a worker pops its own deque from the front and, when empty,
+// steals from the back of a victim's deque, so load balances itself.
+//
+// Determinism contract: the executor guarantees every index is executed
+// exactly once, but in an unspecified order on unspecified threads.
+// Callers that need deterministic output must make tasks independent
+// (per-task RNG streams) and write results into per-index slots.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace han::fleet {
+
+/// Fixed-size worker pool with per-worker deques and work stealing.
+/// Thread-safe for sequential parallel_for calls from one submitter
+/// thread; concurrent submissions are serialized internally.
+class Executor {
+ public:
+  /// Spawns `threads` workers (0 = std::thread::hardware_concurrency,
+  /// at least 1). Workers live until destruction.
+  explicit Executor(std::size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// Runs fn(0) .. fn(n-1) across the workers and blocks until all
+  /// complete. If any task throws, the first exception (in completion
+  /// order) is rethrown after the remaining tasks finish.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace han::fleet

@@ -1,0 +1,53 @@
+// han::fleet — named neighborhood scenario presets.
+//
+// A scenario is a curated FleetConfig: it fixes the premise profile,
+// workload shape and transformer sizing so that benches, examples and
+// CI all speak the same vocabulary ("evening_peak at 100 premises").
+// The premise count and seed stay free parameters.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "fleet/engine.hpp"
+
+namespace han::fleet {
+
+enum class ScenarioKind : std::uint8_t {
+  /// Clustered arrival surge 17:00-21:00 on top of a light background;
+  /// full coordination adoption. The classic feeder stress case.
+  kEveningPeak,
+  /// Sustained near-continuous AC demand all day: high request rate,
+  /// long exponential service, bigger homes, hotter base load.
+  kHeatWave,
+  /// evening_peak workload but only half the homes run the coordinated
+  /// scheduler — measures what partial deployment buys the feeder.
+  kMixedAdoption,
+  /// Small premises, moderate uniform workload, short horizon — the
+  /// thread-scaling benchmark diet.
+  kScaleSweep,
+};
+
+struct ScenarioInfo {
+  ScenarioKind kind;
+  std::string_view name;
+  std::string_view description;
+};
+
+[[nodiscard]] std::string_view to_string(ScenarioKind kind) noexcept;
+
+/// All registered scenarios, in declaration order.
+[[nodiscard]] const std::vector<ScenarioInfo>& scenarios();
+
+/// Looks a scenario up by its registry name (e.g. "evening_peak").
+[[nodiscard]] std::optional<ScenarioKind> scenario_from_name(
+    std::string_view name) noexcept;
+
+/// Builds the preset FleetConfig for `kind` with the given premise
+/// count and seed.
+[[nodiscard]] FleetConfig make_scenario(ScenarioKind kind,
+                                        std::size_t premise_count,
+                                        std::uint64_t seed = 1);
+
+}  // namespace han::fleet

@@ -34,6 +34,7 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (sink) {
     sink_ = std::move(sink);
   } else {
@@ -56,8 +57,11 @@ void Logger::write(LogLevel level, TimePoint at, std::string_view component,
   line += component;
   line += ": ";
   line += message;
-  sink_(line);
-  ++lines_;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sink_(line);
+  }
+  lines_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace han::sim

@@ -7,7 +7,9 @@
 // small variadic template over streamable values.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -27,18 +29,24 @@ enum class LogLevel : int {
 
 [[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
 
-/// Global logging configuration. Thread-compatible (the simulator is
-/// single-threaded); the default sink writes to stderr.
+/// Global logging configuration. Thread-safe: each simulator is
+/// single-threaded, but the fleet engine runs many simulators
+/// concurrently, so the level check is atomic (lock-free fast path)
+/// and sink invocation is serialized under a mutex.
 class Logger {
  public:
   using Sink = std::function<void(std::string_view line)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return level >= level_;
+    return level >= this->level();
   }
 
   /// Replaces the output sink (pass nullptr to restore stderr).
@@ -48,13 +56,16 @@ class Logger {
              std::string_view message);
 
   /// Number of lines emitted since construction (used by tests).
-  [[nodiscard]] std::uint64_t lines_emitted() const noexcept { return lines_; }
+  [[nodiscard]] std::uint64_t lines_emitted() const noexcept {
+    return lines_.load(std::memory_order_relaxed);
+  }
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_ = LogLevel::kWarn;
+  std::mutex mutex_;  // guards sink_ (replacement and invocation)
   Sink sink_;
-  std::uint64_t lines_ = 0;
+  std::atomic<std::uint64_t> lines_ = 0;
 };
 
 namespace detail {

@@ -1,0 +1,103 @@
+// Feeder aggregation: summing, resampling, metric arithmetic.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fleet/aggregate.hpp"
+
+namespace han::fleet {
+namespace {
+
+metrics::TimeSeries series(std::initializer_list<double> values,
+                           sim::Duration interval = sim::minutes(1)) {
+  metrics::TimeSeries s(sim::TimePoint::epoch(), interval);
+  for (double v : values) s.append(v);
+  return s;
+}
+
+TEST(SumSeries, ElementWiseSum) {
+  const metrics::TimeSeries a = series({1.0, 2.0, 3.0});
+  const metrics::TimeSeries b = series({10.0, 20.0, 30.0});
+  const metrics::TimeSeries sum = sum_series({&a, &b});
+  ASSERT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum.at(0), 11.0);
+  EXPECT_DOUBLE_EQ(sum.at(1), 22.0);
+  EXPECT_DOUBLE_EQ(sum.at(2), 33.0);
+  EXPECT_EQ(sum.interval(), a.interval());
+  EXPECT_EQ(sum.start(), a.start());
+}
+
+TEST(SumSeries, ShorterSeriesZeroPad) {
+  const metrics::TimeSeries a = series({1.0, 2.0, 3.0, 4.0});
+  const metrics::TimeSeries b = series({5.0});
+  const metrics::TimeSeries sum = sum_series({&a, &b});
+  ASSERT_EQ(sum.size(), 4u);
+  EXPECT_DOUBLE_EQ(sum.at(0), 6.0);
+  EXPECT_DOUBLE_EQ(sum.at(3), 4.0);
+}
+
+TEST(SumSeries, EmptyInputYieldsEmpty) {
+  EXPECT_TRUE(sum_series({}).empty());
+}
+
+TEST(SumSeries, MismatchedGridThrows) {
+  const metrics::TimeSeries a = series({1.0});
+  const metrics::TimeSeries b = series({1.0}, sim::minutes(5));
+  EXPECT_THROW((void)sum_series({&a, &b}), std::invalid_argument);
+}
+
+TEST(Resample, AveragesWholeBuckets) {
+  const metrics::TimeSeries s = series({1.0, 3.0, 5.0, 7.0});
+  const metrics::TimeSeries r = resample(s, sim::minutes(2));
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(r.at(1), 6.0);
+  EXPECT_EQ(r.interval(), sim::minutes(2));
+}
+
+TEST(Resample, TailBucketAveragedOverActualSize) {
+  const metrics::TimeSeries s = series({2.0, 4.0, 9.0});
+  const metrics::TimeSeries r = resample(s, sim::minutes(2));
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(r.at(1), 9.0);
+}
+
+TEST(Resample, NonMultipleIntervalThrows) {
+  const metrics::TimeSeries s = series({1.0, 2.0});
+  EXPECT_THROW((void)resample(s, sim::seconds(90)), std::invalid_argument);
+}
+
+TEST(FeederMetrics, HandComputedValues) {
+  // 4 samples at 15-min interval: 10, 30, 20, 20 kW.
+  const metrics::TimeSeries load =
+      series({10.0, 30.0, 20.0, 20.0}, sim::minutes(15));
+  const FeederMetrics m =
+      feeder_metrics(load, /*capacity=*/25.0, /*sum_peaks=*/45.0,
+                     /*premises=*/3);
+  EXPECT_EQ(m.premises, 3u);
+  EXPECT_DOUBLE_EQ(m.coincident_peak_kw, 30.0);
+  EXPECT_DOUBLE_EQ(m.mean_kw, 20.0);
+  EXPECT_DOUBLE_EQ(m.peak_to_average, 1.5);
+  EXPECT_DOUBLE_EQ(m.diversity_factor, 1.5);  // 45 / 30
+  EXPECT_DOUBLE_EQ(m.max_step_kw, 20.0);
+  // 80 kW-samples * 0.25 h / 1000 = 0.02 MWh.
+  EXPECT_DOUBLE_EQ(m.energy_mwh, 0.02);
+  // Exactly one sample above 25 kW => 15 overload minutes.
+  EXPECT_DOUBLE_EQ(m.overload_minutes, 15.0);
+}
+
+TEST(FeederMetrics, NoCapacityDisablesOverload) {
+  const metrics::TimeSeries load = series({100.0, 200.0});
+  const FeederMetrics m = feeder_metrics(load, 0.0, 200.0, 1);
+  EXPECT_DOUBLE_EQ(m.overload_minutes, 0.0);
+}
+
+TEST(FeederMetrics, EmptySeriesIsZeroed) {
+  const FeederMetrics m = feeder_metrics(metrics::TimeSeries{}, 10.0, 0.0, 0);
+  EXPECT_DOUBLE_EQ(m.coincident_peak_kw, 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_mwh, 0.0);
+}
+
+}  // namespace
+}  // namespace han::fleet

@@ -1,0 +1,86 @@
+// Executor: completeness, reuse, imbalance (stealing), exceptions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fleet/executor.hpp"
+
+namespace han::fleet {
+namespace {
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  Executor ex(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ex.parallel_for(kN, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Executor, ZeroTasksIsANoOp) {
+  Executor ex(2);
+  ex.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(Executor, FewerTasksThanThreads) {
+  Executor ex(8);
+  std::atomic<int> ran{0};
+  ex.parallel_for(3, [&ran](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(Executor, SingleThreadExecutesAll) {
+  Executor ex(1);
+  EXPECT_EQ(ex.thread_count(), 1u);
+  std::atomic<int> ran{0};
+  ex.parallel_for(64, [&ran](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(Executor, PoolIsReusableAcrossCalls) {
+  Executor ex(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    ex.parallel_for(17, [&ran](std::size_t) { ++ran; });
+    ASSERT_EQ(ran.load(), 17) << "round " << round;
+  }
+}
+
+TEST(Executor, UnbalancedTasksAllComplete) {
+  // One task is 100x the others; stealing must drain the rest anyway.
+  Executor ex(4);
+  std::atomic<int> ran{0};
+  ex.parallel_for(40, [&ran](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(i == 0 ? 50 : 1));
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(Executor, FirstExceptionPropagates) {
+  Executor ex(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      ex.parallel_for(32,
+                      [&ran](std::size_t i) {
+                        ++ran;
+                        if (i == 7) throw std::runtime_error("task 7 failed");
+                      }),
+      std::runtime_error);
+  // Remaining tasks still execute (the pool is not poisoned).
+  EXPECT_EQ(ran.load(), 32);
+  ran = 0;
+  ex.parallel_for(8, [&ran](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(Executor, DefaultThreadCountIsPositive) {
+  Executor ex;
+  EXPECT_GE(ex.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace han::fleet

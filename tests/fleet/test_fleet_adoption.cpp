@@ -1,0 +1,76 @@
+// mixed_adoption property: coordinated homes lower the coincident peak.
+//
+// The same fleet (same seed => same homes, same workload, same base
+// load; the adoption coin is the last draw on its stream, so flipping
+// the fraction changes ONLY which scheduler each home runs) is run at
+// adoption 0, 0.5 and 1. Full coordination must beat no coordination on
+// the feeder's coincident peak, and partial adoption must not be worse
+// than none.
+#include <gtest/gtest.h>
+
+#include "fleet/engine.hpp"
+#include "fleet/scenario.hpp"
+
+namespace han::fleet {
+namespace {
+
+/// Surge-heavy fleet: every premise gets whole-home clustered bursts,
+/// the regime where uncoordinated duty cycles stack the worst.
+FleetConfig surge_fleet(double adoption, std::uint64_t seed) {
+  FleetConfig cfg;
+  cfg.premise_count = 8;
+  cfg.seed = seed;
+  cfg.horizon = sim::hours(3);
+  cfg.round_period = sim::seconds(30);
+  cfg.profile.min_devices = 4;
+  cfg.profile.max_devices = 8;
+  cfg.profile.base_rate_per_device_hour = 0.2;
+  cfg.profile.surge = true;
+  cfg.profile.surge_start = sim::minutes(60);
+  cfg.profile.surge_end = sim::minutes(150);
+  cfg.profile.surge_clusters_per_hour = 4.0;
+  cfg.profile.surge_cluster_size = 8;  // clamped to the home size
+  cfg.profile.coordination_adoption = adoption;
+  return cfg;
+}
+
+TEST(MixedAdoption, AdoptionOnlyFlipsSchedulers) {
+  const FleetEngine none(surge_fleet(0.0, 21));
+  const FleetEngine full(surge_fleet(1.0, 21));
+  for (std::size_t i = 0; i < 8; ++i) {
+    const PremiseSpec a = none.make_spec(i);
+    const PremiseSpec b = full.make_spec(i);
+    EXPECT_EQ(a.experiment.han.device_count, b.experiment.han.device_count);
+    EXPECT_EQ(a.experiment.han.seed, b.experiment.han.seed);
+    EXPECT_DOUBLE_EQ(a.base_kw, b.base_kw);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.experiment.han.scheduler,
+              core::SchedulerKind::kUncoordinated);
+    EXPECT_EQ(b.experiment.han.scheduler, core::SchedulerKind::kCoordinated);
+  }
+}
+
+TEST(MixedAdoption, CoordinationLowersCoincidentPeak) {
+  const FleetResult none = FleetEngine(surge_fleet(0.0, 21)).run(2);
+  const FleetResult full = FleetEngine(surge_fleet(1.0, 21)).run(2);
+  ASSERT_EQ(none.coordinated_premises, 0u);
+  ASSERT_EQ(full.coordinated_premises, 8u);
+
+  EXPECT_LT(full.feeder.coincident_peak_kw, none.feeder.coincident_peak_kw);
+  // Staggering inside each home also smooths the feeder sum.
+  EXPECT_LE(full.feeder.peak_to_average, none.feeder.peak_to_average);
+  // Both serve the same demand.
+  EXPECT_EQ(full.total_requests, none.total_requests);
+}
+
+TEST(MixedAdoption, PartialAdoptionIsNotWorseThanNone) {
+  const FleetResult none = FleetEngine(surge_fleet(0.0, 21)).run(2);
+  const FleetResult mixed = FleetEngine(surge_fleet(0.5, 21)).run(2);
+  EXPECT_GT(mixed.coordinated_premises, 0u);
+  EXPECT_LT(mixed.coordinated_premises, 8u);
+  EXPECT_LE(mixed.feeder.coincident_peak_kw,
+            none.feeder.coincident_peak_kw);
+}
+
+}  // namespace
+}  // namespace han::fleet

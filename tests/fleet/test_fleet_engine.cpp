@@ -1,0 +1,171 @@
+// FleetEngine: determinism, thread-count independence, heterogeneity,
+// scenario registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fleet/engine.hpp"
+#include "fleet/scenario.hpp"
+
+namespace han::fleet {
+namespace {
+
+/// Small fast fleet: 6 premises, 2 h horizon, 30 s CP rounds.
+FleetConfig tiny_fleet(std::uint64_t seed) {
+  FleetConfig cfg;
+  cfg.premise_count = 6;
+  cfg.seed = seed;
+  cfg.horizon = sim::hours(2);
+  cfg.round_period = sim::seconds(30);
+  cfg.profile.min_devices = 3;
+  cfg.profile.max_devices = 6;
+  cfg.profile.base_rate_per_device_hour = 0.5;
+  cfg.profile.surge = true;
+  cfg.profile.surge_start = sim::minutes(30);
+  cfg.profile.surge_end = sim::minutes(90);
+  cfg.profile.surge_clusters_per_hour = 3.0;
+  cfg.profile.surge_cluster_size = 4;
+  return cfg;
+}
+
+void expect_identical(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.premises.size(), b.premises.size());
+  for (std::size_t i = 0; i < a.premises.size(); ++i) {
+    EXPECT_EQ(a.premises[i].device_count, b.premises[i].device_count) << i;
+    EXPECT_EQ(a.premises[i].scheduler, b.premises[i].scheduler) << i;
+    EXPECT_EQ(a.premises[i].requests, b.premises[i].requests) << i;
+    EXPECT_EQ(a.premises[i].load.values(), b.premises[i].load.values()) << i;
+  }
+  EXPECT_EQ(a.feeder_load.values(), b.feeder_load.values());
+  EXPECT_DOUBLE_EQ(a.feeder.coincident_peak_kw, b.feeder.coincident_peak_kw);
+  EXPECT_DOUBLE_EQ(a.feeder.mean_kw, b.feeder.mean_kw);
+  EXPECT_DOUBLE_EQ(a.feeder.energy_mwh, b.feeder.energy_mwh);
+  EXPECT_DOUBLE_EQ(a.feeder.overload_minutes, b.feeder.overload_minutes);
+}
+
+TEST(FleetEngine, SameSeedSameAggregate) {
+  const FleetEngine engine(tiny_fleet(42));
+  expect_identical(engine.run(2), engine.run(2));
+}
+
+TEST(FleetEngine, ThreadCountDoesNotChangeResults) {
+  const FleetEngine engine(tiny_fleet(42));
+  const FleetResult one = engine.run(1);
+  expect_identical(one, engine.run(4));
+  expect_identical(one, engine.run(7));
+}
+
+TEST(FleetEngine, DifferentSeedsDiffer) {
+  const FleetResult a = FleetEngine(tiny_fleet(1)).run(2);
+  const FleetResult b = FleetEngine(tiny_fleet(2)).run(2);
+  EXPECT_NE(a.feeder_load.values(), b.feeder_load.values());
+}
+
+TEST(FleetEngine, SpecsAreDeterministicAndHeterogeneous) {
+  FleetConfig cfg = tiny_fleet(9);
+  cfg.premise_count = 24;
+  const FleetEngine engine(cfg);
+
+  std::set<std::size_t> device_counts;
+  std::set<std::uint64_t> han_seeds;
+  for (std::size_t i = 0; i < cfg.premise_count; ++i) {
+    const PremiseSpec a = engine.make_spec(i);
+    const PremiseSpec b = engine.make_spec(i);
+    EXPECT_EQ(a.experiment.han.seed, b.experiment.han.seed) << i;
+    EXPECT_EQ(a.trace, b.trace) << i;
+    device_counts.insert(a.experiment.han.device_count);
+    han_seeds.insert(a.experiment.han.seed);
+  }
+  // Premises are distinct deployments...
+  EXPECT_EQ(han_seeds.size(), cfg.premise_count);
+  // ...and the profile actually produces size diversity.
+  EXPECT_GT(device_counts.size(), 1u);
+}
+
+TEST(FleetEngine, PremiseSeriesShareTheSampleGrid) {
+  const FleetEngine engine(tiny_fleet(3));
+  const FleetResult r = engine.run(2);
+  ASSERT_FALSE(r.premises.empty());
+  const metrics::TimeSeries& first = r.premises.front().load;
+  for (const PremiseResult& p : r.premises) {
+    EXPECT_EQ(p.load.start(), first.start());
+    EXPECT_EQ(p.load.interval(), first.interval());
+    EXPECT_EQ(p.load.size(), first.size());
+  }
+  EXPECT_EQ(r.feeder_load.size(), first.size());
+}
+
+TEST(FleetEngine, SurgeRequestsLandInsideTheWindow) {
+  const FleetConfig cfg = tiny_fleet(5);
+  const FleetEngine engine(cfg);
+  const PremiseSpec spec = engine.make_spec(0);
+  // All requests respect warmup; trace is time-sorted.
+  for (std::size_t i = 1; i < spec.trace.size(); ++i) {
+    EXPECT_LE(spec.trace[i - 1].at, spec.trace[i].at);
+  }
+  for (const appliance::Request& r : spec.trace) {
+    EXPECT_GE(r.at.since_epoch(), sim::Duration::zero());
+    EXPECT_LE(r.at.since_epoch(), cfg.horizon);
+  }
+}
+
+TEST(FleetEngine, SurgePastTheHorizonIsDropped) {
+  // Surge window extends beyond the run: those requests would never
+  // execute, so they must not be generated (or counted as served).
+  FleetConfig cfg = tiny_fleet(5);
+  cfg.profile.surge_start = sim::minutes(90);
+  cfg.profile.surge_end = sim::minutes(300);  // horizon is 120 min
+  const FleetEngine engine(cfg);
+  for (std::size_t i = 0; i < cfg.premise_count; ++i) {
+    for (const appliance::Request& r : engine.make_spec(i).trace) {
+      EXPECT_LE(r.at.since_epoch(), cfg.horizon);
+    }
+  }
+}
+
+TEST(FleetEngine, MisorderedProfileRangesThrow) {
+  FleetConfig bad_rated = tiny_fleet(1);
+  bad_rated.profile.min_rated_kw = 2.0;
+  bad_rated.profile.max_rated_kw = 1.0;
+  EXPECT_THROW(FleetEngine{bad_rated}, std::invalid_argument);
+
+  FleetConfig bad_base = tiny_fleet(1);
+  bad_base.profile.min_base_kw = 0.5;
+  bad_base.profile.max_base_kw = 0.1;
+  EXPECT_THROW(FleetEngine{bad_base}, std::invalid_argument);
+}
+
+TEST(FleetEngine, ConstraintsAreNeverViolated) {
+  const FleetResult r = FleetEngine(tiny_fleet(11)).run(2);
+  EXPECT_EQ(r.min_dcd_violations, 0u);
+  EXPECT_EQ(r.service_gap_violations, 0u);
+}
+
+TEST(Scenario, RegistryHasTheFourPresets) {
+  ASSERT_EQ(scenarios().size(), 4u);
+  for (const ScenarioInfo& s : scenarios()) {
+    EXPECT_EQ(to_string(s.kind), s.name);
+    const auto back = scenario_from_name(s.name);
+    ASSERT_TRUE(back.has_value()) << s.name;
+    EXPECT_EQ(*back, s.kind);
+  }
+  EXPECT_FALSE(scenario_from_name("nope").has_value());
+}
+
+TEST(Scenario, PresetsApplyPremiseCountAndSeed) {
+  const FleetConfig cfg =
+      make_scenario(ScenarioKind::kEveningPeak, 17, /*seed=*/99);
+  EXPECT_EQ(cfg.premise_count, 17u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_TRUE(cfg.profile.surge);
+  EXPECT_GT(cfg.transformer_capacity_kw, 0.0);
+
+  const FleetConfig mixed =
+      make_scenario(ScenarioKind::kMixedAdoption, 10);
+  EXPECT_DOUBLE_EQ(mixed.profile.coordination_adoption, 0.5);
+  const FleetConfig sweep = make_scenario(ScenarioKind::kScaleSweep, 10);
+  EXPECT_LT(sweep.horizon, mixed.horizon);
+}
+
+}  // namespace
+}  // namespace han::fleet

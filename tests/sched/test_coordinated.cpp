@@ -110,7 +110,9 @@ TEST(Coordinated, PlanIsDeterministicAcrossReplicas) {
   for (std::size_t i = 0; i < v1.devices.size(); ++i) {
     const net::NodeId id = v1.devices[i].id;
     for (std::size_t j = 0; j < v2.devices.size(); ++j) {
-      if (v2.devices[j].id == id) EXPECT_EQ(p1[i], p2[j]) << "device " << id;
+      if (v2.devices[j].id == id) {
+        EXPECT_EQ(p1[i], p2[j]) << "device " << id;
+      }
     }
   }
 }
