@@ -1,13 +1,19 @@
-// bench_fleet — thread scaling of the neighborhood fleet engine.
+// bench_fleet — scaling of the neighborhood fleet engine.
 //
-// Prints a wall-clock scaling table for a scale_sweep fleet run at
-// 1/2/4/8 executor threads (same seed, so every row computes the
-// identical FleetResult), then runs google-benchmark timings over a
-// small fleet.
+// Prints two scaling tables for scale_sweep fleet runs:
+//   * wall clock vs executor threads at a fixed fleet size (same seed,
+//     so every row computes the identical FleetResult);
+//   * wall clock vs premise count at a fixed thread count — the size
+//     axis stays meaningful on single-core CI machines where the
+//     thread axis degenerates to speedup 1x.
+// Then runs google-benchmark timings over a small fleet.
 //
 // Environment knobs (CI smoke runs use tiny values):
-//   HAN_FLEET_PREMISES   fleet size for the scaling table (default 200)
-//   HAN_FLEET_MAX_THREADS  widest row of the table (default 8)
+//   HAN_FLEET_PREMISES   fleet size for the thread table and the
+//                        largest row of the size table (default 200)
+//   HAN_FLEET_MAX_THREADS  widest row of the thread table (default 8)
+//   HAN_FLEET_SWEEP_THREADS  thread count of the size table (default 1)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,13 +24,7 @@
 namespace {
 
 using namespace han;
-
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || v[0] == '\0') return fallback;
-  const long long parsed = std::atoll(v);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
-}
+using bench::env_size;
 
 void print_scaling_table() {
   const std::size_t premises = env_size("HAN_FLEET_PREMISES", 200);
@@ -60,6 +60,38 @@ void print_scaling_table() {
   std::printf("\n(identical peak on every row = thread-count independence)\n");
 }
 
+void print_premise_sweep_table() {
+  const std::size_t max_premises = env_size("HAN_FLEET_PREMISES", 200);
+  const std::size_t threads = env_size("HAN_FLEET_SWEEP_THREADS", 1);
+
+  std::printf(
+      "\n================================================================\n"
+      "fleet scaling — scale_sweep wall clock vs premise count\n"
+      "(%zu thread(s); per-premise cost should stay ~flat)\n"
+      "================================================================\n\n",
+      threads);
+
+  metrics::TextTable table({"premises", "wall (s)", "ms / premise",
+                            "coincident peak (kW)"});
+  // Quarter, half, full — smallest first so caches warm on the cheap row.
+  for (std::size_t divisor : {4u, 2u, 1u}) {
+    const std::size_t premises =
+        std::max<std::size_t>(1, max_premises / divisor);
+    const fleet::FleetEngine engine(fleet::make_scenario(
+        fleet::ScenarioKind::kScaleSweep, premises, /*seed=*/1));
+    fleet::Executor executor(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const fleet::FleetResult result = engine.run(executor);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    table.add_row(
+        {std::to_string(premises), metrics::fmt(seconds, 3),
+         metrics::fmt(1000.0 * seconds / static_cast<double>(premises), 2),
+         metrics::fmt(result.feeder.coincident_peak_kw)});
+  }
+  table.print(std::cout);
+}
+
 void BM_FleetScaleSweep(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   const fleet::FleetEngine engine(fleet::make_scenario(
@@ -80,6 +112,7 @@ BENCHMARK(BM_FleetScaleSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
 
 int main(int argc, char** argv) {
   print_scaling_table();
+  print_premise_sweep_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,146 @@
+// bench_grid — cost and effect of closing the grid control loop.
+//
+// Prints a DR efficacy table (dr_heat_wave open vs closed loop: overload
+// minutes, sheds, unserved kW, wall clock — the lockstep-barrier
+// overhead is the price of the closed loop), then runs google-benchmark
+// timings over a small fleet: plain run() vs run_grid() disabled (pure
+// lockstep overhead) vs run_grid() enabled (overhead + control).
+//
+// Environment knobs (CI smoke runs use tiny values):
+//   HAN_GRID_PREMISES   fleet size for the efficacy table (default 100)
+//   HAN_GRID_THREADS    executor width for the table (default 0 = hw)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace han;
+using bench::env_size;
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_efficacy_table() {
+  const std::size_t premises = env_size("HAN_GRID_PREMISES", 100);
+  const std::size_t threads = env_size("HAN_GRID_THREADS", 0);
+
+  std::printf(
+      "\n================================================================\n"
+      "grid layer — dr_heat_wave open vs closed loop\n"
+      "(paper: Debadarshini & Saha, ICDCS'22; see EXPERIMENTS.md)\n"
+      "CP fidelity: abstract (fleet runs always use the calibrated "
+      "abstract CP)\n"
+      "================================================================\n");
+  std::printf("premises: %zu, horizon: 24 h, seed 1\n\n", premises);
+
+  fleet::FleetConfig closed =
+      fleet::make_scenario(fleet::ScenarioKind::kDrHeatWave, premises, 1);
+  fleet::FleetConfig open = closed;
+  open.grid.enabled = false;
+  fleet::Executor executor(threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fleet::GridFleetResult off =
+      fleet::FleetEngine(open).run_grid(executor);
+  const double off_s = wall_seconds(t0);
+  const auto t1 = std::chrono::steady_clock::now();
+  const fleet::GridFleetResult on =
+      fleet::FleetEngine(closed).run_grid(executor);
+  const double on_s = wall_seconds(t1);
+
+  metrics::TextTable table({"metric", "open loop", "closed loop"});
+  table.add_row({"overload minutes",
+                 metrics::fmt(off.fleet.feeder.overload_minutes, 1),
+                 metrics::fmt(on.fleet.feeder.overload_minutes, 1)});
+  table.add_row({"hot minutes", metrics::fmt(off.hot_minutes, 1),
+                 metrics::fmt(on.hot_minutes, 1)});
+  table.add_row({"coincident peak (kW)",
+                 metrics::fmt(off.fleet.feeder.coincident_peak_kw),
+                 metrics::fmt(on.fleet.feeder.coincident_peak_kw)});
+  table.add_row({"shed signals", "0",
+                 std::to_string(on.dr.shed_signals)});
+  table.add_row({"mean unserved shed (kW)", "-",
+                 metrics::fmt(on.dr.mean_unserved_shed_kw())});
+  table.add_row({"mean shed latency (min)", "-",
+                 metrics::fmt(on.dr.mean_shed_latency_minutes())});
+  table.add_row({"wall (s)", metrics::fmt(off_s, 3),
+                 metrics::fmt(on_s, 3)});
+  table.print(std::cout);
+  std::printf("\noverload minutes avoided: %.1f (%.0f%% reduction)\n",
+              off.fleet.feeder.overload_minutes -
+                  on.fleet.feeder.overload_minutes,
+              bench::reduction_pct(off.fleet.feeder.overload_minutes,
+                                   on.fleet.feeder.overload_minutes));
+}
+
+/// Small fleet shared by the google-benchmark timings.
+fleet::FleetConfig bench_fleet_config(bool grid_enabled) {
+  fleet::FleetConfig cfg =
+      fleet::make_scenario(fleet::ScenarioKind::kDrHeatWave,
+                           /*premise_count=*/12, /*seed=*/1);
+  cfg.horizon = sim::hours(4);
+  cfg.round_period = sim::seconds(30);
+  cfg.grid.enabled = grid_enabled;
+  return cfg;
+}
+
+void BM_FleetPlainRun(benchmark::State& state) {
+  const fleet::FleetEngine engine(bench_fleet_config(false));
+  fleet::Executor executor(2);
+  for (auto _ : state) {
+    const fleet::FleetResult r = engine.run(executor);
+    benchmark::DoNotOptimize(r.feeder.coincident_peak_kw);
+  }
+}
+BENCHMARK(BM_FleetPlainRun)->Unit(benchmark::kMillisecond);
+
+void BM_FleetLockstepOpenLoop(benchmark::State& state) {
+  const fleet::FleetEngine engine(bench_fleet_config(false));
+  fleet::Executor executor(2);
+  for (auto _ : state) {
+    const fleet::GridFleetResult r = engine.run_grid(executor);
+    benchmark::DoNotOptimize(r.fleet.feeder.coincident_peak_kw);
+  }
+}
+BENCHMARK(BM_FleetLockstepOpenLoop)->Unit(benchmark::kMillisecond);
+
+void BM_FleetClosedLoop(benchmark::State& state) {
+  const fleet::FleetEngine engine(bench_fleet_config(true));
+  fleet::Executor executor(2);
+  for (auto _ : state) {
+    const fleet::GridFleetResult r = engine.run_grid(executor);
+    benchmark::DoNotOptimize(r.dr.shed_signals);
+  }
+}
+BENCHMARK(BM_FleetClosedLoop)->Unit(benchmark::kMillisecond);
+
+void BM_ControllerObserve(benchmark::State& state) {
+  grid::FeederConfig feeder;
+  feeder.capacity_kw = 100.0;
+  grid::DrConfig dr;
+  for (auto _ : state) {
+    grid::DemandResponseController c(feeder, dr);
+    sim::TimePoint t = sim::TimePoint::epoch();
+    for (int i = 0; i < 1440; ++i) {
+      t = t + sim::minutes(1);
+      const auto signals = c.observe(t, i % 7 == 0 ? 110.0 : 80.0);
+      benchmark::DoNotOptimize(signals.size());
+    }
+  }
+}
+BENCHMARK(BM_ControllerObserve)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_efficacy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

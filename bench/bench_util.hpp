@@ -25,6 +25,15 @@ inline bool fast_mode() {
   return v != nullptr && v[0] == '1';
 }
 
+/// Positive size from an environment knob; unset/unparsable/non-positive
+/// values fall back (the CI smoke runs use tiny values).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
 /// Paper configuration with the fidelity chosen by fast_mode().
 inline core::ExperimentConfig figure_config(
     appliance::ArrivalScenario scenario, core::SchedulerKind scheduler,

@@ -1,0 +1,37 @@
+// Shared helpers for the example binaries' tiny CLI surface.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fleet/scenario.hpp"
+
+namespace han::examples {
+
+/// Parses argv[i] as a non-negative count; anything unparsable or
+/// negative falls back to `fallback`.
+inline std::size_t arg_count(int argc, char** argv, int i,
+                             std::size_t fallback) {
+  if (argc <= i) return fallback;
+  const long long v = std::atoll(argv[i]);
+  return v >= 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+/// Prints the registered fleet scenario presets, one per line.
+inline void print_scenarios(std::FILE* out) {
+  for (const fleet::ScenarioInfo& s : fleet::scenarios()) {
+    std::fprintf(out, "  %-16s %.*s\n", std::string(s.name).c_str(),
+                 static_cast<int>(s.description.size()),
+                 s.description.data());
+  }
+}
+
+/// True when argv[1] is the --list/-l flag (print presets and exit 0).
+inline bool wants_scenario_list(int argc, char** argv) {
+  return argc > 1 && (std::strcmp(argv[1], "--list") == 0 ||
+                      std::strcmp(argv[1], "-l") == 0);
+}
+
+}  // namespace han::examples

@@ -2,34 +2,32 @@
 //
 //   $ ./neighborhood [scenario] [premises] [threads] [seed] [csv_path]
 //   $ ./neighborhood evening_peak 100 0 1 neighborhood.csv
+//   $ ./neighborhood --list
 //
 // Runs the named fleet scenario (default: evening_peak, 100 premises,
 // 24 simulated hours) on the work-stealing executor, prints the feeder
 // metrics the utility cares about, and writes the aggregate feeder load
-// series as CSV. Deterministic: the same scenario/premises/seed yields a
-// byte-identical CSV for any thread count.
+// series as CSV. An unknown scenario name is an error (never a silent
+// fallback); --list prints the registered presets. Deterministic: the
+// same scenario/premises/seed yields a byte-identical CSV for any
+// thread count.
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/han.hpp"
-
-namespace {
-
-/// Parses argv[i] as a non-negative count; anything unparsable or
-/// negative falls back to `fallback`.
-std::size_t arg_count(int argc, char** argv, int i, std::size_t fallback) {
-  if (argc <= i) return fallback;
-  const long long v = std::atoll(argv[i]);
-  return v >= 0 ? static_cast<std::size_t>(v) : fallback;
-}
-
-}  // namespace
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace han;
+  using examples::arg_count;
+  using examples::print_scenarios;
+
+  if (examples::wants_scenario_list(argc, argv)) {
+    print_scenarios(stdout);
+    return 0;
+  }
 
   const std::string scenario_name = argc > 1 ? argv[1] : "evening_peak";
   const std::size_t premises = arg_count(argc, argv, 2, 100);
@@ -46,11 +44,7 @@ int main(int argc, char** argv) {
   if (!kind) {
     std::fprintf(stderr, "unknown scenario '%s'; available:\n",
                  scenario_name.c_str());
-    for (const fleet::ScenarioInfo& s : fleet::scenarios()) {
-      std::fprintf(stderr, "  %-16s %.*s\n", std::string(s.name).c_str(),
-                   static_cast<int>(s.description.size()),
-                   s.description.data());
-    }
+    print_scenarios(stderr);
     return 1;
   }
 

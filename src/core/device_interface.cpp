@@ -1,5 +1,7 @@
 #include "core/device_interface.hpp"
 
+#include <algorithm>
+
 #include "sched/coordinated.hpp"
 
 namespace han::core {
@@ -49,18 +51,34 @@ void DeviceInterface::manage_slot_claim(const sched::GlobalView& view) {
     own_window_from_.reset();
     return;
   }
+  // A DR-aware policy resolves claims and window openings with the
+  // stretched duty-cycle envelope while a shed is active, so the claim
+  // the DI records agrees with the windows the scheduler will grant.
+  const bool dr = scheduler_.dr_aware();
+  const sim::Duration eff_dcp =
+      dr ? sched::effective_max_dcp(appliance_.constraints().max_dcp(),
+                                    view.grid)
+         : appliance_.constraints().max_dcp();
   const auto window_of = [&](std::uint8_t slot) {
     return sched::CoordinatedScheduler::next_window_opening(
-        now, slot, appliance_.constraints().min_dcd(),
-        appliance_.constraints().max_dcp());
+        now, slot, appliance_.constraints().min_dcd(), eff_dcp);
   };
   if (claimed_slot_ != sched::kNoSlot) {
+    // The envelope may have shrunk since the claim (an all-clear ending
+    // a shed early): a window-from gate computed under the stretched
+    // ring would keep suppressing bursts for up to (stretch-1)*maxDCP
+    // after the envelope is back to normal. Tightening to the current
+    // envelope's next opening repairs that; under an unchanged envelope
+    // the recomputed opening is never earlier, so this is a no-op.
+    if (own_window_from_ && now < *own_window_from_) {
+      own_window_from_ = std::min(*own_window_from_, window_of(claimed_slot_));
+    }
     // Sticky while demand lasts — unless rebalancing is enabled and this
     // DI is the round's single designated mover (see rebalance_move).
     if (options_.enable_rebalance) {
-      const auto k_ticks = appliance_.constraints().serial_slots();
+      const auto k_ticks = eff_dcp / appliance_.constraints().min_dcd();
       const auto move = sched::CoordinatedScheduler::rebalance_move(
-          view, static_cast<std::size_t>(k_ticks));
+          view, static_cast<std::size_t>(k_ticks), dr);
       if (move && move->mover == id() && !appliance_.relay_on()) {
         claimed_slot_ = move->new_slot;
         own_window_from_ = window_of(claimed_slot_);
@@ -68,7 +86,8 @@ void DeviceInterface::manage_slot_claim(const sched::GlobalView& view) {
     }
     return;
   }
-  claimed_slot_ = sched::CoordinatedScheduler::pick_slot(view, own_status());
+  claimed_slot_ =
+      sched::CoordinatedScheduler::pick_slot(view, own_status(), dr);
   own_window_from_ = window_of(claimed_slot_);
 }
 

@@ -16,7 +16,9 @@
 //   sched      coordinated (paper) & uncoordinated (baseline) policies
 //   metrics    stats, time series, load monitor, CSV/tables
 //   core       Device Interface, network assembly, experiment runner
-//   fleet      multi-premise parallel simulation, feeder aggregation
+//   grid       feeder thermal model, demand-response controller, signals
+//   fleet      multi-premise parallel simulation, feeder aggregation,
+//              closed-loop grid runs
 #pragma once
 
 #include "appliance/appliance.hpp"
@@ -31,6 +33,10 @@
 #include "fleet/engine.hpp"
 #include "fleet/executor.hpp"
 #include "fleet/scenario.hpp"
+#include "grid/bus.hpp"
+#include "grid/controller.hpp"
+#include "grid/feeder.hpp"
+#include "grid/signal.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/load_monitor.hpp"
 #include "metrics/stats.hpp"

@@ -1,5 +1,6 @@
 #include "core/han_network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -75,7 +76,8 @@ HanNetwork::HanNetwork(sim::Simulator& sim, HanConfig config)
 
   switch (config_.scheduler) {
     case SchedulerKind::kCoordinated:
-      scheduler_ = std::make_unique<sched::CoordinatedScheduler>();
+      scheduler_ =
+          std::make_unique<sched::CoordinatedScheduler>(config_.dr_aware);
       break;
     case SchedulerKind::kUncoordinated:
       scheduler_ = std::make_unique<sched::UncoordinatedScheduler>();
@@ -152,6 +154,7 @@ void HanNetwork::dispatch_round(net::NodeId id, std::uint64_t round,
                                 const st::RecordStore& view) {
   sched::GlobalView gv;
   gv.now = sim_.now();
+  gv.grid = grid_pressure();
   gv.devices.reserve(config_.device_count);
   bool complete = true;
   const auto want = static_cast<std::uint32_t>(round + 1);
@@ -196,9 +199,11 @@ void HanNetwork::abstract_round() {
   }
   ++abstract_round_index_;
 
+  const sched::GridPressure pressure = grid_pressure();
   for (std::size_t holder = 0; holder < n; ++holder) {
     sched::GlobalView gv;
     gv.now = sim_.now();
+    gv.grid = pressure;
     bool complete = true;
     for (std::size_t origin = 0; origin < n; ++origin) {
       if (!abstract_known_[holder][origin]) {
@@ -241,6 +246,33 @@ void HanNetwork::inject_type1_session(sim::TimePoint at, std::size_t index,
   });
 }
 
+void HanNetwork::apply_grid_signal(const grid::GridSignal& signal) {
+  ++grid_signals_applied_;
+  switch (signal.kind) {
+    case grid::SignalKind::kDrShed:
+      shed_stretch_ = std::max<sim::Ticks>(signal.period_stretch, 1);
+      // The shed runs its full length from *delivery*: a premise that
+      // heard about it late still sheds for the advertised duration.
+      shed_until_ = sim_.now() + signal.duration;
+      break;
+    case grid::SignalKind::kAllClear:
+      shed_until_ = sim_.now();
+      break;
+    case grid::SignalKind::kTariffChange:
+      tariff_tier_ = signal.tier;
+      break;
+  }
+}
+
+sched::GridPressure HanNetwork::grid_pressure() const {
+  sched::GridPressure p;
+  if (sim_.now() < shed_until_ && shed_stretch_ > 1) {
+    p.shed_active = true;
+    p.period_stretch = shed_stretch_;
+  }
+  return p;
+}
+
 double HanNetwork::total_load_kw() const {
   double kw = 0.0;
   for (const auto& di : dis_) kw += di->load_kw();
@@ -259,6 +291,7 @@ void HanNetwork::set_forced_drop_rate(double p) {
 NetworkStats HanNetwork::stats() const {
   NetworkStats s;
   s.requests_injected = requests_injected_;
+  s.grid_signals_applied = grid_signals_applied_;
   for (const auto& di : dis_) {
     s.min_dcd_violations += di->appliance().min_dcd_violations();
     s.service_gap_violations += di->stats().service_gap_violations;

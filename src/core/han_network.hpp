@@ -22,6 +22,7 @@
 #include "appliance/appliance.hpp"
 #include "appliance/workload.hpp"
 #include "core/device_interface.hpp"
+#include "grid/signal.hpp"
 #include "net/channel.hpp"
 #include "net/medium.hpp"
 #include "net/radio.hpp"
@@ -65,6 +66,12 @@ struct HanConfig {
   appliance::DutyCycleConstraints constraints{};
   /// DI behaviour toggles (rebalancing etc.).
   DiOptions di;
+  /// Demand-response enrollment: a DR-aware coordinated scheduler
+  /// stretches the duty-cycle envelope while a grid shed (applied via
+  /// apply_grid_signal) is active. No effect on the uncoordinated
+  /// baseline, and none on coordinated premises that never receive a
+  /// signal.
+  bool dr_aware = false;
   std::uint64_t seed = 1;
 };
 
@@ -75,6 +82,7 @@ struct NetworkStats {
   std::uint64_t service_gap_violations = 0;
   std::uint64_t stale_view_rounds = 0;
   std::uint64_t plan_switches = 0;
+  std::uint64_t grid_signals_applied = 0;
   double cp_mean_coverage = 1.0;
   double mean_radio_duty = 0.0;   // 0 in abstract mode
   double total_radio_mah = 0.0;   // 0 in abstract mode
@@ -104,6 +112,21 @@ class HanNetwork {
 
   /// Instantaneous total load (Type-2 + Type-1), kW.
   [[nodiscard]] double total_load_kw() const;
+
+  /// Applies a grid signal at the premise gateway (the fleet engine
+  /// schedules this at the signal's per-premise delivery time). A DR
+  /// shed raises premise-wide GridPressure for the signal's duration
+  /// (auto-expiring even if the all-clear is lost); an all-clear lifts
+  /// it early; a tariff change is recorded only. The pressure is
+  /// stamped onto every scheduling view — only a dr_aware coordinated
+  /// scheduler acts on it.
+  void apply_grid_signal(const grid::GridSignal& signal);
+  /// Demand-response pressure in force right now.
+  [[nodiscard]] sched::GridPressure grid_pressure() const;
+  /// Last tariff tier signalled to this premise.
+  [[nodiscard]] grid::TariffTier tariff_tier() const noexcept {
+    return tariff_tier_;
+  }
 
   [[nodiscard]] std::size_t device_count() const noexcept {
     return dis_.size();
@@ -162,6 +185,12 @@ class HanNetwork {
   std::vector<std::unique_ptr<DeviceInterface>> dis_;
   std::vector<appliance::Type1Appliance> type1_;
   std::uint64_t requests_injected_ = 0;
+
+  // Grid / demand-response state (premise-wide; see apply_grid_signal).
+  sim::Ticks shed_stretch_ = 1;
+  sim::TimePoint shed_until_ = sim::TimePoint::epoch();
+  grid::TariffTier tariff_tier_ = grid::TariffTier::kStandard;
+  std::uint64_t grid_signals_applied_ = 0;
 };
 
 /// Topology construction used by HanConfig (exposed for tests).

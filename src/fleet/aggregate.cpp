@@ -15,9 +15,16 @@ metrics::TimeSeries sum_series(
   }
   if (longest == 0) return out;
 
-  const metrics::TimeSeries* first = series.front();
+  // Empty series contribute nothing, so they must not constrain the
+  // grid either (a default-constructed TimeSeries has a meaningless
+  // start/interval). Anchor on the first non-empty series.
+  const metrics::TimeSeries* first = nullptr;
   for (const metrics::TimeSeries* s : series) {
-    if (s->start() != first->start() || s->interval() != first->interval()) {
+    if (s->empty()) continue;
+    if (first == nullptr) {
+      first = s;
+    } else if (s->start() != first->start() ||
+               s->interval() != first->interval()) {
       throw std::invalid_argument(
           "sum_series: series must share start and interval");
     }

@@ -38,10 +38,11 @@ struct FeederMetrics {
   double overload_minutes = 0.0;
 };
 
-/// Element-wise sum of premise series. All series must share start and
-/// interval (the fleet engine samples every premise on one grid);
-/// shorter series are zero-padded to the longest. Empty input yields an
-/// empty series.
+/// Element-wise sum of premise series. All non-empty series must share
+/// start and interval (the fleet engine samples every premise on one
+/// grid); shorter series are zero-padded to the longest, and empty
+/// series contribute nothing (they neither constrain the grid nor
+/// appear in the sum). Empty input yields an empty series.
 [[nodiscard]] metrics::TimeSeries sum_series(
     const std::vector<const metrics::TimeSeries*>& series);
 

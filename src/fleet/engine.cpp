@@ -19,6 +19,11 @@ double diurnal_factor(sim::TimePoint t, double swing) {
 
 }  // namespace
 
+double FleetEngine::diurnal_base_kw(const PremiseSpec& spec,
+                                    sim::TimePoint t) {
+  return spec.base_kw * diurnal_factor(t, spec.base_swing);
+}
+
 std::vector<core::TopologyKind> default_fleet_topologies() {
   return {core::TopologyKind::kLine, core::TopologyKind::kRing,
           core::TopologyKind::kGrid, core::TopologyKind::kRandom};
@@ -40,6 +45,10 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
   }
   if (p.min_base_kw < 0.0 || p.max_base_kw < p.min_base_kw) {
     throw std::invalid_argument("FleetEngine: bad base-load range");
+  }
+  if (config_.grid.control_interval <= sim::Duration::zero()) {
+    throw std::invalid_argument(
+        "FleetEngine: grid.control_interval must be > 0");
   }
 }
 
@@ -112,24 +121,22 @@ PremiseSpec FleetEngine::make_spec(std::size_t index) const {
   return spec;
 }
 
-PremiseResult FleetEngine::run_premise(const PremiseSpec& spec) {
-  const core::ExperimentResult r =
-      core::run_experiment(spec.experiment, spec.trace);
-
+PremiseResult FleetEngine::assemble_premise_result(
+    const PremiseSpec& spec, const metrics::TimeSeries& type2_load,
+    const core::NetworkStats& network) {
   PremiseResult out;
   out.index = spec.index;
   out.device_count = spec.experiment.han.device_count;
   out.scheduler = spec.experiment.han.scheduler;
   out.requests = spec.trace.size();
-  out.network = r.network;
+  out.network = network;
 
   // Overlay the deterministic diurnal Type-1 base load on the sampled
   // Type-2 series.
-  out.load = metrics::TimeSeries(r.load.start(), r.load.interval());
-  for (std::size_t i = 0; i < r.load.size(); ++i) {
-    const double base =
-        spec.base_kw * diurnal_factor(r.load.time_of(i), spec.base_swing);
-    out.load.append(r.load.at(i) + base);
+  out.load = metrics::TimeSeries(type2_load.start(), type2_load.interval());
+  for (std::size_t i = 0; i < type2_load.size(); ++i) {
+    out.load.append(type2_load.at(i) +
+                    diurnal_base_kw(spec, type2_load.time_of(i)));
   }
   const metrics::RunningStats s = out.load.stats();
   out.peak_kw = s.max();
@@ -137,13 +144,19 @@ PremiseResult FleetEngine::run_premise(const PremiseSpec& spec) {
   return out;
 }
 
-FleetResult FleetEngine::run(Executor& executor) const {
-  FleetResult out;
-  out.premises.resize(config_.premise_count);
-  executor.parallel_for(config_.premise_count, [this, &out](std::size_t i) {
-    out.premises[i] = run_premise(make_spec(i));
-  });
+PremiseResult FleetEngine::run_premise(const PremiseSpec& spec) {
+  const core::ExperimentResult r =
+      core::run_experiment(spec.experiment, spec.trace);
+  return assemble_premise_result(spec, r.load, r.network);
+}
 
+double FleetEngine::resolved_capacity_kw() const {
+  return config_.transformer_capacity_kw > 0.0
+             ? config_.transformer_capacity_kw
+             : 2.0 * static_cast<double>(config_.premise_count);
+}
+
+void FleetEngine::finish_aggregate(FleetResult& out) const {
   // Aggregation is sequential over index order, so the result is
   // independent of which thread ran which premise.
   std::vector<const metrics::TimeSeries*> series;
@@ -160,13 +173,17 @@ FleetResult FleetEngine::run(Executor& executor) const {
     out.service_gap_violations += p.network.service_gap_violations;
   }
   out.feeder_load = sum_series(series);
+  out.feeder = feeder_metrics(out.feeder_load, resolved_capacity_kw(),
+                              sum_peaks, config_.premise_count);
+}
 
-  const double capacity =
-      config_.transformer_capacity_kw > 0.0
-          ? config_.transformer_capacity_kw
-          : 2.0 * static_cast<double>(config_.premise_count);
-  out.feeder = feeder_metrics(out.feeder_load, capacity, sum_peaks,
-                              config_.premise_count);
+FleetResult FleetEngine::run(Executor& executor) const {
+  FleetResult out;
+  out.premises.resize(config_.premise_count);
+  executor.parallel_for(config_.premise_count, [this, &out](std::size_t i) {
+    out.premises[i] = run_premise(make_spec(i));
+  });
+  finish_aggregate(out);
   return out;
 }
 

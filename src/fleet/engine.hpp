@@ -19,12 +19,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "appliance/workload.hpp"
 #include "core/experiment.hpp"
 #include "fleet/aggregate.hpp"
 #include "fleet/executor.hpp"
+#include "grid/bus.hpp"
+#include "grid/controller.hpp"
 
 namespace han::fleet {
 
@@ -74,6 +77,25 @@ struct PremiseProfile {
   double base_swing = 0.5;
 };
 
+/// Grid-layer (closed-loop) options for a fleet run — see run_grid().
+struct GridOptions {
+  /// Master switch: with false, run_grid() still runs the lockstep loop
+  /// and tracks feeder thermal metrics, but the controller never emits
+  /// a signal — the open-loop counterfactual the DR metrics compare
+  /// against (and it reproduces run() exactly).
+  bool enabled = false;
+  /// Demand-response controller tuning.
+  grid::DrConfig dr;
+  /// Signal delivery model (per-premise latency, opt-in).
+  grid::BusConfig bus;
+  /// Transformer thermal model; capacity_kw <= 0 inherits the resolved
+  /// FleetConfig::transformer_capacity_kw.
+  grid::FeederConfig feeder;
+  /// How often the controller observes the aggregate (the closed-loop
+  /// barrier period of run_grid).
+  sim::Duration control_interval = sim::minutes(1);
+};
+
 /// One neighborhood run.
 struct FleetConfig {
   std::size_t premise_count = 100;
@@ -87,6 +109,8 @@ struct FleetConfig {
   /// Feeder transformer rating; <= 0 derives 2 kW per premise.
   double transformer_capacity_kw = 0.0;
   PremiseProfile profile;
+  /// Closed-loop grid layer (run_grid only; run() ignores it).
+  GridOptions grid;
 };
 
 /// Fully resolved inputs of one premise: pure function of (seed, index).
@@ -122,6 +146,35 @@ struct FleetResult {
   std::uint64_t service_gap_violations = 0;
 };
 
+/// Output of one closed-loop (grid-layer) fleet run.
+struct GridFleetResult {
+  /// Same shape as a plain run — premise series, feeder aggregation.
+  FleetResult fleet;
+  /// Controller-side counters: sheds, all-clears, tariff changes,
+  /// unserved-shed kW, shed latency.
+  grid::DrStats dr;
+  /// Transformer thermal outcome from the control loop's feeder model.
+  double overload_minutes = 0.0;
+  double hot_minutes = 0.0;
+  double peak_temperature_pu = 0.0;
+  /// Premises enrolled in the DR program (drawn by the SignalBus).
+  std::size_t opted_in_premises = 0;
+  /// Enrolled premises that can actually act (coordinated scheduler).
+  std::size_t complying_premises = 0;
+  /// Every signal emitted, in emission order.
+  std::vector<grid::GridSignal> signals;
+  /// Flat (signal x premise) delivery/compliance log.
+  std::vector<grid::Delivery> deliveries;
+  /// The same log rendered as CSV — the byte-comparable determinism
+  /// artifact (identical for any executor width).
+  std::string signal_log_csv;
+  /// The run's total service-gap violations, surfaced as the comfort
+  /// cost of DR: gaps are audited against the *base* maxDCP even while
+  /// a shed stretches the envelope, so sheds legitimately raise this
+  /// (the coordinated policy keeps it at zero without DR).
+  std::uint64_t comfort_gap_violations = 0;
+};
+
 /// Runs N independent premises concurrently and aggregates the feeder
 /// view. Deterministic in config.seed for any executor width.
 class FleetEngine {
@@ -144,7 +197,34 @@ class FleetEngine {
   /// (0 = hardware concurrency).
   [[nodiscard]] FleetResult run(std::size_t threads = 0) const;
 
+  /// Closed-loop run: all premises advance in lockstep control
+  /// intervals; after each barrier the DemandResponseController
+  /// observes the aggregate (summed in index order) and its signals
+  /// fan out through the SignalBus to complying premises, landing as
+  /// simulation events at each premise's delivery time. Parallelism is
+  /// still premise-granular and thread-confined between barriers, so
+  /// the result — including the signal/compliance log — is
+  /// byte-identical for any executor width. With config.grid.enabled
+  /// == false this reproduces run() exactly (plus thermal metrics).
+  [[nodiscard]] GridFleetResult run_grid(Executor& executor) const;
+  [[nodiscard]] GridFleetResult run_grid(std::size_t threads = 0) const;
+
+  /// Diurnal Type-1 base load of `spec` at time `t` (exposed for the
+  /// grid loop and tests).
+  [[nodiscard]] static double diurnal_base_kw(const PremiseSpec& spec,
+                                              sim::TimePoint t);
+
  private:
+  /// Builds a PremiseResult from a sampled Type-2 series: overlays the
+  /// diurnal base and fills the summary fields (shared by run_premise
+  /// and the grid loop).
+  [[nodiscard]] static PremiseResult assemble_premise_result(
+      const PremiseSpec& spec, const metrics::TimeSeries& type2_load,
+      const core::NetworkStats& network);
+  /// Sequential, index-ordered feeder aggregation over out.premises.
+  void finish_aggregate(FleetResult& out) const;
+  [[nodiscard]] double resolved_capacity_kw() const;
+
   FleetConfig config_;
 };
 

@@ -1,0 +1,189 @@
+// FleetEngine::run_grid — the closed control loop between the feeder
+// and the premise schedulers.
+//
+// run() simulates every premise start-to-finish and only then looks at
+// the feeder; here the premises advance in lockstep control intervals
+// so the DemandResponseController can watch the aggregate *while it
+// forms* and steer it. Between barriers each premise is still a
+// thread-confined single-threaded simulation (the executor provides the
+// happens-before edges at the barrier), the aggregate is summed in
+// premise-index order, and the controller runs sequentially on the
+// submitter thread — which together make the whole closed loop,
+// including the signal/compliance log, byte-identical for any executor
+// width.
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/han_network.hpp"
+#include "fleet/engine.hpp"
+#include "metrics/load_monitor.hpp"
+
+namespace han::fleet {
+
+namespace {
+
+/// Everything one premise needs between barriers. Thread-confined: a
+/// runtime is only ever touched inside its own parallel_for task (or on
+/// the submitter thread between barriers).
+struct PremiseRuntime {
+  PremiseSpec spec;
+  sim::Simulator sim;
+  std::unique_ptr<core::HanNetwork> net;
+  std::unique_ptr<metrics::LoadMonitor> monitor;
+  /// Instantaneous contribution (Type-2 + diurnal base) at the last
+  /// barrier, read by the controller.
+  double inst_kw = 0.0;
+  /// Signals addressed to this premise, FIFO by delivery time.
+  std::vector<std::pair<sim::TimePoint, grid::GridSignal>> pending;
+  std::size_t pending_next = 0;
+};
+
+}  // namespace
+
+GridFleetResult FleetEngine::run_grid(Executor& executor) const {
+  const GridOptions& g = config_.grid;
+
+  grid::FeederConfig feeder = g.feeder;
+  if (feeder.capacity_kw <= 0.0) feeder.capacity_kw = resolved_capacity_kw();
+  grid::DrConfig dr = g.dr;
+  if (!g.enabled) {
+    // Open loop: keep the feeder model as a passive observer.
+    dr.shed_enabled = false;
+    dr.tariff_windows.clear();
+  }
+  grid::DemandResponseController controller(feeder, dr);
+  grid::SignalBus bus(g.bus, config_.premise_count,
+                      sim::Rng(config_.seed).stream("grid-bus"));
+
+  // --- Boot every premise (parallel; construction is the pricey part).
+  std::vector<std::unique_ptr<PremiseRuntime>> runtimes(
+      config_.premise_count);
+  executor.parallel_for(
+      config_.premise_count, [this, &runtimes](std::size_t i) {
+        auto rt = std::make_unique<PremiseRuntime>();
+        rt->spec = make_spec(i);
+        // DR enrollment is a no-op until a signal is actually applied,
+        // so flipping it here cannot perturb the signal-free baseline.
+        rt->spec.experiment.han.dr_aware = true;
+        rt->net = std::make_unique<core::HanNetwork>(
+            rt->sim, rt->spec.experiment.han);
+        rt->net->inject_requests(rt->spec.trace);
+        core::HanNetwork* net = rt->net.get();
+        rt->monitor = std::make_unique<metrics::LoadMonitor>(
+            rt->sim, [net]() { return net->total_load_kw(); },
+            rt->spec.experiment.sample_interval);
+        rt->net->start(sim::TimePoint::epoch() + sim::milliseconds(10));
+        rt->monitor->start(sim::TimePoint::epoch() +
+                           rt->spec.experiment.cp_boot);
+        runtimes[i] = std::move(rt);
+      });
+
+  // Only coordinated premises can act on a shed; the uncoordinated
+  // baseline ignores signals by design.
+  for (std::size_t i = 0; i < runtimes.size(); ++i) {
+    bus.set_can_comply(i, runtimes[i]->spec.experiment.han.scheduler ==
+                              core::SchedulerKind::kCoordinated);
+  }
+
+  // Feeds one aggregate sample to the controller and fans the emitted
+  // signals out to the premises that will apply them: sheds land only
+  // at premises that opted in and can act; a tariff tier applies to
+  // every customer regardless of DR enrollment (it is informational at
+  // the premise).
+  const auto observe_and_fan_out = [&](sim::TimePoint at,
+                                       double aggregate_kw) {
+    for (const grid::GridSignal& s : controller.observe(at, aggregate_kw)) {
+      for (const grid::Delivery& d : bus.publish(s)) {
+        const bool applies =
+            s.kind == grid::SignalKind::kTariffChange || d.complied;
+        if (applies) {
+          runtimes[d.premise]->pending.emplace_back(d.deliver_at, s);
+        }
+      }
+    }
+  };
+
+  // --- Lockstep control loop.
+  const sim::TimePoint end = sim::TimePoint::epoch() + config_.horizon;
+  sim::TimePoint t = sim::TimePoint::epoch();
+  // Prime the controller at the epoch (Type-2 load is zero before the
+  // CP boots, so the aggregate is the diurnal base): the feeder model's
+  // priming sample carries no interval, and anchoring it here makes the
+  // overload/thermal accounting cover the whole (0, horizon] span. It
+  // also emits the initial tariff tier at t=0 when a window covers
+  // midnight.
+  {
+    double base_kw = 0.0;
+    for (const auto& rt : runtimes) {
+      base_kw += diurnal_base_kw(rt->spec, t);
+    }
+    observe_and_fan_out(t, base_kw);
+  }
+  while (t < end) {
+    t = std::min(t + g.control_interval, end);
+    executor.parallel_for(
+        config_.premise_count, [&runtimes, t](std::size_t i) {
+          PremiseRuntime& rt = *runtimes[i];
+          // Land signals due inside this interval as simulation events
+          // at their exact delivery times (deliver_at >= rt.sim.now()
+          // because signals are emitted at barrier times and latency is
+          // non-negative).
+          while (rt.pending_next < rt.pending.size() &&
+                 rt.pending[rt.pending_next].first <= t) {
+            const auto& [at, signal] = rt.pending[rt.pending_next];
+            ++rt.pending_next;
+            core::HanNetwork* net = rt.net.get();
+            const grid::GridSignal sig = signal;
+            rt.sim.schedule_at(
+                at, [net, sig]() { net->apply_grid_signal(sig); });
+          }
+          rt.sim.run_until(t);
+          rt.inst_kw = rt.net->total_load_kw() +
+                       diurnal_base_kw(rt.spec, t);
+        });
+
+    // Sequential from here: sum in index order, observe, fan out.
+    double aggregate_kw = 0.0;
+    for (const auto& rt : runtimes) aggregate_kw += rt->inst_kw;
+    observe_and_fan_out(t, aggregate_kw);
+  }
+
+  // --- Collect premise results (parallel) and aggregate (sequential).
+  GridFleetResult out;
+  out.fleet.premises.resize(config_.premise_count);
+  executor.parallel_for(
+      config_.premise_count, [&runtimes, &out](std::size_t i) {
+        PremiseRuntime& rt = *runtimes[i];
+        rt.monitor->stop();
+        out.fleet.premises[i] = assemble_premise_result(
+            rt.spec, rt.monitor->series(), rt.net->stats());
+      });
+  finish_aggregate(out.fleet);
+
+  out.dr = controller.stats();
+  out.overload_minutes = controller.feeder().overload_minutes();
+  out.hot_minutes = controller.feeder().hot_minutes();
+  out.peak_temperature_pu = controller.feeder().peak_temperature_pu();
+  out.opted_in_premises = bus.opted_in_count();
+  for (std::size_t i = 0; i < runtimes.size(); ++i) {
+    if (bus.subscriber(i).opted_in && bus.subscriber(i).can_comply) {
+      ++out.complying_premises;
+    }
+  }
+  out.signals = bus.signals();
+  out.deliveries = bus.log();
+  std::ostringstream log;
+  bus.write_log_csv(log);
+  out.signal_log_csv = log.str();
+  out.comfort_gap_violations = out.fleet.service_gap_violations;
+  return out;
+}
+
+GridFleetResult FleetEngine::run_grid(std::size_t threads) const {
+  Executor executor(threads);
+  return run_grid(executor);
+}
+
+}  // namespace han::fleet

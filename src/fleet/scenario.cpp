@@ -12,6 +12,12 @@ std::string_view to_string(ScenarioKind kind) noexcept {
       return "mixed_adoption";
     case ScenarioKind::kScaleSweep:
       return "scale_sweep";
+    case ScenarioKind::kDrHeatWave:
+      return "dr_heat_wave";
+    case ScenarioKind::kTariffEvening:
+      return "tariff_evening";
+    case ScenarioKind::kRollingShed:
+      return "rolling_shed";
   }
   return "?";
 }
@@ -26,6 +32,12 @@ const std::vector<ScenarioInfo>& scenarios() {
        "evening peak with 50% coordinated / 50% uncoordinated homes"},
       {ScenarioKind::kScaleSweep, "scale_sweep",
        "small premises, short horizon; thread-scaling benchmark diet"},
+      {ScenarioKind::kDrHeatWave, "dr_heat_wave",
+       "heat wave with closed-loop demand-response sheds (run_grid)"},
+      {ScenarioKind::kTariffEvening, "tariff_evening",
+       "evening peak with time-of-use tariff signals (run_grid)"},
+      {ScenarioKind::kRollingShed, "rolling_shed",
+       "undersized transformer; back-to-back rolling sheds (run_grid)"},
   };
   return kScenarios;
 }
@@ -37,6 +49,44 @@ std::optional<ScenarioKind> scenario_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+namespace {
+
+/// 17:00-21:00 clustered surge on a light background (evening_peak and
+/// its derivatives).
+void apply_evening_peak(FleetConfig& cfg, std::size_t premise_count) {
+  cfg.horizon = sim::hours(24);
+  cfg.profile.surge = true;
+  cfg.profile.surge_start = sim::hours(17);
+  cfg.profile.surge_end = sim::hours(21);
+  cfg.profile.surge_clusters_per_hour = 2.0;
+  cfg.profile.surge_cluster_size = 6;
+  cfg.profile.base_rate_per_device_hour = 0.1;
+  cfg.profile.coordination_adoption = 1.0;
+  // Sized for the diversified evening load, not the stacked worst
+  // case: overload minutes measure how often stacking still wins.
+  cfg.transformer_capacity_kw = 1.8 * static_cast<double>(premise_count);
+}
+
+/// Sustained all-day AC demand in bigger, hotter homes (heat_wave and
+/// its derivatives).
+void apply_heat_wave(FleetConfig& cfg, std::size_t premise_count) {
+  cfg.horizon = sim::hours(24);
+  cfg.profile.min_devices = 6;
+  cfg.profile.max_devices = 16;
+  cfg.profile.base_rate_per_device_hour = 1.0;
+  cfg.profile.mean_service = sim::minutes(45);
+  cfg.profile.service_model = appliance::ServiceModel::kExponential;
+  cfg.profile.min_base_kw = 0.3;
+  cfg.profile.max_base_kw = 0.7;
+  cfg.profile.base_swing = 0.3;
+  cfg.profile.coordination_adoption = 1.0;
+  // Above the all-day mean (~4.4 kW/premise) but below the evening
+  // crest, so overload minutes discriminate rather than saturate.
+  cfg.transformer_capacity_kw = 4.75 * static_cast<double>(premise_count);
+}
+
+}  // namespace
+
 FleetConfig make_scenario(ScenarioKind kind, std::size_t premise_count,
                           std::uint64_t seed) {
   FleetConfig cfg;
@@ -45,48 +95,16 @@ FleetConfig make_scenario(ScenarioKind kind, std::size_t premise_count,
 
   switch (kind) {
     case ScenarioKind::kEveningPeak:
-      cfg.horizon = sim::hours(24);
-      cfg.profile.surge = true;
-      cfg.profile.surge_start = sim::hours(17);
-      cfg.profile.surge_end = sim::hours(21);
-      cfg.profile.surge_clusters_per_hour = 2.0;
-      cfg.profile.surge_cluster_size = 6;
-      cfg.profile.base_rate_per_device_hour = 0.1;
-      cfg.profile.coordination_adoption = 1.0;
-      // Sized for the diversified evening load, not the stacked worst
-      // case: overload minutes measure how often stacking still wins.
-      cfg.transformer_capacity_kw =
-          1.8 * static_cast<double>(premise_count);
+      apply_evening_peak(cfg, premise_count);
       break;
 
     case ScenarioKind::kHeatWave:
-      cfg.horizon = sim::hours(24);
-      cfg.profile.min_devices = 6;
-      cfg.profile.max_devices = 16;
-      cfg.profile.base_rate_per_device_hour = 1.0;
-      cfg.profile.mean_service = sim::minutes(45);
-      cfg.profile.service_model = appliance::ServiceModel::kExponential;
-      cfg.profile.min_base_kw = 0.3;
-      cfg.profile.max_base_kw = 0.7;
-      cfg.profile.base_swing = 0.3;
-      cfg.profile.coordination_adoption = 1.0;
-      // Above the all-day mean (~4.4 kW/premise) but below the evening
-      // crest, so overload minutes discriminate rather than saturate.
-      cfg.transformer_capacity_kw =
-          4.75 * static_cast<double>(premise_count);
+      apply_heat_wave(cfg, premise_count);
       break;
 
     case ScenarioKind::kMixedAdoption:
-      cfg.horizon = sim::hours(24);
-      cfg.profile.surge = true;
-      cfg.profile.surge_start = sim::hours(17);
-      cfg.profile.surge_end = sim::hours(21);
-      cfg.profile.surge_clusters_per_hour = 2.0;
-      cfg.profile.surge_cluster_size = 6;
-      cfg.profile.base_rate_per_device_hour = 0.1;
+      apply_evening_peak(cfg, premise_count);
       cfg.profile.coordination_adoption = 0.5;
-      cfg.transformer_capacity_kw =
-          1.8 * static_cast<double>(premise_count);
       break;
 
     case ScenarioKind::kScaleSweep:
@@ -97,6 +115,54 @@ FleetConfig make_scenario(ScenarioKind kind, std::size_t premise_count,
       cfg.profile.coordination_adoption = 1.0;
       cfg.transformer_capacity_kw =
           2.0 * static_cast<double>(premise_count);
+      break;
+
+    case ScenarioKind::kDrHeatWave:
+      apply_heat_wave(cfg, premise_count);
+      cfg.grid.enabled = true;
+      cfg.grid.dr.trigger_utilization = 1.0;
+      cfg.grid.dr.trigger_temp_pu = 1.05;
+      cfg.grid.dr.trigger_hold = sim::minutes(5);
+      cfg.grid.dr.target_utilization = 0.9;
+      cfg.grid.dr.shed_duration = sim::minutes(45);
+      cfg.grid.dr.max_stretch = 3;
+      cfg.grid.dr.clear_utilization = 0.85;
+      cfg.grid.dr.clear_hold = sim::minutes(10);
+      cfg.grid.dr.cooldown = sim::minutes(20);
+      cfg.grid.bus.opt_in = 0.9;
+      break;
+
+    case ScenarioKind::kTariffEvening:
+      apply_evening_peak(cfg, premise_count);
+      cfg.grid.enabled = true;
+      // Tariff signals drive this scenario; sheds fire only on genuine
+      // overload of the evening-sized transformer.
+      cfg.grid.dr.tariff_windows = {
+          {sim::hours(0), sim::hours(6), grid::TariffTier::kOffPeak},
+          {sim::hours(17), sim::hours(21), grid::TariffTier::kPeak},
+      };
+      cfg.grid.dr.trigger_utilization = 1.0;
+      cfg.grid.dr.trigger_hold = sim::minutes(5);
+      cfg.grid.dr.target_utilization = 0.92;
+      cfg.grid.dr.shed_duration = sim::minutes(30);
+      cfg.grid.dr.max_stretch = 2;
+      break;
+
+    case ScenarioKind::kRollingShed:
+      apply_heat_wave(cfg, premise_count);
+      cfg.grid.enabled = true;
+      // Undersized bank: roughly the all-day mean, so relief from one
+      // shed never lasts and the controller must keep rolling.
+      cfg.transformer_capacity_kw =
+          4.4 * static_cast<double>(premise_count);
+      cfg.grid.dr.trigger_utilization = 0.98;
+      cfg.grid.dr.trigger_hold = sim::minutes(3);
+      cfg.grid.dr.target_utilization = 0.9;
+      cfg.grid.dr.shed_duration = sim::minutes(20);
+      cfg.grid.dr.max_stretch = 4;
+      cfg.grid.dr.clear_utilization = 0.8;
+      cfg.grid.dr.clear_hold = sim::minutes(15);
+      cfg.grid.dr.cooldown = sim::minutes(10);
       break;
   }
   return cfg;

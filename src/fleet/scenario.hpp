@@ -27,6 +27,17 @@ enum class ScenarioKind : std::uint8_t {
   /// Small premises, moderate uniform workload, short horizon — the
   /// thread-scaling benchmark diet.
   kScaleSweep,
+  /// heat_wave with the grid layer closed-loop: the DR controller
+  /// watches the transformer and sheds (duty-period stretch) when it
+  /// runs persistently hot. The flagship demand-response scenario.
+  kDrHeatWave,
+  /// evening_peak plus a time-of-use tariff schedule (off-peak night,
+  /// peak 17:00-21:00); sheds only on genuine overload.
+  kTariffEvening,
+  /// Sustained demand against an undersized transformer: the shed
+  /// target is barely reachable, so the controller must keep rolling
+  /// short sheds back-to-back (exercises unserved-shed accounting).
+  kRollingShed,
 };
 
 struct ScenarioInfo {

@@ -1,0 +1,82 @@
+#include "grid/bus.hpp"
+
+#include <stdexcept>
+
+#include "metrics/csv.hpp"
+
+namespace han::grid {
+
+SignalBus::SignalBus(BusConfig config, std::size_t premise_count,
+                     sim::Rng rng) {
+  if (premise_count == 0) {
+    throw std::invalid_argument("SignalBus: premise_count must be > 0");
+  }
+  if (config.min_latency < sim::Duration::zero() ||
+      config.max_latency < config.min_latency) {
+    throw std::invalid_argument("SignalBus: bad latency range");
+  }
+  subscribers_.reserve(premise_count);
+  for (std::size_t i = 0; i < premise_count; ++i) {
+    sim::Rng draw = rng.stream("premise", i);
+    Subscriber s;
+    s.latency = sim::microseconds(draw.uniform_int(
+        config.min_latency.us(), config.max_latency.us()));
+    // Last draw, like the adoption draw in make_spec: bernoulli(0)/(1)
+    // consume nothing, so changing opt_in never perturbs the latencies.
+    s.opted_in = draw.bernoulli(config.opt_in);
+    subscribers_.push_back(s);
+  }
+}
+
+std::size_t SignalBus::opted_in_count() const noexcept {
+  std::size_t n = 0;
+  for (const Subscriber& s : subscribers_) {
+    if (s.opted_in) ++n;
+  }
+  return n;
+}
+
+const std::vector<Delivery>& SignalBus::publish(const GridSignal& signal) {
+  signals_.push_back(signal);
+  last_published_.clear();
+  last_published_.reserve(subscribers_.size());
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    const Subscriber& sub = subscribers_[i];
+    Delivery d;
+    d.signal_id = signal.id;
+    d.premise = i;
+    d.deliver_at = signal.at + sub.latency;
+    d.complied = sub.opted_in && sub.can_comply;
+    last_published_.push_back(d);
+    log_.push_back(d);
+  }
+  return last_published_;
+}
+
+void SignalBus::write_log_csv(std::ostream& os) const {
+  os << "signal_id,kind,emit_min,target_kw,shed_kw,stretch,duration_min,"
+        "tier,premise,deliver_min,complied\n";
+  for (const Delivery& d : log_) {
+    // Ids are the controller's emission sequence, which need not be
+    // dense in what a caller chose to publish — look the signal up.
+    const GridSignal* sp = nullptr;
+    for (const GridSignal& cand : signals_) {
+      if (cand.id == d.signal_id) {
+        sp = &cand;
+        break;
+      }
+    }
+    if (sp == nullptr) continue;
+    const GridSignal& s = *sp;
+    os << d.signal_id << ',' << to_string(s.kind) << ','
+       << metrics::fmt(s.at.since_epoch().minutes_f(), 3) << ','
+       << metrics::fmt(s.target_kw, 3) << ',' << metrics::fmt(s.shed_kw, 3)
+       << ',' << s.period_stretch << ','
+       << metrics::fmt(s.duration.minutes_f(), 1) << ',' << to_string(s.tier)
+       << ',' << d.premise << ','
+       << metrics::fmt(d.deliver_at.since_epoch().minutes_f(), 3) << ','
+       << (d.complied ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace han::grid

@@ -1,0 +1,96 @@
+// han::grid — signal delivery from the head end to premises.
+//
+// Real DR dispatch is neither instant nor universal: AMI backhaul and
+// gateway polling add seconds-to-minutes of latency, and premises only
+// act if the customer opted into the program. The SignalBus models both
+// per premise, drawn deterministically from its own RNG (an independent
+// stream of the fleet seed, so enabling the grid layer never perturbs
+// the premise draws), and keeps the full delivery/compliance log — the
+// artifact the determinism tests compare byte-for-byte across thread
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "grid/signal.hpp"
+#include "sim/random.hpp"
+
+namespace han::grid {
+
+/// Delivery-model parameters.
+struct BusConfig {
+  /// Per-premise delivery latency, uniform on [min_latency, max_latency].
+  sim::Duration min_latency = sim::seconds(2);
+  sim::Duration max_latency = sim::seconds(45);
+  /// Probability a premise enrolled in the DR program.
+  double opt_in = 1.0;
+};
+
+/// One premise's standing subscription.
+struct Subscriber {
+  sim::Duration latency = sim::Duration::zero();
+  bool opted_in = true;
+  /// Whether the premise runs a policy that can act on a shed (the
+  /// engine sets this: coordinated premises only — the uncoordinated
+  /// baseline ignores signals by design).
+  bool can_comply = true;
+};
+
+/// One (signal, premise) delivery record.
+struct Delivery {
+  std::uint32_t signal_id = 0;
+  std::size_t premise = 0;
+  sim::TimePoint deliver_at;
+  /// opted_in && can_comply: the premise will act on a shed/all-clear.
+  /// Tariff changes are informational and reach every premise
+  /// regardless; for them this flag just records DR enrollment.
+  bool complied = false;
+
+  bool operator==(const Delivery&) const = default;
+};
+
+class SignalBus {
+ public:
+  /// Draws each premise's latency and opt-in from `rng` sub-streams.
+  SignalBus(BusConfig config, std::size_t premise_count, sim::Rng rng);
+
+  [[nodiscard]] std::size_t premise_count() const noexcept {
+    return subscribers_.size();
+  }
+  [[nodiscard]] const Subscriber& subscriber(std::size_t premise) const {
+    return subscribers_.at(premise);
+  }
+  /// Engine hook: premises that cannot act (uncoordinated baseline).
+  void set_can_comply(std::size_t premise, bool can_comply) {
+    subscribers_.at(premise).can_comply = can_comply;
+  }
+  [[nodiscard]] std::size_t opted_in_count() const noexcept;
+
+  /// Fans `signal` out to every premise in index order, appending to the
+  /// log. Returns the deliveries of this signal (same order).
+  const std::vector<Delivery>& publish(const GridSignal& signal);
+
+  /// Every signal published so far, in emission order.
+  [[nodiscard]] const std::vector<GridSignal>& signals() const noexcept {
+    return signals_;
+  }
+  /// Flat (signal x premise) delivery log, in publish order.
+  [[nodiscard]] const std::vector<Delivery>& log() const noexcept {
+    return log_;
+  }
+
+  /// Writes the signal/compliance log as CSV — one row per delivery,
+  /// joined with its signal's fields. Deterministic formatting; the
+  /// thread-independence tests compare this output byte-for-byte.
+  void write_log_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Subscriber> subscribers_;
+  std::vector<GridSignal> signals_;
+  std::vector<Delivery> log_;
+  std::vector<Delivery> last_published_;
+};
+
+}  // namespace han::grid

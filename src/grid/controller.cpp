@@ -1,0 +1,187 @@
+#include "grid/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace han::grid {
+
+DemandResponseController::DemandResponseController(FeederConfig feeder,
+                                                   DrConfig config)
+    : feeder_(feeder), config_(std::move(config)) {
+  if (config_.target_utilization <= 0.0) {
+    throw std::invalid_argument(
+        "DemandResponseController: target_utilization must be > 0");
+  }
+  if (config_.max_stretch < 1) {
+    throw std::invalid_argument(
+        "DemandResponseController: max_stretch must be >= 1");
+  }
+  if (config_.shed_duration <= sim::Duration::zero()) {
+    throw std::invalid_argument(
+        "DemandResponseController: shed_duration must be > 0");
+  }
+}
+
+TariffTier DemandResponseController::tier_at(sim::TimePoint t) const noexcept {
+  const sim::Duration tod = sim::phase_in_period(t, sim::hours(24));
+  for (const TariffWindow& w : config_.tariff_windows) {
+    // A window with day_start > day_end wraps midnight (e.g. a
+    // 22:00-02:00 off-peak night).
+    const bool inside = w.day_start <= w.day_end
+                            ? tod >= w.day_start && tod < w.day_end
+                            : tod >= w.day_start || tod < w.day_end;
+    if (inside) return w.tier;
+  }
+  return TariffTier::kStandard;
+}
+
+GridSignal DemandResponseController::make_shed(sim::TimePoint t,
+                                               double load_kw) {
+  const double target = config_.target_utilization * feeder_.config().capacity_kw;
+  GridSignal s;
+  s.id = next_id_++;
+  s.kind = SignalKind::kDrShed;
+  s.at = t;
+  s.target_kw = target;
+  s.shed_kw = std::max(0.0, load_kw - target);
+  // Stretching maxDCP by k cuts the coordinated steady load to ~1/k, so
+  // the deficit ratio is the natural stretch — at least 2 (a shed that
+  // changes nothing is noise), capped by config (which may legitimately
+  // cap below 2, so the floor must never exceed the cap).
+  const auto want = static_cast<sim::Ticks>(
+      std::ceil(load_kw / std::max(target, 1e-9)));
+  const sim::Ticks floor = std::min<sim::Ticks>(2, config_.max_stretch);
+  s.period_stretch = std::clamp(want, floor, config_.max_stretch);
+  s.duration = config_.shed_duration;
+  return s;
+}
+
+void DemandResponseController::close_shed_latency(sim::TimePoint t) {
+  if (!latency_open_) return;
+  stats_.total_shed_latency_minutes += (t - shed_emitted_).minutes_f();
+  latency_open_ = false;
+}
+
+void DemandResponseController::emit_shed(sim::TimePoint t, double load_kw,
+                                         std::vector<GridSignal>& out) {
+  const GridSignal s = make_shed(t, load_kw);
+  shed_emitted_ = t;
+  shed_until_ = t + s.duration;
+  shed_target_kw_ = s.target_kw;
+  latency_open_ = true;
+  clear_pending_ = false;
+  out.push_back(s);
+  ++stats_.shed_signals;
+  phase_ = Phase::kShedding;
+}
+
+void DemandResponseController::emit_all_clear(sim::TimePoint t,
+                                              std::vector<GridSignal>& out) {
+  GridSignal s;
+  s.id = next_id_++;
+  s.kind = SignalKind::kAllClear;
+  s.at = t;
+  out.push_back(s);
+  ++stats_.all_clear_signals;
+  phase_ = Phase::kCooldown;
+  cooldown_until_ = t + config_.cooldown;
+}
+
+std::vector<GridSignal> DemandResponseController::observe(sim::TimePoint t,
+                                                          double load_kw) {
+  if (have_last_ && t < last_t_) {
+    throw std::invalid_argument(
+        "DemandResponseController: observations must not go back");
+  }
+  const double dt_min = have_last_ ? (t - last_t_).minutes_f() : 0.0;
+  feeder_.observe(t, load_kw);
+
+  std::vector<GridSignal> out;
+
+  // --- Time-of-use tariff ---------------------------------------------
+  if (!config_.tariff_windows.empty()) {
+    const TariffTier tier = tier_at(t);
+    if (tier != last_tier_) {
+      GridSignal s;
+      s.id = next_id_++;
+      s.kind = SignalKind::kTariffChange;
+      s.at = t;
+      s.tier = tier;
+      out.push_back(s);
+      ++stats_.tariff_signals;
+      last_tier_ = tier;
+    }
+  }
+
+  // --- Shed state machine ---------------------------------------------
+  const double cap = feeder_.config().capacity_kw;
+  const bool hot = load_kw >= config_.trigger_utilization * cap ||
+                   feeder_.temperature_pu() >= config_.trigger_temp_pu;
+
+  if (config_.shed_enabled) {
+    switch (phase_) {
+      case Phase::kIdle:
+        if (hot) {
+          phase_ = Phase::kArming;
+          armed_since_ = t;
+        }
+        break;
+
+      case Phase::kArming:
+        if (!hot) {
+          phase_ = Phase::kIdle;
+        } else if (t - armed_since_ >= config_.trigger_hold) {
+          emit_shed(t, load_kw, out);
+        }
+        break;
+
+      case Phase::kShedding: {
+        stats_.shed_active_minutes += dt_min;
+        stats_.unserved_shed_kw_minutes +=
+            std::max(0.0, load_kw - shed_target_kw_) * dt_min;
+        if (latency_open_ && load_kw <= shed_target_kw_) {
+          close_shed_latency(t);
+          ++stats_.sheds_reaching_target;
+        }
+
+        const bool below_clear = load_kw <= config_.clear_utilization * cap;
+        if (below_clear && !clear_pending_) {
+          clear_pending_ = true;
+          clear_since_ = t;
+        } else if (!below_clear) {
+          clear_pending_ = false;
+        }
+
+        if (clear_pending_ && t - clear_since_ >= config_.clear_hold) {
+          // Sustained relief: end the shed early.
+          close_shed_latency(t);
+          emit_all_clear(t, out);
+        } else if (t >= shed_until_) {
+          close_shed_latency(t);
+          if (hot) {
+            // Still stressed at expiry: roll straight into a new shed
+            // so the premise-side stretch never lapses mid-event.
+            emit_shed(t, load_kw, out);
+          } else {
+            emit_all_clear(t, out);
+          }
+        }
+        break;
+      }
+
+      case Phase::kCooldown:
+        if (t >= cooldown_until_) {
+          phase_ = hot ? Phase::kArming : Phase::kIdle;
+          if (hot) armed_since_ = t;
+        }
+        break;
+    }
+  }
+
+  have_last_ = true;
+  last_t_ = t;
+  return out;
+}
+
+}  // namespace han::grid

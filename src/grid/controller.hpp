@@ -1,0 +1,141 @@
+// han::grid — the demand-response head end.
+//
+// Watches the streaming aggregate feeder load (one observe() per
+// control interval, in simulated time) and emits typed GridSignals:
+//
+//   * DR_SHED when the transformer is persistently over its trigger
+//     (raw utilization or accumulated thermal stress) — carries the
+//     target kW to get back under, a duty-cycle period stretch sized
+//     to the deficit, and a lifetime after which premises auto-expire;
+//   * ALL_CLEAR when the load has stayed safely below the clear
+//     threshold long enough (or the shed expired cold);
+//   * TARIFF_CHANGE at time-of-use window boundaries.
+//
+// The state machine is hold-time based (idle -> arming -> shedding ->
+// cooldown) so one noisy sample can neither fire nor cancel a shed.
+// Everything is a pure function of the observed series, which is what
+// keeps closed-loop fleet runs byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/feeder.hpp"
+#include "grid/signal.hpp"
+
+namespace han::grid {
+
+/// One time-of-use tariff window, on a 24 h ring anchored at the epoch.
+/// day_start > day_end wraps midnight (22:00-02:00). Time of day
+/// outside every window is TariffTier::kStandard.
+struct TariffWindow {
+  sim::Duration day_start = sim::hours(17);
+  sim::Duration day_end = sim::hours(21);
+  TariffTier tier = TariffTier::kPeak;
+};
+
+/// Controller tuning.
+struct DrConfig {
+  /// Master switch for shed emission (tariff signals are independent).
+  bool shed_enabled = true;
+  /// Shed triggers: raw load at/above this fraction of capacity...
+  double trigger_utilization = 1.0;
+  /// ...or accumulated thermal stress at/above this per-unit temp.
+  double trigger_temp_pu = 1.05;
+  /// Either trigger must hold this long before the shed fires.
+  sim::Duration trigger_hold = sim::minutes(3);
+  /// Shed target: get the load back under this fraction of capacity.
+  double target_utilization = 0.9;
+  /// Lifetime stamped on each DR_SHED; premises auto-expire after it.
+  sim::Duration shed_duration = sim::minutes(45);
+  /// Cap on the duty-cycle period stretch a shed may request.
+  sim::Ticks max_stretch = 4;
+  /// All-clear: load below this fraction of capacity...
+  double clear_utilization = 0.85;
+  /// ...sustained this long ends the shed early.
+  sim::Duration clear_hold = sim::minutes(10);
+  /// No new shed fires for this long after the previous one ended.
+  sim::Duration cooldown = sim::minutes(15);
+  /// Time-of-use schedule (empty = flat tariff, no tariff signals).
+  std::vector<TariffWindow> tariff_windows;
+};
+
+/// Controller-side outcome counters (grid metrics).
+struct DrStats {
+  std::uint64_t shed_signals = 0;
+  std::uint64_t all_clear_signals = 0;
+  std::uint64_t tariff_signals = 0;
+  /// Simulated minutes with a shed in force.
+  double shed_active_minutes = 0.0;
+  /// Integral of max(0, load - target) over shed-active time: demand
+  /// the sheds asked for but never got (kW-minutes).
+  double unserved_shed_kw_minutes = 0.0;
+  /// Sum over sheds of the time from emission until the load first
+  /// reached target (sheds that never got there count their full span).
+  double total_shed_latency_minutes = 0.0;
+  std::uint64_t sheds_reaching_target = 0;
+
+  /// Mean shortfall while shedding, kW (0 when no shed ran).
+  [[nodiscard]] double mean_unserved_shed_kw() const noexcept {
+    return shed_active_minutes > 0.0
+               ? unserved_shed_kw_minutes / shed_active_minutes
+               : 0.0;
+  }
+  /// Mean emission-to-target latency per shed, minutes.
+  [[nodiscard]] double mean_shed_latency_minutes() const noexcept {
+    return shed_signals > 0
+               ? total_shed_latency_minutes /
+                     static_cast<double>(shed_signals)
+               : 0.0;
+  }
+};
+
+class DemandResponseController {
+ public:
+  DemandResponseController(FeederConfig feeder, DrConfig config);
+
+  /// Feeds one aggregate load sample at simulated time `t` (samples must
+  /// be in non-decreasing time order). Returns the signals emitted at
+  /// this instant — usually none.
+  [[nodiscard]] std::vector<GridSignal> observe(sim::TimePoint t,
+                                                double load_kw);
+
+  [[nodiscard]] const FeederModel& feeder() const noexcept { return feeder_; }
+  [[nodiscard]] const DrConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DrStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool shed_active() const noexcept {
+    return phase_ == Phase::kShedding;
+  }
+  /// Tariff tier in force at time-of-day `t` under the configured
+  /// schedule (kStandard outside every window).
+  [[nodiscard]] TariffTier tier_at(sim::TimePoint t) const noexcept;
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kArming, kShedding, kCooldown };
+
+  [[nodiscard]] GridSignal make_shed(sim::TimePoint t, double load_kw);
+  void close_shed_latency(sim::TimePoint t);
+  /// Emits a shed / all-clear into `out` and advances the phase state.
+  void emit_shed(sim::TimePoint t, double load_kw,
+                 std::vector<GridSignal>& out);
+  void emit_all_clear(sim::TimePoint t, std::vector<GridSignal>& out);
+
+  FeederModel feeder_;
+  DrConfig config_;
+  DrStats stats_;
+  Phase phase_ = Phase::kIdle;
+  std::uint32_t next_id_ = 0;
+  sim::TimePoint armed_since_;
+  sim::TimePoint shed_emitted_;
+  sim::TimePoint shed_until_;
+  sim::TimePoint clear_since_;
+  bool clear_pending_ = false;
+  bool latency_open_ = false;
+  sim::TimePoint cooldown_until_;
+  double shed_target_kw_ = 0.0;
+  bool have_last_ = false;
+  sim::TimePoint last_t_;
+  TariffTier last_tier_ = TariffTier::kStandard;
+};
+
+}  // namespace han::grid

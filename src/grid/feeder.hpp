@@ -1,0 +1,86 @@
+// han::grid — transformer-bank feeder model.
+//
+// What kills a distribution transformer is not one bad minute but
+// sustained hotspot temperature, so the model tracks a first-order
+// thermal state driven by the square of per-unit loading (copper loss
+// ~ I^2): in steady state at utilization u the temperature settles at
+// u^2, and excursions above rating charge up with the configured time
+// constant and decay the same way. The controller watches both the raw
+// headroom (capacity - load) and this accumulated stress, which is what
+// makes it react to *persistent* overload instead of chattering on
+// every surge sample.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace han::grid {
+
+/// Transformer bank parameters.
+struct FeederConfig {
+  /// Nameplate rating of the bank (kW). Must be > 0 to observe().
+  double capacity_kw = 0.0;
+  /// First-order hotspot time constant. Distribution transformers are
+  /// tens of minutes to hours; 30 min keeps scenario runs responsive.
+  sim::Duration thermal_tau = sim::minutes(30);
+  /// Per-unit temperature above which insulation-loss minutes accrue
+  /// (1.0 == the steady-state temperature at exactly rated load).
+  double overload_temp_pu = 1.0;
+};
+
+/// Streaming thermal/overload state of one feeder transformer bank.
+/// Feed it the aggregate load in simulated-time order via observe().
+class FeederModel {
+ public:
+  explicit FeederModel(FeederConfig config);
+
+  [[nodiscard]] const FeederConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Advances the thermal state to `t` under the load seen since the
+  /// previous observation and records the new sample. Observations must
+  /// be in non-decreasing time order.
+  void observe(sim::TimePoint t, double load_kw);
+
+  /// capacity - last observed load (negative while overloaded).
+  [[nodiscard]] double headroom_kw() const noexcept {
+    return config_.capacity_kw - last_load_kw_;
+  }
+  /// Last observed load / capacity.
+  [[nodiscard]] double utilization() const noexcept {
+    return last_load_kw_ / config_.capacity_kw;
+  }
+  /// Per-unit hotspot temperature (steady state: utilization^2).
+  [[nodiscard]] double temperature_pu() const noexcept { return temp_pu_; }
+
+  /// Simulated minutes the raw load exceeded capacity.
+  [[nodiscard]] double overload_minutes() const noexcept {
+    return overload_minutes_;
+  }
+  /// Simulated minutes the thermal state exceeded overload_temp_pu.
+  [[nodiscard]] double hot_minutes() const noexcept { return hot_minutes_; }
+  /// Highest per-unit temperature reached so far.
+  [[nodiscard]] double peak_temperature_pu() const noexcept {
+    return peak_temp_pu_;
+  }
+  [[nodiscard]] double peak_load_kw() const noexcept { return peak_load_kw_; }
+  [[nodiscard]] std::size_t observations() const noexcept {
+    return observations_;
+  }
+
+ private:
+  FeederConfig config_;
+  bool primed_ = false;
+  sim::TimePoint last_t_;
+  double last_load_kw_ = 0.0;
+  double temp_pu_ = 0.0;
+  double peak_temp_pu_ = 0.0;
+  double peak_load_kw_ = 0.0;
+  double overload_minutes_ = 0.0;
+  double hot_minutes_ = 0.0;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace han::grid

@@ -1,0 +1,29 @@
+#include "grid/signal.hpp"
+
+namespace han::grid {
+
+std::string_view to_string(SignalKind k) noexcept {
+  switch (k) {
+    case SignalKind::kDrShed:
+      return "dr_shed";
+    case SignalKind::kAllClear:
+      return "all_clear";
+    case SignalKind::kTariffChange:
+      return "tariff_change";
+  }
+  return "?";
+}
+
+std::string_view to_string(TariffTier t) noexcept {
+  switch (t) {
+    case TariffTier::kOffPeak:
+      return "off_peak";
+    case TariffTier::kStandard:
+      return "standard";
+    case TariffTier::kPeak:
+      return "peak";
+  }
+  return "?";
+}
+
+}  // namespace han::grid

@@ -1,0 +1,64 @@
+// han::grid — typed signals the grid sends back to premises.
+//
+// The fleet layer made the feeder observable; this layer makes it
+// *actionable*. A GridSignal is what a utility's demand-response head
+// end would broadcast over AMI: "shed down to this target for this
+// long", "the evening tariff tier just started", "all clear". Premises
+// receive signals through a SignalBus (per-premise latency, opt-in
+// compliance) and — if they run the DR-aware coordinated scheduler —
+// stretch their duty-cycle envelope while a shed is active. The
+// uncoordinated baseline ignores every signal, preserving the paper's
+// with/without comparison.
+//
+// This header is intentionally dependency-light (sim/time only) so that
+// core can consume signals without pulling in the controller.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace han::grid {
+
+enum class SignalKind : std::uint8_t {
+  /// Reduce aggregate load: premises stretch maxDCP by period_stretch
+  /// until `at + duration` (or an earlier all-clear).
+  kDrShed,
+  /// The shed ended early: restore the normal duty-cycle envelope.
+  kAllClear,
+  /// Time-of-use tariff tier changed (informational in this PR; a
+  /// price-elastic workload response is a ROADMAP open item).
+  kTariffChange,
+};
+
+enum class TariffTier : std::uint8_t { kOffPeak, kStandard, kPeak };
+
+[[nodiscard]] std::string_view to_string(SignalKind k) noexcept;
+[[nodiscard]] std::string_view to_string(TariffTier t) noexcept;
+
+/// One broadcast from the grid head end.
+struct GridSignal {
+  /// Emission sequence number (unique per controller run).
+  std::uint32_t id = 0;
+  SignalKind kind = SignalKind::kDrShed;
+  /// Emission time at the controller.
+  sim::TimePoint at;
+  /// kDrShed: feeder load the controller wants to get back under (kW).
+  double target_kw = 0.0;
+  /// kDrShed: reduction requested at emission time (kW).
+  double shed_kw = 0.0;
+  /// kDrShed: maxDCP multiplier complying premises apply (>= 1;
+  /// integer so stretched slot windows stay aligned with the base
+  /// epoch ring).
+  sim::Ticks period_stretch = 1;
+  /// kDrShed: shed lifetime; premises auto-expire the stretch at
+  /// `at + duration` even if the all-clear is lost.
+  sim::Duration duration = sim::Duration::zero();
+  /// kTariffChange: the tier now in force.
+  TariffTier tier = TariffTier::kStandard;
+
+  bool operator==(const GridSignal&) const = default;
+};
+
+}  // namespace han::grid

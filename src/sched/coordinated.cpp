@@ -29,28 +29,33 @@ sim::TimePoint CoordinatedScheduler::next_window_opening(
 }
 
 std::vector<std::size_t> CoordinatedScheduler::slot_occupancy(
-    const GlobalView& view, std::size_t k_slots) {
+    const GlobalView& view, std::size_t k_slots, bool apply_grid) {
   std::vector<std::size_t> occ(k_slots, 0);
   if (k_slots == 0) return occ;
   for (const DeviceStatus& d : view.devices) {
     if (!d.has_demand || d.demand_until <= view.now) continue;
     if (!d.slot_assigned()) continue;
+    const sim::Duration dcp =
+        apply_grid ? effective_max_dcp(d.max_dcp, view.grid) : d.max_dcp;
     const bool will_run =
         d.burst_pending ||
         d.demand_until >
-            next_window_opening(view.now, d.slot, d.min_dcd, d.max_dcp);
+            next_window_opening(view.now, d.slot, d.min_dcd, dcp);
     if (will_run) occ[d.slot % k_slots] += 1;
   }
   return occ;
 }
 
 std::uint8_t CoordinatedScheduler::pick_slot(const GlobalView& view,
-                                             const DeviceStatus& self) {
-  const sim::Ticks k_ticks = self.max_dcp / self.min_dcd;
+                                             const DeviceStatus& self,
+                                             bool apply_grid) {
+  const sim::Duration self_dcp =
+      apply_grid ? effective_max_dcp(self.max_dcp, view.grid) : self.max_dcp;
+  const sim::Ticks k_ticks = self_dcp / self.min_dcd;
   const auto k = static_cast<std::size_t>(std::max<sim::Ticks>(k_ticks, 1));
-  const std::vector<std::size_t> occ = slot_occupancy(view, k);
+  const std::vector<std::size_t> occ = slot_occupancy(view, k, apply_grid);
 
-  const sim::Duration phase = sim::phase_in_period(view.now, self.max_dcp);
+  const sim::Duration phase = sim::phase_in_period(view.now, self_dcp);
 
   std::size_t best = 0;
   bool have_best = false;
@@ -63,7 +68,7 @@ std::uint8_t CoordinatedScheduler::pick_slot(const GlobalView& view,
     const sim::Duration slot_start =
         self.min_dcd * static_cast<sim::Ticks>(s);
     sim::Duration wait = slot_start - phase;
-    if (wait < sim::Duration::zero()) wait += self.max_dcp;
+    if (wait < sim::Duration::zero()) wait += self_dcp;
     if (!have_best || occ[s] < occ[best] ||
         (occ[s] == occ[best] && wait < best_wait)) {
       best = s;
@@ -76,9 +81,10 @@ std::uint8_t CoordinatedScheduler::pick_slot(const GlobalView& view,
 
 std::optional<CoordinatedScheduler::Rebalance>
 CoordinatedScheduler::rebalance_move(const GlobalView& view,
-                                     std::size_t k_slots) {
+                                     std::size_t k_slots, bool apply_grid) {
   if (k_slots < 2) return std::nullopt;
-  const std::vector<std::size_t> occ = slot_occupancy(view, k_slots);
+  const std::vector<std::size_t> occ =
+      slot_occupancy(view, k_slots, apply_grid);
   std::size_t hi = 0;
   std::size_t lo = 0;
   for (std::size_t s = 1; s < k_slots; ++s) {
@@ -95,8 +101,10 @@ CoordinatedScheduler::rebalance_move(const GlobalView& view,
     if (!d.has_demand || d.demand_until <= view.now) continue;
     if (!d.slot_assigned() || d.slot % k_slots != hi) continue;
     if (d.relay_on) continue;  // never interrupt a burst
+    const sim::Duration dcp =
+        apply_grid ? effective_max_dcp(d.max_dcp, view.grid) : d.max_dcp;
     const sim::TimePoint target_opening = next_window_opening(
-        view.now, static_cast<std::uint8_t>(lo), d.min_dcd, d.max_dcp);
+        view.now, static_cast<std::uint8_t>(lo), d.min_dcd, dcp);
     if (d.demand_until <= target_opening) continue;
     if (mover == nullptr || d.id < mover->id) mover = &d;
   }
@@ -109,7 +117,9 @@ Plan CoordinatedScheduler::plan(const GlobalView& view) const {
   for (std::size_t i = 0; i < view.devices.size(); ++i) {
     const DeviceStatus& d = view.devices[i];
     if (!d.has_demand || d.demand_until <= view.now) continue;
-    out[i] = slot_window_on(view.now, d.slot, d.min_dcd, d.max_dcp);
+    const sim::Duration dcp =
+        dr_aware_ ? effective_max_dcp(d.max_dcp, view.grid) : d.max_dcp;
+    out[i] = slot_window_on(view.now, d.slot, d.min_dcd, dcp);
   }
   return out;
 }

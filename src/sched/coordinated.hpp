@@ -34,11 +34,22 @@ namespace han::sched {
 
 class CoordinatedScheduler final : public Scheduler {
  public:
+  /// `dr_aware` opts the policy into demand-response pressure: while
+  /// GlobalView::grid carries an active shed, every device's maxDCP is
+  /// treated as stretched by the shed's period multiplier (see
+  /// effective_max_dcp), which thins the burst cadence — same minDCD
+  /// bursts, longer period — and cuts the premise's steady load to
+  /// ~1/stretch. Off by default: a non-enrolled premise schedules
+  /// exactly as the paper describes.
+  explicit CoordinatedScheduler(bool dr_aware = false) noexcept
+      : dr_aware_(dr_aware) {}
+
   [[nodiscard]] Plan plan(const GlobalView& view) const override;
   [[nodiscard]] std::string_view name() const override {
     return "coordinated";
   }
   [[nodiscard]] bool epoch_aligned() const noexcept override { return true; }
+  [[nodiscard]] bool dr_aware() const noexcept override { return dr_aware_; }
 
   /// True while the ring phase of `now` is inside `slot`'s window.
   [[nodiscard]] static bool slot_window_on(sim::TimePoint now,
@@ -49,9 +60,13 @@ class CoordinatedScheduler final : public Scheduler {
   /// Claims a slot for `self` given the current `view`: least occupied,
   /// ties broken toward the slot whose window opens soonest after
   /// view.now, then toward the lower index. Deterministic; only the
-  /// owning DI calls this, exactly once per demand period.
+  /// owning DI calls this, exactly once per demand period. With
+  /// `apply_grid`, constraints are resolved through view.grid (the
+  /// DR-aware path), so claims during a shed spread over the stretched
+  /// slot ring.
   [[nodiscard]] static std::uint8_t pick_slot(const GlobalView& view,
-                                              const DeviceStatus& self);
+                                              const DeviceStatus& self,
+                                              bool apply_grid = false);
 
   /// Absolute time at which `slot`'s window next opens at or after
   /// `now` (== now when the phase is exactly at the window start).
@@ -66,7 +81,7 @@ class CoordinatedScheduler final : public Scheduler {
   /// devices that already ran and are about to expire don't block a
   /// slot for newcomers.
   [[nodiscard]] static std::vector<std::size_t> slot_occupancy(
-      const GlobalView& view, std::size_t k_slots);
+      const GlobalView& view, std::size_t k_slots, bool apply_grid = false);
 
   /// Departures skew the slot balance over time; this computes the one
   /// rebalancing move for this round, if any: the lowest-id active,
@@ -79,13 +94,16 @@ class CoordinatedScheduler final : public Scheduler {
     std::uint8_t new_slot = kNoSlot;
   };
   [[nodiscard]] static std::optional<Rebalance> rebalance_move(
-      const GlobalView& view, std::size_t k_slots);
+      const GlobalView& view, std::size_t k_slots, bool apply_grid = false);
 
   /// Steady-state concurrent ON count for `active` homogeneous devices
   /// under balanced claims (the analytical staircase level).
   [[nodiscard]] static std::size_t steady_on_count(
       std::size_t active, sim::Duration min_dcd,
       sim::Duration max_dcp) noexcept;
+
+ private:
+  bool dr_aware_ = false;
 };
 
 }  // namespace han::sched

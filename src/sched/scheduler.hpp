@@ -26,6 +26,13 @@ class Scheduler {
   /// per maxDCP ring period; policies anchored at per-device times
   /// (the uncoordinated baseline) must not be gated that way.
   [[nodiscard]] virtual bool epoch_aligned() const noexcept { return false; }
+
+  /// True when the policy reacts to GlobalView::grid (demand-response
+  /// pressure). The DI then resolves slot claims and window openings
+  /// with the stretched duty-cycle envelope. The uncoordinated baseline
+  /// always returns false — it ignores grid signals by design,
+  /// preserving the paper's with/without comparison.
+  [[nodiscard]] virtual bool dr_aware() const noexcept { return false; }
 };
 
 }  // namespace han::sched

@@ -18,6 +18,32 @@ namespace han::sched {
 /// Marker for "no schedule slot assigned".
 inline constexpr std::uint8_t kNoSlot = 0xFF;
 
+/// Grid-side demand-response pressure, stamped onto every view by the
+/// premise runtime (HanNetwork). It is NOT shared over the CP: all DIs
+/// of a premise hang off the same grid gateway, so the field is
+/// consistent across the premise by construction. DR-aware schedulers
+/// stretch each device's duty-cycle period by `period_stretch` while a
+/// shed is active; everything else ignores it.
+struct GridPressure {
+  bool shed_active = false;
+  /// maxDCP multiplier while shedding (>= 1; integer keeps stretched
+  /// slot windows aligned with the base epoch ring).
+  sim::Ticks period_stretch = 1;
+
+  bool operator==(const GridPressure&) const = default;
+};
+
+/// `max_dcp` as a DR-aware scheduler sees it under `grid`: stretched by
+/// the shed's period multiplier while a shed is active, unchanged
+/// otherwise. Stretching lowers the duty factor minDCD/maxDCP — each
+/// device still gets one full minDCD burst per (stretched) period, just
+/// less often, which is exactly the lever a shed pulls.
+[[nodiscard]] constexpr sim::Duration effective_max_dcp(
+    sim::Duration max_dcp, const GridPressure& grid) noexcept {
+  if (!grid.shed_active || grid.period_stretch <= 1) return max_dcp;
+  return max_dcp * grid.period_stretch;
+}
+
 /// Everything a scheduler needs to know about one Type-2 device.
 struct DeviceStatus {
   net::NodeId id = net::kInvalidNode;
@@ -49,6 +75,8 @@ struct DeviceStatus {
 struct GlobalView {
   sim::TimePoint now;
   std::vector<DeviceStatus> devices;  // any order; schedulers sort copies
+  /// Premise-local demand-response state (see GridPressure).
+  GridPressure grid;
 
   /// Devices with unexpired demand, FIFO-ordered by (demand_since, id).
   [[nodiscard]] std::vector<DeviceStatus> active_fifo() const {

@@ -40,10 +40,57 @@ TEST(SumSeries, EmptyInputYieldsEmpty) {
   EXPECT_TRUE(sum_series({}).empty());
 }
 
+TEST(SumSeries, AllEmptySeriesYieldEmpty) {
+  const metrics::TimeSeries a(sim::TimePoint::epoch(), sim::minutes(1));
+  const metrics::TimeSeries b;  // default grid differs — must not matter
+  EXPECT_TRUE(sum_series({&a, &b}).empty());
+}
+
+TEST(SumSeries, EmptySeriesNeitherConstrainGridNorContribute) {
+  // A default-constructed empty series has a meaningless interval; it
+  // must not trip the shared-grid check or change the sum.
+  const metrics::TimeSeries a = series({1.0, 2.0});
+  const metrics::TimeSeries empty;
+  const metrics::TimeSeries sum = sum_series({&empty, &a, &empty});
+  ASSERT_EQ(sum.size(), 2u);
+  EXPECT_DOUBLE_EQ(sum.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(sum.at(1), 2.0);
+  EXPECT_EQ(sum.interval(), a.interval());
+  EXPECT_EQ(sum.start(), a.start());
+}
+
+TEST(SumSeries, SingleSeriesIsIdentity) {
+  const metrics::TimeSeries a = series({4.0, 5.0, 6.0});
+  const metrics::TimeSeries sum = sum_series({&a});
+  EXPECT_EQ(sum.values(), a.values());
+}
+
+TEST(SumSeries, ManyMismatchedLengthsZeroPad) {
+  const metrics::TimeSeries a = series({1.0});
+  const metrics::TimeSeries b = series({1.0, 1.0});
+  const metrics::TimeSeries c = series({1.0, 1.0, 1.0, 1.0});
+  const metrics::TimeSeries sum = sum_series({&a, &b, &c});
+  ASSERT_EQ(sum.size(), 4u);
+  EXPECT_DOUBLE_EQ(sum.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(sum.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(sum.at(2), 1.0);
+  EXPECT_DOUBLE_EQ(sum.at(3), 1.0);
+}
+
 TEST(SumSeries, MismatchedGridThrows) {
   const metrics::TimeSeries a = series({1.0});
   const metrics::TimeSeries b = series({1.0}, sim::minutes(5));
   EXPECT_THROW((void)sum_series({&a, &b}), std::invalid_argument);
+
+  metrics::TimeSeries shifted(sim::TimePoint::epoch() + sim::minutes(1),
+                              sim::minutes(1));
+  shifted.append(1.0);
+  EXPECT_THROW((void)sum_series({&a, &shifted}), std::invalid_argument);
+}
+
+TEST(SumSeries, NullSeriesThrows) {
+  const metrics::TimeSeries a = series({1.0});
+  EXPECT_THROW((void)sum_series({&a, nullptr}), std::invalid_argument);
 }
 
 TEST(Resample, AveragesWholeBuckets) {
@@ -66,6 +113,41 @@ TEST(Resample, TailBucketAveragedOverActualSize) {
 TEST(Resample, NonMultipleIntervalThrows) {
   const metrics::TimeSeries s = series({1.0, 2.0});
   EXPECT_THROW((void)resample(s, sim::seconds(90)), std::invalid_argument);
+}
+
+TEST(Resample, NonPositiveIntervalThrows) {
+  const metrics::TimeSeries s = series({1.0, 2.0});
+  EXPECT_THROW((void)resample(s, sim::Duration::zero()),
+               std::invalid_argument);
+  EXPECT_THROW((void)resample(s, sim::minutes(-1)), std::invalid_argument);
+}
+
+TEST(Resample, SameIntervalIsIdentity) {
+  const metrics::TimeSeries s = series({1.0, 2.0, 3.0});
+  const metrics::TimeSeries r = resample(s, sim::minutes(1));
+  EXPECT_EQ(r.values(), s.values());
+  EXPECT_EQ(r.interval(), s.interval());
+}
+
+TEST(Resample, EmptySeriesStaysEmpty) {
+  const metrics::TimeSeries s(sim::TimePoint::epoch(), sim::minutes(1));
+  const metrics::TimeSeries r = resample(s, sim::minutes(5));
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.interval(), sim::minutes(5));
+}
+
+TEST(Resample, SingleSampleAveragesOverItself) {
+  const metrics::TimeSeries s = series({7.0});
+  const metrics::TimeSeries r = resample(s, sim::minutes(10));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.at(0), 7.0);
+}
+
+TEST(Resample, BucketLargerThanSeriesAveragesAll) {
+  const metrics::TimeSeries s = series({2.0, 4.0, 6.0});
+  const metrics::TimeSeries r = resample(s, sim::minutes(60));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.at(0), 4.0);
 }
 
 TEST(FeederMetrics, HandComputedValues) {

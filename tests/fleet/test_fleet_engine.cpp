@@ -141,8 +141,8 @@ TEST(FleetEngine, ConstraintsAreNeverViolated) {
   EXPECT_EQ(r.service_gap_violations, 0u);
 }
 
-TEST(Scenario, RegistryHasTheFourPresets) {
-  ASSERT_EQ(scenarios().size(), 4u);
+TEST(Scenario, RegistryHasAllPresets) {
+  ASSERT_EQ(scenarios().size(), 7u);
   for (const ScenarioInfo& s : scenarios()) {
     EXPECT_EQ(to_string(s.kind), s.name);
     const auto back = scenario_from_name(s.name);

@@ -1,0 +1,98 @@
+// FeederModel: thermal accumulation, headroom, overload accounting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "grid/feeder.hpp"
+
+namespace han::grid {
+namespace {
+
+FeederConfig config(double capacity_kw = 100.0) {
+  FeederConfig c;
+  c.capacity_kw = capacity_kw;
+  c.thermal_tau = sim::minutes(30);
+  c.overload_temp_pu = 1.0;
+  return c;
+}
+
+TEST(FeederModel, RejectsBadConfig) {
+  FeederConfig no_capacity = config(0.0);
+  EXPECT_THROW(FeederModel{no_capacity}, std::invalid_argument);
+  FeederConfig bad_tau = config();
+  bad_tau.thermal_tau = sim::Duration::zero();
+  EXPECT_THROW(FeederModel{bad_tau}, std::invalid_argument);
+}
+
+TEST(FeederModel, FirstObservationPrimesSteadyState) {
+  FeederModel f(config());
+  f.observe(sim::TimePoint::epoch(), 80.0);
+  EXPECT_DOUBLE_EQ(f.utilization(), 0.8);
+  EXPECT_DOUBLE_EQ(f.temperature_pu(), 0.64);  // u^2
+  EXPECT_DOUBLE_EQ(f.headroom_kw(), 20.0);
+  EXPECT_DOUBLE_EQ(f.overload_minutes(), 0.0);
+}
+
+TEST(FeederModel, TemperatureConvergesToUtilizationSquared) {
+  FeederModel f(config());
+  sim::TimePoint t = sim::TimePoint::epoch();
+  f.observe(t, 50.0);  // primes at 0.25
+  // Hold 120 % load for 4 time constants: temp must close most of the
+  // gap toward 1.44 monotonically.
+  double prev = f.temperature_pu();
+  for (int i = 0; i < 120; ++i) {
+    t = t + sim::minutes(1);
+    f.observe(t, 120.0);
+    EXPECT_GE(f.temperature_pu(), prev);
+    prev = f.temperature_pu();
+  }
+  EXPECT_GT(f.temperature_pu(), 1.35);
+  EXPECT_LT(f.temperature_pu(), 1.44);
+  EXPECT_DOUBLE_EQ(f.peak_temperature_pu(), f.temperature_pu());
+}
+
+TEST(FeederModel, TemperatureDecaysWhenLoadDrops) {
+  FeederModel f(config());
+  sim::TimePoint t = sim::TimePoint::epoch();
+  f.observe(t, 120.0);  // primes hot (1.44)
+  t = t + sim::minutes(60);
+  f.observe(t, 40.0);
+  EXPECT_LT(f.temperature_pu(), 1.44);
+  EXPECT_GT(f.temperature_pu(), 0.16);  // still decaying toward 0.16
+}
+
+TEST(FeederModel, OverloadAndHotMinutesAccrue) {
+  FeederModel f(config());
+  sim::TimePoint t = sim::TimePoint::epoch();
+  f.observe(t, 120.0);  // primes: temp 1.44 (> 1.0), no minutes yet
+  for (int i = 0; i < 10; ++i) {
+    t = t + sim::minutes(1);
+    f.observe(t, 120.0);
+  }
+  EXPECT_DOUBLE_EQ(f.overload_minutes(), 10.0);
+  EXPECT_DOUBLE_EQ(f.hot_minutes(), 10.0);
+  // Load at exactly capacity is not an overload.
+  t = t + sim::minutes(1);
+  f.observe(t, 100.0);
+  EXPECT_DOUBLE_EQ(f.overload_minutes(), 10.0);
+}
+
+TEST(FeederModel, RejectsTimeGoingBackwards) {
+  FeederModel f(config());
+  f.observe(sim::TimePoint::epoch() + sim::minutes(5), 10.0);
+  EXPECT_THROW(f.observe(sim::TimePoint::epoch(), 10.0),
+               std::invalid_argument);
+}
+
+TEST(FeederModel, PeakLoadTracked) {
+  FeederModel f(config());
+  sim::TimePoint t = sim::TimePoint::epoch();
+  f.observe(t, 30.0);
+  f.observe(t + sim::minutes(1), 90.0);
+  f.observe(t + sim::minutes(2), 60.0);
+  EXPECT_DOUBLE_EQ(f.peak_load_kw(), 90.0);
+  EXPECT_EQ(f.observations(), 3u);
+}
+
+}  // namespace
+}  // namespace han::grid

@@ -1,0 +1,131 @@
+// DR-aware coordinated scheduling: effective_max_dcp, stretched slot
+// windows under grid pressure, baseline immunity.
+#include <gtest/gtest.h>
+
+#include "sched/coordinated.hpp"
+#include "sched/uncoordinated.hpp"
+
+namespace han::sched {
+namespace {
+
+DeviceStatus device(net::NodeId id, std::uint8_t slot,
+                    sim::TimePoint now) {
+  DeviceStatus d;
+  d.id = id;
+  d.has_demand = true;
+  d.demand_since = now - sim::minutes(1);
+  d.demand_until = now + sim::hours(4);
+  d.min_dcd = sim::minutes(15);
+  d.max_dcp = sim::minutes(30);
+  d.slot = slot;
+  d.burst_pending = true;
+  return d;
+}
+
+TEST(DrEnvelope, EffectiveMaxDcpStretchesOnlyDuringShed) {
+  const sim::Duration base = sim::minutes(30);
+  GridPressure idle;
+  EXPECT_EQ(effective_max_dcp(base, idle), base);
+
+  GridPressure shed;
+  shed.shed_active = true;
+  shed.period_stretch = 2;
+  EXPECT_EQ(effective_max_dcp(base, shed), sim::minutes(60));
+
+  GridPressure unit;
+  unit.shed_active = true;
+  unit.period_stretch = 1;
+  EXPECT_EQ(effective_max_dcp(base, unit), base);
+}
+
+TEST(DrEnvelope, DrAwarePlanThinsTheBurstCadence) {
+  // Two devices in slots 0 and 1 of the 15/30 ring. At phase 20 min of
+  // the base ring, slot 1 is ON. Under a 2x shed the ring is 60 min and
+  // phase 20 lies in slot 1's window [15, 30) — but at phase 50 the
+  // base ring would run slot 1 again while the stretched ring (slot 3's
+  // window) must not.
+  const sim::TimePoint t50 = sim::TimePoint::epoch() + sim::minutes(50);
+  GlobalView view;
+  view.now = t50;
+  view.devices = {device(0, 0, t50), device(1, 1, t50)};
+
+  const CoordinatedScheduler plain;
+  const CoordinatedScheduler aware(/*dr_aware=*/true);
+
+  // No shed: identical plans (phase 20 of base ring => slot 1 ON).
+  Plan p = plain.plan(view);
+  Plan a = aware.plan(view);
+  EXPECT_EQ(p, a);
+  EXPECT_FALSE(p[0]);
+  EXPECT_TRUE(p[1]);
+
+  // Shed active: the DR-aware policy maps phase 50 into the stretched
+  // 60-minute ring, where neither claimed slot's window is open.
+  view.grid.shed_active = true;
+  view.grid.period_stretch = 2;
+  a = aware.plan(view);
+  EXPECT_FALSE(a[0]);
+  EXPECT_FALSE(a[1]);
+
+  // A dr_aware=false coordinated policy ignores the pressure entirely.
+  p = plain.plan(view);
+  EXPECT_FALSE(p[0]);
+  EXPECT_TRUE(p[1]);
+}
+
+TEST(DrEnvelope, StretchedWindowsStillGrantEverySlotOnce) {
+  // Sweep one stretched period: each of the two claimed slots must be
+  // ON for exactly one minDCD span of the 60-minute ring.
+  const CoordinatedScheduler aware(/*dr_aware=*/true);
+  int on_minutes_0 = 0;
+  int on_minutes_1 = 0;
+  for (int m = 0; m < 60; ++m) {
+    const sim::TimePoint t =
+        sim::TimePoint::epoch() + sim::minutes(m);
+    GlobalView view;
+    view.now = t;
+    view.grid.shed_active = true;
+    view.grid.period_stretch = 2;
+    view.devices = {device(0, 0, t), device(1, 1, t)};
+    const Plan plan = aware.plan(view);
+    on_minutes_0 += plan[0] ? 1 : 0;
+    on_minutes_1 += plan[1] ? 1 : 0;
+    // Staggering survives the stretch: never both ON.
+    EXPECT_FALSE(plan[0] && plan[1]) << m;
+  }
+  EXPECT_EQ(on_minutes_0, 15);
+  EXPECT_EQ(on_minutes_1, 15);
+}
+
+TEST(DrEnvelope, PickSlotSpreadsOverStretchedRing) {
+  // Base ring has K=2; a 2x shed opens K=4. Occupy slots 0 and 1 —
+  // a DR-aware claim must land in the stretched-only slots {2, 3},
+  // while a grid-blind claim can only see {0, 1}.
+  const sim::TimePoint t = sim::TimePoint::epoch();
+  GlobalView view;
+  view.now = t;
+  view.grid.shed_active = true;
+  view.grid.period_stretch = 2;
+  view.devices = {device(0, 0, t), device(1, 1, t)};
+
+  DeviceStatus self = device(2, kNoSlot, t);
+  const std::uint8_t aware_slot =
+      CoordinatedScheduler::pick_slot(view, self, /*apply_grid=*/true);
+  EXPECT_TRUE(aware_slot == 2 || aware_slot == 3) << int(aware_slot);
+
+  const std::uint8_t blind_slot =
+      CoordinatedScheduler::pick_slot(view, self, /*apply_grid=*/false);
+  EXPECT_LT(blind_slot, 2);
+}
+
+TEST(DrEnvelope, UncoordinatedBaselineIsNotDrAware) {
+  const UncoordinatedScheduler baseline;
+  EXPECT_FALSE(baseline.dr_aware());
+  const CoordinatedScheduler plain;
+  EXPECT_FALSE(plain.dr_aware());
+  const CoordinatedScheduler aware(true);
+  EXPECT_TRUE(aware.dr_aware());
+}
+
+}  // namespace
+}  // namespace han::sched
