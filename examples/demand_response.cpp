@@ -1,7 +1,9 @@
 // demand_response — closed-loop grid control over a neighborhood fleet.
 //
 //   $ ./demand_response [scenario] [premises] [threads] [seed] [log_csv]
+//                       [feeders]
 //   $ ./demand_response dr_heat_wave 100 0 1 signals.csv
+//   $ ./demand_response multi_feeder 100 0 1 signals.csv 4
 //   $ ./demand_response --list
 //
 // Runs the named scenario twice with the same seed — open loop (DR
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
   const std::size_t threads = arg_count(argc, argv, 3, 0);
   const auto seed = static_cast<std::uint64_t>(arg_count(argc, argv, 4, 1));
   const std::string log_path = argc > 5 ? argv[5] : "signals.csv";
+  // 0 keeps the scenario's own feeder count (1 for single-feeder
+  // presets, 4 for multi_feeder).
+  const std::size_t feeder_override = arg_count(argc, argv, 6, 0);
 
   if (premises == 0) {
     std::fprintf(stderr, "premise count must be > 0\n");
@@ -55,14 +60,15 @@ int main(int argc, char** argv) {
 
   fleet::FleetConfig closed = fleet::make_scenario(*kind, premises, seed);
   closed.grid.enabled = true;  // close the loop even for non-DR presets
+  if (feeder_override > 0) closed.feeder_count = feeder_override;
   fleet::FleetConfig open = closed;
   open.grid.enabled = false;
 
   fleet::Executor executor(threads);
-  std::printf("demand_response — %s, %zu premises, %.0f h horizon, "
-              "%zu threads, seed %llu\n\n",
-              scenario_name.c_str(), premises, closed.horizon.hours_f(),
-              executor.thread_count(),
+  std::printf("demand_response — %s, %zu premises, %zu feeder(s), "
+              "%.0f h horizon, %zu threads, seed %llu\n\n",
+              scenario_name.c_str(), premises, closed.feeder_count,
+              closed.horizon.hours_f(), executor.thread_count(),
               static_cast<unsigned long long>(seed));
 
   const fleet::GridFleetResult off =
@@ -111,6 +117,29 @@ int main(int argc, char** argv) {
               dr.mean_unserved_shed_kw());
   std::printf("  enrolled premises          %zu / %zu (%zu can comply)\n",
               on.opted_in_premises, premises, on.complying_premises);
+
+  if (on.feeders.size() > 1) {
+    std::printf("\nper-feeder (closed loop, capacity shares by planned "
+                "skew weight):\n");
+    metrics::TextTable shards({"feeder", "premises", "capacity kW",
+                               "peak kW", "overload min", "sheds",
+                               "enrolled"});
+    for (const fleet::FeederOutcome& fo : on.feeders) {
+      shards.add_row({std::to_string(fo.feeder),
+                      std::to_string(fo.premises),
+                      metrics::fmt(fo.capacity_kw, 1),
+                      metrics::fmt(fo.peak_load_kw, 1),
+                      metrics::fmt(fo.overload_minutes, 1),
+                      std::to_string(fo.dr.shed_signals),
+                      std::to_string(fo.opted_in_premises)});
+    }
+    shards.print(std::cout);
+    const fleet::SubstationMetrics& sub = on.fleet.substation;
+    std::printf("\nsubstation: peak %.1f kW vs %.1f kW summed feeder "
+                "peaks (inter-feeder diversity %.4f)\n",
+                sub.coincident_peak_kw, sub.sum_feeder_peaks_kw,
+                sub.inter_feeder_diversity);
+  }
 
   log << on.signal_log_csv;
   std::printf("\nsignal/compliance log (%zu deliveries) -> %s\n",

@@ -247,6 +247,12 @@ void HanNetwork::inject_type1_session(sim::TimePoint at, std::size_t index,
 }
 
 void HanNetwork::apply_grid_signal(const grid::GridSignal& signal) {
+  if (signal.feeder != config_.feeder) {
+    // Addressed to another shard's premises: the fleet engine never
+    // routes these here, but a premise must not act on one that leaks.
+    ++grid_signals_misrouted_;
+    return;
+  }
   ++grid_signals_applied_;
   switch (signal.kind) {
     case grid::SignalKind::kDrShed:
@@ -292,6 +298,7 @@ NetworkStats HanNetwork::stats() const {
   NetworkStats s;
   s.requests_injected = requests_injected_;
   s.grid_signals_applied = grid_signals_applied_;
+  s.grid_signals_misrouted = grid_signals_misrouted_;
   for (const auto& di : dis_) {
     s.min_dcd_violations += di->appliance().min_dcd_violations();
     s.service_gap_violations += di->stats().service_gap_violations;

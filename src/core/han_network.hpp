@@ -72,6 +72,10 @@ struct HanConfig {
   /// baseline, and none on coordinated premises that never receive a
   /// signal.
   bool dr_aware = false;
+  /// Feeder shard this premise hangs off (0 in single-feeder
+  /// deployments). apply_grid_signal drops signals stamped with a
+  /// different feeder id — the premise-side guard of sharded routing.
+  std::uint32_t feeder = 0;
   std::uint64_t seed = 1;
 };
 
@@ -83,6 +87,10 @@ struct NetworkStats {
   std::uint64_t stale_view_rounds = 0;
   std::uint64_t plan_switches = 0;
   std::uint64_t grid_signals_applied = 0;
+  /// Signals dropped because they were stamped for another feeder (a
+  /// routing bug upstream if it ever goes nonzero under the fleet
+  /// engine).
+  std::uint64_t grid_signals_misrouted = 0;
   double cp_mean_coverage = 1.0;
   double mean_radio_duty = 0.0;   // 0 in abstract mode
   double total_radio_mah = 0.0;   // 0 in abstract mode
@@ -185,6 +193,7 @@ class HanNetwork {
   std::vector<std::unique_ptr<DeviceInterface>> dis_;
   std::vector<appliance::Type1Appliance> type1_;
   std::uint64_t requests_injected_ = 0;
+  std::uint64_t grid_signals_misrouted_ = 0;
 
   // Grid / demand-response state (premise-wide; see apply_grid_signal).
   sim::Ticks shed_stretch_ = 1;

@@ -5,6 +5,23 @@
 
 namespace han::fleet {
 
+namespace {
+
+/// Simulated minutes `load` spends above `capacity_kw` (0 when the
+/// capacity is unset) — the one overload-accounting rule shared by the
+/// feeder and substation metrics.
+double overload_minutes_above(const metrics::TimeSeries& load,
+                              double capacity_kw) {
+  if (capacity_kw <= 0.0 || load.empty()) return 0.0;
+  std::size_t over = 0;
+  for (double v : load.values()) {
+    if (v > capacity_kw) ++over;
+  }
+  return static_cast<double>(over) * load.interval().minutes_f();
+}
+
+}  // namespace
+
 metrics::TimeSeries sum_series(
     const std::vector<const metrics::TimeSeries*>& series) {
   metrics::TimeSeries out;
@@ -54,6 +71,24 @@ metrics::TimeSeries resample(const metrics::TimeSeries& s,
   return s.downsample(static_cast<std::size_t>(interval / s.interval()));
 }
 
+SubstationMetrics substation_metrics(const metrics::TimeSeries& total,
+                                     const std::vector<FeederShard>& shards,
+                                     double capacity_kw) {
+  SubstationMetrics m;
+  m.feeders = shards.size();
+  m.capacity_kw = capacity_kw;
+  for (const FeederShard& s : shards) {
+    m.sum_feeder_peaks_kw += s.metrics.coincident_peak_kw;
+  }
+  if (total.empty()) return m;
+  m.coincident_peak_kw = total.stats().max();
+  if (m.coincident_peak_kw > 0.0) {
+    m.inter_feeder_diversity = m.sum_feeder_peaks_kw / m.coincident_peak_kw;
+  }
+  m.overload_minutes = overload_minutes_above(total, capacity_kw);
+  return m;
+}
+
 FeederMetrics feeder_metrics(const metrics::TimeSeries& feeder_load,
                              double transformer_capacity_kw,
                              double sum_premise_peaks_kw,
@@ -77,14 +112,8 @@ FeederMetrics feeder_metrics(const metrics::TimeSeries& feeder_load,
 
   const double interval_hours = feeder_load.interval().hours_f();
   m.energy_mwh = s.sum() * interval_hours / 1000.0;
-  if (transformer_capacity_kw > 0.0) {
-    std::size_t over = 0;
-    for (double v : feeder_load.values()) {
-      if (v > transformer_capacity_kw) ++over;
-    }
-    m.overload_minutes =
-        static_cast<double>(over) * feeder_load.interval().minutes_f();
-  }
+  m.overload_minutes = overload_minutes_above(feeder_load,
+                                              transformer_capacity_kw);
   return m;
 }
 

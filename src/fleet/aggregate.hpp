@@ -38,6 +38,43 @@ struct FeederMetrics {
   double overload_minutes = 0.0;
 };
 
+/// One feeder's slice of a sharded fleet: the summed load of its member
+/// premises and the feeder-level metrics against its capacity share.
+/// Single-feeder fleets have exactly one shard covering every premise.
+struct FeederShard {
+  std::size_t feeder = 0;
+  /// Member premise count (a shard may be empty under heavy skew).
+  std::size_t premises = 0;
+  metrics::TimeSeries load;
+  FeederMetrics metrics;
+};
+
+/// What the substation bank sees above K feeders. The interesting
+/// inter-feeder quantity is the diversity between shards: feeders do
+/// not peak at the same minute, so the substation's coincident peak
+/// sits below the sum of per-feeder peaks.
+struct SubstationMetrics {
+  std::size_t feeders = 0;
+  double capacity_kw = 0.0;
+  /// Max of the substation (whole-fleet) series.
+  double coincident_peak_kw = 0.0;
+  /// Per-feeder coincident peaks, summed (each shard's worst minute,
+  /// as if they all aligned).
+  double sum_feeder_peaks_kw = 0.0;
+  /// sum_feeder_peaks / coincident_peak; >= 1, higher = more
+  /// inter-feeder staggering. 1.0 for a single feeder by construction.
+  double inter_feeder_diversity = 1.0;
+  /// Simulated minutes the summed load exceeds the substation rating.
+  double overload_minutes = 0.0;
+};
+
+/// Rolls per-feeder shards up into the substation view. `total` is the
+/// whole-fleet series (the sum of the shard series); `capacity_kw` <= 0
+/// disables overload accounting.
+[[nodiscard]] SubstationMetrics substation_metrics(
+    const metrics::TimeSeries& total, const std::vector<FeederShard>& shards,
+    double capacity_kw);
+
 /// Element-wise sum of premise series. All non-empty series must share
 /// start and interval (the fleet engine samples every premise on one
 /// grid); shorter series are zero-padded to the longest, and empty

@@ -50,6 +50,40 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
     throw std::invalid_argument(
         "FleetEngine: grid.control_interval must be > 0");
   }
+  if (config_.feeder_count == 0) {
+    throw std::invalid_argument("FleetEngine: feeder_count must be >= 1");
+  }
+  if (!(config_.feeder_skew >= 0.0) ||
+      !std::isfinite(config_.feeder_skew)) {
+    throw std::invalid_argument(
+        "FleetEngine: feeder_skew must be finite and >= 0");
+  }
+  feeder_weights_.reserve(config_.feeder_count);
+  for (std::size_t k = 0; k < config_.feeder_count; ++k) {
+    feeder_weights_.push_back(
+        std::pow(1.0 + config_.feeder_skew, static_cast<double>(k)));
+    feeder_weight_total_ += feeder_weights_.back();
+  }
+}
+
+std::size_t FleetEngine::feeder_of(std::size_t index) const {
+  if (config_.feeder_count <= 1) return 0;
+  // A fresh named sub-stream of the premise stream: drawing it cannot
+  // perturb the draws make_spec already consumes.
+  sim::Rng draw =
+      sim::Rng(config_.seed).stream("premise", index).stream("feeder");
+  const double u = draw.uniform();
+  double cum = 0.0;
+  for (std::size_t k = 0; k < feeder_weights_.size(); ++k) {
+    cum += feeder_weights_[k];
+    if (u * feeder_weight_total_ < cum) return k;
+  }
+  return feeder_weights_.size() - 1;
+}
+
+double FleetEngine::feeder_capacity_share(std::size_t k) const {
+  if (config_.feeder_count <= 1) return 1.0;
+  return feeder_weights_.at(k) / feeder_weight_total_;
 }
 
 PremiseSpec FleetEngine::make_spec(std::size_t index) const {
@@ -59,6 +93,7 @@ PremiseSpec FleetEngine::make_spec(std::size_t index) const {
 
   PremiseSpec spec;
   spec.index = index;
+  spec.feeder = feeder_of(index);
 
   const auto devices = static_cast<std::size_t>(draw.uniform_int(
       static_cast<std::int64_t>(p.min_devices),
@@ -82,6 +117,7 @@ PremiseSpec FleetEngine::make_spec(std::size_t index) const {
   cfg.han.rated_kw = rated_kw;
   cfg.han.constraints = p.constraints;
   cfg.han.seed = rng.stream("han").next_u64();
+  cfg.han.feeder = static_cast<std::uint32_t>(spec.feeder);
   cfg.sample_interval = config_.sample_interval;
 
   appliance::WorkloadParams wp;
@@ -126,6 +162,7 @@ PremiseResult FleetEngine::assemble_premise_result(
     const core::NetworkStats& network) {
   PremiseResult out;
   out.index = spec.index;
+  out.feeder = spec.feeder;
   out.device_count = spec.experiment.han.device_count;
   out.scheduler = spec.experiment.han.scheduler;
   out.requests = spec.trace.size();
@@ -173,8 +210,30 @@ void FleetEngine::finish_aggregate(FleetResult& out) const {
     out.service_gap_violations += p.network.service_gap_violations;
   }
   out.feeder_load = sum_series(series);
-  out.feeder = feeder_metrics(out.feeder_load, resolved_capacity_kw(),
-                              sum_peaks, config_.premise_count);
+  const double capacity = resolved_capacity_kw();
+  out.feeder = feeder_metrics(out.feeder_load, capacity, sum_peaks,
+                              config_.premise_count);
+
+  // Per-feeder shards + the substation roll-up (still index order
+  // within each shard, so shard series are executor-independent too).
+  const std::size_t feeders = config_.feeder_count;
+  out.shards.resize(feeders);
+  std::vector<std::vector<const metrics::TimeSeries*>> shard_series(feeders);
+  std::vector<double> shard_peaks(feeders, 0.0);
+  for (const PremiseResult& p : out.premises) {
+    shard_series[p.feeder].push_back(&p.load);
+    shard_peaks[p.feeder] += p.peak_kw;
+  }
+  for (std::size_t k = 0; k < feeders; ++k) {
+    FeederShard& shard = out.shards[k];
+    shard.feeder = k;
+    shard.premises = shard_series[k].size();
+    shard.load = sum_series(shard_series[k]);
+    shard.metrics =
+        feeder_metrics(shard.load, capacity * feeder_capacity_share(k),
+                       shard_peaks[k], shard.premises);
+  }
+  out.substation = substation_metrics(out.feeder_load, out.shards, capacity);
 }
 
 FleetResult FleetEngine::run(Executor& executor) const {

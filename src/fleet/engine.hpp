@@ -28,6 +28,7 @@
 #include "fleet/executor.hpp"
 #include "grid/bus.hpp"
 #include "grid/controller.hpp"
+#include "grid/substation.hpp"
 
 namespace han::fleet {
 
@@ -89,10 +90,15 @@ struct GridOptions {
   /// Signal delivery model (per-premise latency, opt-in).
   grid::BusConfig bus;
   /// Transformer thermal model; capacity_kw <= 0 inherits the resolved
-  /// FleetConfig::transformer_capacity_kw.
+  /// FleetConfig::transformer_capacity_kw. Either way the capacity is
+  /// the FLEET total: with several feeders each shard receives its
+  /// planned share (see FleetConfig::feeder_skew).
   grid::FeederConfig feeder;
-  /// How often the controller observes the aggregate (the closed-loop
-  /// barrier period of run_grid).
+  /// Substation bank above the feeders; unset fields inherit (capacity:
+  /// the fleet total; thermal shape: the feeder config's).
+  grid::SubstationConfig substation;
+  /// How often each feeder's controller observes its aggregate (the
+  /// closed-loop barrier period of run_grid).
   sim::Duration control_interval = sim::minutes(1);
 };
 
@@ -106,8 +112,23 @@ struct FleetConfig {
   /// CP; 10 s rounds are ample for 15-minute duty-cycle granularity.
   sim::Duration round_period = sim::seconds(10);
   double abstract_reliability = 0.999;
-  /// Feeder transformer rating; <= 0 derives 2 kW per premise.
+  /// Feeder transformer rating for the WHOLE fleet; <= 0 derives 2 kW
+  /// per premise. Sharded fleets split it across feeders by planned
+  /// weight (see feeder_skew).
   double transformer_capacity_kw = 0.0;
+  /// Number of feeders the premises are sharded across (>= 1). Each
+  /// feeder gets its own transformer model and — under run_grid — its
+  /// own DR controller and signal bus beneath one substation.
+  std::size_t feeder_count = 1;
+  /// Shard-size skew in [0, inf): feeder k's planned weight is
+  /// (1 + feeder_skew)^k, so 0 plans equal shards and larger values
+  /// deliberately unbalance them toward the later feeders. Premise
+  /// assignment draws against these weights from a per-premise RNG
+  /// stream — a pure function of (seed, index, feeder_count, skew)
+  /// that never perturbs the other premise draws. Capacity shares
+  /// follow the planned weights (feeders are sized for expected
+  /// demand), so an unlucky empty shard still has a rated transformer.
+  double feeder_skew = 0.0;
   PremiseProfile profile;
   /// Closed-loop grid layer (run_grid only; run() ignores it).
   GridOptions grid;
@@ -116,6 +137,9 @@ struct FleetConfig {
 /// Fully resolved inputs of one premise: pure function of (seed, index).
 struct PremiseSpec {
   std::size_t index = 0;
+  /// Feeder shard this premise hangs off (always 0 when
+  /// FleetConfig::feeder_count == 1).
+  std::size_t feeder = 0;
   core::ExperimentConfig experiment;
   std::vector<appliance::Request> trace;
   double base_kw = 0.0;
@@ -125,6 +149,7 @@ struct PremiseSpec {
 /// Output of one premise simulation.
 struct PremiseResult {
   std::size_t index = 0;
+  std::size_t feeder = 0;
   std::size_t device_count = 0;
   core::SchedulerKind scheduler = core::SchedulerKind::kCoordinated;
   double peak_kw = 0.0;
@@ -140,33 +165,69 @@ struct FleetResult {
   std::vector<PremiseResult> premises;
   metrics::TimeSeries feeder_load;
   FeederMetrics feeder;
+  /// Per-feeder slices (one entry per feeder, feeder order; a single
+  /// shard covering everything when feeder_count == 1).
+  std::vector<FeederShard> shards;
+  /// Inter-feeder roll-up over `shards` against the fleet capacity.
+  SubstationMetrics substation;
   std::size_t coordinated_premises = 0;
   std::uint64_t total_requests = 0;
   std::uint64_t min_dcd_violations = 0;
   std::uint64_t service_gap_violations = 0;
 };
 
+/// Closed-loop outcome of one feeder shard under run_grid.
+struct FeederOutcome {
+  std::size_t feeder = 0;
+  std::size_t premises = 0;
+  /// This shard's capacity share of the fleet transformer rating.
+  double capacity_kw = 0.0;
+  /// This feeder's controller counters.
+  grid::DrStats dr;
+  /// Thermal outcome of this feeder's control-loop transformer model.
+  double overload_minutes = 0.0;
+  double hot_minutes = 0.0;
+  double peak_temperature_pu = 0.0;
+  double peak_load_kw = 0.0;
+  std::size_t opted_in_premises = 0;
+  std::size_t complying_premises = 0;
+  /// This feeder's signals in emission order (ids are per feeder).
+  std::vector<grid::GridSignal> signals;
+  /// This feeder's (signal x premise) delivery log; premise fields are
+  /// global indices.
+  std::vector<grid::Delivery> deliveries;
+  /// This feeder's log as CSV (single-feeder format) — byte-identical
+  /// at any executor width.
+  std::string signal_log_csv;
+};
+
 /// Output of one closed-loop (grid-layer) fleet run.
 struct GridFleetResult {
   /// Same shape as a plain run — premise series, feeder aggregation.
   FleetResult fleet;
-  /// Controller-side counters: sheds, all-clears, tariff changes,
-  /// unserved-shed kW, shed latency.
+  /// Per-feeder closed-loop outcomes (one entry per feeder).
+  std::vector<FeederOutcome> feeders;
+  /// Controller-side counters summed across feeders: sheds, all-clears,
+  /// tariff changes, unserved-shed kW, shed latency.
   grid::DrStats dr;
-  /// Transformer thermal outcome from the control loop's feeder model.
+  /// Thermal outcome of the substation bank model watching the summed
+  /// load (identical to feeders[0]'s with a single feeder).
   double overload_minutes = 0.0;
   double hot_minutes = 0.0;
   double peak_temperature_pu = 0.0;
+  double substation_capacity_kw = 0.0;
   /// Premises enrolled in the DR program (drawn by the SignalBus).
   std::size_t opted_in_premises = 0;
   /// Enrolled premises that can actually act (coordinated scheduler).
   std::size_t complying_premises = 0;
-  /// Every signal emitted, in emission order.
+  /// Every signal emitted, concatenated in feeder order (emission order
+  /// within a feeder; ids are per feeder).
   std::vector<grid::GridSignal> signals;
-  /// Flat (signal x premise) delivery/compliance log.
+  /// Flat (signal x premise) delivery/compliance log, feeder order.
   std::vector<grid::Delivery> deliveries;
-  /// The same log rendered as CSV — the byte-comparable determinism
-  /// artifact (identical for any executor width).
+  /// The substation log rendered as CSV — the byte-comparable
+  /// determinism artifact (identical for any executor width; verbatim
+  /// the single bus log when feeder_count == 1).
   std::string signal_log_csv;
   /// The run's total service-gap violations, surfaced as the comfort
   /// cost of DR: gaps are audited against the *base* maxDCP even while
@@ -186,6 +247,17 @@ class FleetEngine {
   /// Deterministically draws premise `index`'s full configuration and
   /// request trace from the fleet seed (exposed for tests).
   [[nodiscard]] PremiseSpec make_spec(std::size_t index) const;
+
+  /// Feeder shard premise `index` is assigned to: a pure function of
+  /// (seed, index, feeder_count, feeder_skew) drawn from the premise's
+  /// own "feeder" stream, so the assignment never perturbs any other
+  /// premise draw and is stable at any executor width.
+  [[nodiscard]] std::size_t feeder_of(std::size_t index) const;
+
+  /// Planned capacity share of feeder `k` as a fraction of the fleet
+  /// rating: (1 + skew)^k normalized. Exactly 1.0 when feeder_count
+  /// == 1 (the K=1 equivalence guarantee depends on it).
+  [[nodiscard]] double feeder_capacity_share(std::size_t k) const;
 
   /// Simulates one premise. Creates the Simulator/HanNetwork in the
   /// calling thread; specs are value types, so this is thread-confined.
@@ -226,6 +298,11 @@ class FleetEngine {
   [[nodiscard]] double resolved_capacity_kw() const;
 
   FleetConfig config_;
+  /// Planned feeder weights (1 + skew)^k and their sum — a pure
+  /// function of the config, cached so per-premise assignment does not
+  /// recompute the geometric series.
+  std::vector<double> feeder_weights_;
+  double feeder_weight_total_ = 0.0;
 };
 
 }  // namespace han::fleet

@@ -1,16 +1,25 @@
-// FleetEngine::run_grid — the closed control loop between the feeder
+// FleetEngine::run_grid — the closed control loop between the feeders
 // and the premise schedulers.
 //
 // run() simulates every premise start-to-finish and only then looks at
 // the feeder; here the premises advance in lockstep control intervals
-// so the DemandResponseController can watch the aggregate *while it
-// forms* and steer it. Between barriers each premise is still a
-// thread-confined single-threaded simulation (the executor provides the
-// happens-before edges at the barrier), the aggregate is summed in
-// premise-index order, and the controller runs sequentially on the
-// submitter thread — which together make the whole closed loop,
-// including the signal/compliance log, byte-identical for any executor
-// width.
+// so each feeder's DemandResponseController can watch its shard's
+// aggregate *while it forms* and steer it. The fleet is partitioned
+// across K feeders under one grid::Substation: every barrier sums each
+// shard in premise-index order, feeds it to that shard's controller,
+// and fans the emitted signals out through that shard's bus only — a
+// premise never hears another feeder's head end. The substation bank
+// model observes the summed total for inter-feeder accounting.
+//
+// Between barriers each premise is still a thread-confined
+// single-threaded simulation (the executor provides the happens-before
+// edges at the barrier), and the whole control plane runs sequentially
+// on the submitter thread in feeder order — which together make the
+// closed loop, including every per-feeder signal/compliance log,
+// byte-identical for any executor width. With feeder_count == 1 the
+// sharded path degenerates to exactly the single-feeder loop: one
+// shard holding every premise, capacity share 1.0, substation ==
+// feeder — byte-identical to the pre-substation engine.
 #include <algorithm>
 #include <memory>
 #include <sstream>
@@ -44,18 +53,17 @@ struct PremiseRuntime {
 
 GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   const GridOptions& g = config_.grid;
+  const std::size_t feeders = config_.feeder_count;
 
-  grid::FeederConfig feeder = g.feeder;
-  if (feeder.capacity_kw <= 0.0) feeder.capacity_kw = resolved_capacity_kw();
+  const double fleet_capacity_kw =
+      g.feeder.capacity_kw > 0.0 ? g.feeder.capacity_kw
+                                 : resolved_capacity_kw();
   grid::DrConfig dr = g.dr;
   if (!g.enabled) {
-    // Open loop: keep the feeder model as a passive observer.
+    // Open loop: keep every feeder model as a passive observer.
     dr.shed_enabled = false;
     dr.tariff_windows.clear();
   }
-  grid::DemandResponseController controller(feeder, dr);
-  grid::SignalBus bus(g.bus, config_.premise_count,
-                      sim::Rng(config_.seed).stream("grid-bus"));
 
   // --- Boot every premise (parallel; construction is the pricey part).
   std::vector<std::unique_ptr<PremiseRuntime>> runtimes(
@@ -80,22 +88,47 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         runtimes[i] = std::move(rt);
       });
 
-  // Only coordinated premises can act on a shed; the uncoordinated
-  // baseline ignores signals by design.
+  // --- Shard the fleet and raise the substation control plane.
+  // Membership is rebuilt in index order from the (deterministic) spec
+  // assignment, so shard aggregates sum in the same order everywhere.
+  std::vector<grid::FeederPlan> plans(feeders);
+  for (std::size_t k = 0; k < feeders; ++k) {
+    plans[k].feeder = g.feeder;
+    plans[k].feeder.capacity_kw =
+        fleet_capacity_kw * feeder_capacity_share(k);
+    plans[k].dr = dr;
+    plans[k].bus = g.bus;
+  }
   for (std::size_t i = 0; i < runtimes.size(); ++i) {
-    bus.set_can_comply(i, runtimes[i]->spec.experiment.han.scheduler ==
-                              core::SchedulerKind::kCoordinated);
+    plans[runtimes[i]->spec.feeder].premises.push_back(i);
   }
 
-  // Feeds one aggregate sample to the controller and fans the emitted
-  // signals out to the premises that will apply them: sheds land only
-  // at premises that opted in and can act; a tariff tier applies to
-  // every customer regardless of DR enrollment (it is informational at
-  // the premise).
-  const auto observe_and_fan_out = [&](sim::TimePoint at,
-                                       double aggregate_kw) {
-    for (const grid::GridSignal& s : controller.observe(at, aggregate_kw)) {
-      for (const grid::Delivery& d : bus.publish(s)) {
+  grid::SubstationConfig bank = g.substation;
+  if (bank.capacity_kw <= 0.0) bank.capacity_kw = fleet_capacity_kw;
+  grid::Substation substation(bank, std::move(plans),
+                              sim::Rng(config_.seed).stream("grid-bus"));
+
+  // Only coordinated premises can act on a shed; the uncoordinated
+  // baseline ignores signals by design.
+  for (std::size_t k = 0; k < feeders; ++k) {
+    const std::vector<std::size_t>& members = substation.premises(k);
+    for (std::size_t pos = 0; pos < members.size(); ++pos) {
+      substation.bus(k).set_can_comply(
+          pos, runtimes[members[pos]]->spec.experiment.han.scheduler ==
+                   core::SchedulerKind::kCoordinated);
+    }
+  }
+
+  // Feeds feeder k's aggregate sample to its controller and fans the
+  // emitted signals out to the shard's premises that will apply them:
+  // sheds land only at premises that opted in and can act; a tariff
+  // tier applies to every customer on the feeder regardless of DR
+  // enrollment (it is informational at the premise).
+  const auto observe_feeder = [&](std::size_t k, sim::TimePoint at,
+                                  double aggregate_kw) {
+    for (const grid::GridSignal& s :
+         substation.observe_feeder(k, at, aggregate_kw)) {
+      for (const grid::Delivery& d : substation.bus(k).publish(s)) {
         const bool applies =
             s.kind == grid::SignalKind::kTariffChange || d.complied;
         if (applies) {
@@ -105,22 +138,34 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     }
   };
 
+  // One control barrier: per-feeder aggregates (index order within the
+  // shard), each routed to its own head end, then the substation total.
+  const auto control_step = [&](sim::TimePoint at, const auto& load_of) {
+    double total_kw = 0.0;
+    for (std::size_t k = 0; k < feeders; ++k) {
+      double aggregate_kw = 0.0;
+      for (const std::size_t i : substation.premises(k)) {
+        aggregate_kw += load_of(i);
+      }
+      observe_feeder(k, at, aggregate_kw);
+      total_kw += aggregate_kw;
+    }
+    substation.observe_total(at, total_kw);
+  };
+
   // --- Lockstep control loop.
   const sim::TimePoint end = sim::TimePoint::epoch() + config_.horizon;
   sim::TimePoint t = sim::TimePoint::epoch();
-  // Prime the controller at the epoch (Type-2 load is zero before the
-  // CP boots, so the aggregate is the diurnal base): the feeder model's
-  // priming sample carries no interval, and anchoring it here makes the
+  // Prime every feeder model AND the substation bank at the epoch
+  // (Type-2 load is zero before the CP boots, so each aggregate is the
+  // shard's diurnal base): a FeederModel's priming sample carries no
+  // interval, and anchoring all of them here makes every feeder's
   // overload/thermal accounting cover the whole (0, horizon] span. It
   // also emits the initial tariff tier at t=0 when a window covers
   // midnight.
-  {
-    double base_kw = 0.0;
-    for (const auto& rt : runtimes) {
-      base_kw += diurnal_base_kw(rt->spec, t);
-    }
-    observe_and_fan_out(t, base_kw);
-  }
+  control_step(t, [&runtimes, t](std::size_t i) {
+    return diurnal_base_kw(runtimes[i]->spec, t);
+  });
   while (t < end) {
     t = std::min(t + g.control_interval, end);
     executor.parallel_for(
@@ -144,10 +189,10 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
                        diurnal_base_kw(rt.spec, t);
         });
 
-    // Sequential from here: sum in index order, observe, fan out.
-    double aggregate_kw = 0.0;
-    for (const auto& rt : runtimes) aggregate_kw += rt->inst_kw;
-    observe_and_fan_out(t, aggregate_kw);
+    // Sequential from here: the whole control plane in feeder order.
+    control_step(t, [&runtimes](std::size_t i) {
+      return runtimes[i]->inst_kw;
+    });
   }
 
   // --- Collect premise results (parallel) and aggregate (sequential).
@@ -162,20 +207,53 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       });
   finish_aggregate(out.fleet);
 
-  out.dr = controller.stats();
-  out.overload_minutes = controller.feeder().overload_minutes();
-  out.hot_minutes = controller.feeder().hot_minutes();
-  out.peak_temperature_pu = controller.feeder().peak_temperature_pu();
-  out.opted_in_premises = bus.opted_in_count();
-  for (std::size_t i = 0; i < runtimes.size(); ++i) {
-    if (bus.subscriber(i).opted_in && bus.subscriber(i).can_comply) {
-      ++out.complying_premises;
+  out.feeders.resize(feeders);
+  for (std::size_t k = 0; k < feeders; ++k) {
+    FeederOutcome& fo = out.feeders[k];
+    const grid::DemandResponseController& c = substation.controller(k);
+    const grid::SignalBus& bus = substation.bus(k);
+    fo.feeder = k;
+    fo.premises = substation.premises(k).size();
+    fo.capacity_kw = c.feeder().config().capacity_kw;
+    fo.dr = c.stats();
+    fo.overload_minutes = c.feeder().overload_minutes();
+    fo.hot_minutes = c.feeder().hot_minutes();
+    fo.peak_temperature_pu = c.feeder().peak_temperature_pu();
+    fo.peak_load_kw = c.feeder().peak_load_kw();
+    fo.opted_in_premises = bus.opted_in_count();
+    for (std::size_t pos = 0; pos < bus.premise_count(); ++pos) {
+      if (bus.subscriber(pos).opted_in && bus.subscriber(pos).can_comply) {
+        ++fo.complying_premises;
+      }
     }
+    fo.signals = bus.signals();
+    fo.deliveries = bus.log();
+    std::ostringstream feeder_log;
+    bus.write_log_csv(feeder_log);
+    fo.signal_log_csv = feeder_log.str();
+
+    // Fleet-wide roll-ups.
+    out.dr.shed_signals += fo.dr.shed_signals;
+    out.dr.all_clear_signals += fo.dr.all_clear_signals;
+    out.dr.tariff_signals += fo.dr.tariff_signals;
+    out.dr.shed_active_minutes += fo.dr.shed_active_minutes;
+    out.dr.unserved_shed_kw_minutes += fo.dr.unserved_shed_kw_minutes;
+    out.dr.total_shed_latency_minutes += fo.dr.total_shed_latency_minutes;
+    out.dr.sheds_reaching_target += fo.dr.sheds_reaching_target;
+    out.opted_in_premises += fo.opted_in_premises;
+    out.complying_premises += fo.complying_premises;
+    out.signals.insert(out.signals.end(), fo.signals.begin(),
+                       fo.signals.end());
+    out.deliveries.insert(out.deliveries.end(), fo.deliveries.begin(),
+                          fo.deliveries.end());
   }
-  out.signals = bus.signals();
-  out.deliveries = bus.log();
+
+  out.overload_minutes = substation.transformer().overload_minutes();
+  out.hot_minutes = substation.transformer().hot_minutes();
+  out.peak_temperature_pu = substation.transformer().peak_temperature_pu();
+  out.substation_capacity_kw = substation.transformer().config().capacity_kw;
   std::ostringstream log;
-  bus.write_log_csv(log);
+  substation.write_log_csv(log);
   out.signal_log_csv = log.str();
   out.comfort_gap_violations = out.fleet.service_gap_violations;
   return out;

@@ -18,6 +18,8 @@ std::string_view to_string(ScenarioKind kind) noexcept {
       return "tariff_evening";
     case ScenarioKind::kRollingShed:
       return "rolling_shed";
+    case ScenarioKind::kMultiFeeder:
+      return "multi_feeder";
   }
   return "?";
 }
@@ -38,6 +40,8 @@ const std::vector<ScenarioInfo>& scenarios() {
        "evening peak with time-of-use tariff signals (run_grid)"},
       {ScenarioKind::kRollingShed, "rolling_shed",
        "undersized transformer; back-to-back rolling sheds (run_grid)"},
+      {ScenarioKind::kMultiFeeder, "multi_feeder",
+       "heat wave sharded across 4 skewed feeders under a substation"},
   };
   return kScenarios;
 }
@@ -163,6 +167,26 @@ FleetConfig make_scenario(ScenarioKind kind, std::size_t premise_count,
       cfg.grid.dr.clear_utilization = 0.8;
       cfg.grid.dr.clear_hold = sim::minutes(15);
       cfg.grid.dr.cooldown = sim::minutes(10);
+      break;
+
+    case ScenarioKind::kMultiFeeder:
+      apply_heat_wave(cfg, premise_count);
+      // Four feeders, deliberately unbalanced (weight 1 : 1.35 : 1.82 :
+      // 2.46), so the small shards run cool while the big ones shed —
+      // the per-feeder DR comparison the substation layer exists for.
+      cfg.feeder_count = 4;
+      cfg.feeder_skew = 0.35;
+      cfg.grid.enabled = true;
+      cfg.grid.dr.trigger_utilization = 1.0;
+      cfg.grid.dr.trigger_temp_pu = 1.05;
+      cfg.grid.dr.trigger_hold = sim::minutes(5);
+      cfg.grid.dr.target_utilization = 0.9;
+      cfg.grid.dr.shed_duration = sim::minutes(45);
+      cfg.grid.dr.max_stretch = 3;
+      cfg.grid.dr.clear_utilization = 0.85;
+      cfg.grid.dr.clear_hold = sim::minutes(10);
+      cfg.grid.dr.cooldown = sim::minutes(20);
+      cfg.grid.bus.opt_in = 0.9;
       break;
   }
   return cfg;

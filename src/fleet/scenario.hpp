@@ -38,6 +38,11 @@ enum class ScenarioKind : std::uint8_t {
   /// target is barely reachable, so the controller must keep rolling
   /// short sheds back-to-back (exercises unserved-shed accounting).
   kRollingShed,
+  /// heat_wave sharded across 4 unbalanced feeders under one
+  /// substation: each feeder runs its own DR controller and signal
+  /// bus, and the substation bank accounts the inter-feeder
+  /// coincidence (sum of shard peaks vs the substation peak).
+  kMultiFeeder,
 };
 
 struct ScenarioInfo {

@@ -6,18 +6,36 @@
 
 namespace han::grid {
 
+namespace {
+
+std::vector<std::size_t> iota_ids(std::size_t n) {
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  return ids;
+}
+
+}  // namespace
+
 SignalBus::SignalBus(BusConfig config, std::size_t premise_count,
-                     sim::Rng rng) {
+                     sim::Rng rng)
+    : SignalBus(config, iota_ids(premise_count), rng) {
   if (premise_count == 0) {
     throw std::invalid_argument("SignalBus: premise_count must be > 0");
   }
+}
+
+SignalBus::SignalBus(BusConfig config, std::vector<std::size_t> premise_ids,
+                     const sim::Rng& rng)
+    : ids_(std::move(premise_ids)) {
   if (config.min_latency < sim::Duration::zero() ||
       config.max_latency < config.min_latency) {
     throw std::invalid_argument("SignalBus: bad latency range");
   }
-  subscribers_.reserve(premise_count);
-  for (std::size_t i = 0; i < premise_count; ++i) {
-    sim::Rng draw = rng.stream("premise", i);
+  subscribers_.reserve(ids_.size());
+  for (const std::size_t id : ids_) {
+    // Keyed by the GLOBAL premise id, so re-sharding the fleet never
+    // changes a premise's latency or enrollment.
+    sim::Rng draw = rng.stream("premise", id);
     Subscriber s;
     s.latency = sim::microseconds(draw.uniform_int(
         config.min_latency.us(), config.max_latency.us()));
@@ -44,7 +62,7 @@ const std::vector<Delivery>& SignalBus::publish(const GridSignal& signal) {
     const Subscriber& sub = subscribers_[i];
     Delivery d;
     d.signal_id = signal.id;
-    d.premise = i;
+    d.premise = ids_[i];
     d.deliver_at = signal.at + sub.latency;
     d.complied = sub.opted_in && sub.can_comply;
     last_published_.push_back(d);
@@ -56,6 +74,11 @@ const std::vector<Delivery>& SignalBus::publish(const GridSignal& signal) {
 void SignalBus::write_log_csv(std::ostream& os) const {
   os << "signal_id,kind,emit_min,target_kw,shed_kw,stretch,duration_min,"
         "tier,premise,deliver_min,complied\n";
+  write_log_rows(os, {});
+}
+
+void SignalBus::write_log_rows(std::ostream& os,
+                               std::string_view row_prefix) const {
   for (const Delivery& d : log_) {
     // Ids are the controller's emission sequence, which need not be
     // dense in what a caller chose to publish — look the signal up.
@@ -68,7 +91,7 @@ void SignalBus::write_log_csv(std::ostream& os) const {
     }
     if (sp == nullptr) continue;
     const GridSignal& s = *sp;
-    os << d.signal_id << ',' << to_string(s.kind) << ','
+    os << row_prefix << d.signal_id << ',' << to_string(s.kind) << ','
        << metrics::fmt(s.at.since_epoch().minutes_f(), 3) << ','
        << metrics::fmt(s.target_kw, 3) << ',' << metrics::fmt(s.shed_kw, 3)
        << ',' << s.period_stretch << ','

@@ -10,8 +10,10 @@
 // counts.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
+#include <string_view>
 #include <vector>
 
 #include "grid/signal.hpp"
@@ -53,18 +55,38 @@ struct Delivery {
 
 class SignalBus {
  public:
-  /// Draws each premise's latency and opt-in from `rng` sub-streams.
+  /// Serves premises 0..premise_count-1. Draws each premise's latency
+  /// and opt-in from `rng` sub-streams.
   SignalBus(BusConfig config, std::size_t premise_count, sim::Rng rng);
 
+  /// Serves an explicit member list (one feeder's shard of a larger
+  /// fleet). `premise_ids` are global premise indices, and each
+  /// subscriber's latency/opt-in is drawn from `rng`'s per-GLOBAL-id
+  /// sub-stream — so a premise keeps the same draws however the fleet
+  /// is sharded, and a single shard holding every premise reproduces
+  /// the premise_count constructor exactly. May be empty (a feeder with
+  /// no customers publishes into the void).
+  SignalBus(BusConfig config, std::vector<std::size_t> premise_ids,
+            const sim::Rng& rng);
+
+  /// Members served by this bus (== premise count for the whole-fleet
+  /// constructor).
   [[nodiscard]] std::size_t premise_count() const noexcept {
     return subscribers_.size();
   }
-  [[nodiscard]] const Subscriber& subscriber(std::size_t premise) const {
-    return subscribers_.at(premise);
+  /// Global premise id of member `pos`.
+  [[nodiscard]] std::size_t premise_id(std::size_t pos) const {
+    return ids_.at(pos);
+  }
+  /// Subscriber at member position `pos` (== global id for the
+  /// whole-fleet constructor).
+  [[nodiscard]] const Subscriber& subscriber(std::size_t pos) const {
+    return subscribers_.at(pos);
   }
   /// Engine hook: premises that cannot act (uncoordinated baseline).
-  void set_can_comply(std::size_t premise, bool can_comply) {
-    subscribers_.at(premise).can_comply = can_comply;
+  /// `pos` is the member position, not the global id.
+  void set_can_comply(std::size_t pos, bool can_comply) {
+    subscribers_.at(pos).can_comply = can_comply;
   }
   [[nodiscard]] std::size_t opted_in_count() const noexcept;
 
@@ -86,7 +108,13 @@ class SignalBus {
   /// thread-independence tests compare this output byte-for-byte.
   void write_log_csv(std::ostream& os) const;
 
+  /// Data rows only (no header), each prefixed with `row_prefix` — the
+  /// Substation uses this to join per-feeder logs under one header with
+  /// a leading feeder column.
+  void write_log_rows(std::ostream& os, std::string_view row_prefix) const;
+
  private:
+  std::vector<std::size_t> ids_;  // global premise id per member position
   std::vector<Subscriber> subscribers_;
   std::vector<GridSignal> signals_;
   std::vector<Delivery> log_;

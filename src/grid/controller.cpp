@@ -63,6 +63,11 @@ void DemandResponseController::close_shed_latency(sim::TimePoint t) {
   latency_open_ = false;
 }
 
+void DemandResponseController::reset_clear_tracking(sim::TimePoint t) {
+  clear_pending_ = false;
+  clear_since_ = t;
+}
+
 void DemandResponseController::emit_shed(sim::TimePoint t, double load_kw,
                                          std::vector<GridSignal>& out) {
   const GridSignal s = make_shed(t, load_kw);
@@ -70,7 +75,11 @@ void DemandResponseController::emit_shed(sim::TimePoint t, double load_kw,
   shed_until_ = t + s.duration;
   shed_target_kw_ = s.target_kw;
   latency_open_ = true;
-  clear_pending_ = false;
+  // Rolling into a new shed at shed_until_ reuses this path, so a
+  // clear hold accumulated under the expiring shed dies here — the
+  // fresh shed must earn its own clear_hold minutes before an early
+  // all-clear.
+  reset_clear_tracking(t);
   out.push_back(s);
   ++stats_.shed_signals;
   phase_ = Phase::kShedding;
@@ -84,6 +93,7 @@ void DemandResponseController::emit_all_clear(sim::TimePoint t,
   s.at = t;
   out.push_back(s);
   ++stats_.all_clear_signals;
+  reset_clear_tracking(t);
   phase_ = Phase::kCooldown;
   cooldown_until_ = t + config_.cooldown;
 }

@@ -115,6 +115,11 @@ class DemandResponseController {
 
   [[nodiscard]] GridSignal make_shed(sim::TimePoint t, double load_kw);
   void close_shed_latency(sim::TimePoint t);
+  /// Forgets any accumulated all-clear hold. Every shed entry — fresh
+  /// or a rollover at shed_until_ — must call this, or a clear hold
+  /// started under the previous shed could all-clear the new one almost
+  /// immediately.
+  void reset_clear_tracking(sim::TimePoint t);
   /// Emits a shed / all-clear into `out` and advances the phase state.
   void emit_shed(sim::TimePoint t, double load_kw,
                  std::vector<GridSignal>& out);

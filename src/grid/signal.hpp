@@ -39,8 +39,14 @@ enum class TariffTier : std::uint8_t { kOffPeak, kStandard, kPeak };
 
 /// One broadcast from the grid head end.
 struct GridSignal {
-  /// Emission sequence number (unique per controller run).
+  /// Emission sequence number (unique per controller run; feeders under
+  /// one substation each number their own emissions from 0, so (feeder,
+  /// id) is the substation-wide key).
   std::uint32_t id = 0;
+  /// Feeder shard the emitting controller serves (0 in single-feeder
+  /// deployments; stamped by the Substation). Premises drop signals
+  /// from a foreign feeder — the routing guard of the sharded grid.
+  std::uint32_t feeder = 0;
   SignalKind kind = SignalKind::kDrShed;
   /// Emission time at the controller.
   sim::TimePoint at;

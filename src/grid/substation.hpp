@@ -1,0 +1,117 @@
+// han::grid — the substation above a sharded fleet of feeders.
+//
+// One feeder caps how many premises a single control loop can serve; a
+// real distribution network hangs K feeders off a substation bank and
+// controls each independently. The Substation owns K shards — each a
+// (FeederModel, DemandResponseController, SignalBus) triple serving a
+// disjoint premise list — plus its own transformer-bank model watching
+// the summed load, which is where inter-feeder effects (coincident
+// substation peak vs the sum of per-feeder peaks) become observable.
+//
+// Control stays feeder-local: each controller sees only its shard's
+// aggregate, and its signals reach only its shard's premises (stamped
+// with the feeder id so a premise can drop misrouted traffic). With one
+// shard holding every premise the Substation is byte-identical to the
+// plain single-feeder control loop — the K=1 equivalence guarantee the
+// fleet tests pin.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "grid/bus.hpp"
+#include "grid/controller.hpp"
+#include "grid/feeder.hpp"
+#include "sim/random.hpp"
+
+namespace han::grid {
+
+/// Substation-bank parameters. Unset fields inherit from the feeders:
+/// capacity defaults to the sum of feeder capacities, and the thermal
+/// shape to feeder 0's (so a one-feeder substation measures exactly
+/// what its feeder measures).
+struct SubstationConfig {
+  /// Bank rating (kW); <= 0 derives the sum of feeder capacities.
+  double capacity_kw = 0.0;
+  /// Hotspot time constant; <= 0 inherits feeder 0's.
+  sim::Duration thermal_tau = sim::Duration::zero();
+  /// Per-unit hot-minute threshold; <= 0 inherits feeder 0's.
+  double overload_temp_pu = 0.0;
+};
+
+/// Construction inputs of one feeder shard.
+struct FeederPlan {
+  FeederConfig feeder;
+  DrConfig dr;
+  BusConfig bus;
+  /// Global premise ids served by this feeder, ascending. May be empty
+  /// (an unpopulated feeder still exists on the pole).
+  std::vector<std::size_t> premises;
+};
+
+class Substation {
+ public:
+  /// Builds the K shards. `bus_rng` is the shared root every shard's
+  /// SignalBus draws per-global-premise subscriptions from — a premise
+  /// keeps its latency/opt-in draws however the fleet is sharded.
+  Substation(SubstationConfig config, std::vector<FeederPlan> plans,
+             const sim::Rng& bus_rng);
+
+  [[nodiscard]] std::size_t feeder_count() const noexcept {
+    return shards_.size();
+  }
+  /// Total premises across all shards.
+  [[nodiscard]] std::size_t premise_count() const noexcept;
+
+  [[nodiscard]] const std::vector<std::size_t>& premises(
+      std::size_t feeder) const {
+    return shards_.at(feeder).premises;
+  }
+  [[nodiscard]] DemandResponseController& controller(std::size_t feeder) {
+    return shards_.at(feeder).controller;
+  }
+  [[nodiscard]] const DemandResponseController& controller(
+      std::size_t feeder) const {
+    return shards_.at(feeder).controller;
+  }
+  [[nodiscard]] SignalBus& bus(std::size_t feeder) {
+    return shards_.at(feeder).bus;
+  }
+  [[nodiscard]] const SignalBus& bus(std::size_t feeder) const {
+    return shards_.at(feeder).bus;
+  }
+  /// Substation-level transformer bank (observes the summed load).
+  [[nodiscard]] const FeederModel& transformer() const noexcept {
+    return transformer_;
+  }
+
+  /// Feeds feeder `feeder`'s aggregate at `t` to its controller and
+  /// returns the emitted signals, each stamped with the feeder id.
+  /// Publish them through bus(feeder) to reach that shard's premises.
+  [[nodiscard]] std::vector<GridSignal> observe_feeder(std::size_t feeder,
+                                                       sim::TimePoint t,
+                                                       double load_kw);
+  /// Feeds the substation total (the sum of the per-feeder aggregates)
+  /// to the bank model; call once per control barrier, after the
+  /// feeders.
+  void observe_total(sim::TimePoint t, double load_kw);
+
+  /// Substation-wide signal/compliance log. One feeder: the shard's
+  /// bus log verbatim (the single-feeder byte-compatibility artifact).
+  /// Several: one header with a leading `feeder` column, rows grouped
+  /// by feeder in publish order. Deterministic either way.
+  void write_log_csv(std::ostream& os) const;
+
+ private:
+  struct Shard {
+    DemandResponseController controller;
+    SignalBus bus;
+    std::vector<std::size_t> premises;
+  };
+
+  std::vector<Shard> shards_;
+  FeederModel transformer_;
+};
+
+}  // namespace han::grid

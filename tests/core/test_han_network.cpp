@@ -131,6 +131,34 @@ TEST(HanNetwork, PacketLevelBootsAndExchanges) {
   EXPECT_GE(net.minicast()->stats().mean_coverage(), 0.99);
 }
 
+TEST(HanNetwork, ForeignFeederSignalsAreDropped) {
+  sim::Simulator sim;
+  HanConfig c = abstract_config();
+  c.dr_aware = true;
+  c.feeder = 1;
+  HanNetwork net(sim, c);
+
+  grid::GridSignal shed;
+  shed.kind = grid::SignalKind::kDrShed;
+  shed.period_stretch = 3;
+  shed.duration = sim::minutes(30);
+
+  // Stamped for feeder 0: not ours — must be counted and ignored.
+  shed.feeder = 0;
+  net.apply_grid_signal(shed);
+  EXPECT_FALSE(net.grid_pressure().shed_active);
+  EXPECT_EQ(net.stats().grid_signals_applied, 0u);
+  EXPECT_EQ(net.stats().grid_signals_misrouted, 1u);
+
+  // Our own feeder's copy applies normally.
+  shed.feeder = 1;
+  net.apply_grid_signal(shed);
+  EXPECT_TRUE(net.grid_pressure().shed_active);
+  EXPECT_EQ(net.grid_pressure().period_stretch, 3);
+  EXPECT_EQ(net.stats().grid_signals_applied, 1u);
+  EXPECT_EQ(net.stats().grid_signals_misrouted, 1u);
+}
+
 TEST(HanNetwork, SchedulerKindSelectsPolicy) {
   sim::Simulator sim;
   HanNetwork a(sim, abstract_config(3, SchedulerKind::kCoordinated));

@@ -181,5 +181,49 @@ TEST(FeederMetrics, EmptySeriesIsZeroed) {
   EXPECT_DOUBLE_EQ(m.energy_mwh, 0.0);
 }
 
+TEST(SubstationMetrics, InterFeederDiversityFromStaggeredShards) {
+  // Shard A peaks in sample 0, shard B in sample 1: the substation
+  // carries 25 kW at worst, while the shards' own peaks sum to 30.
+  FeederShard a;
+  a.feeder = 0;
+  a.premises = 2;
+  a.load = series({20.0, 5.0, 5.0});
+  a.metrics = feeder_metrics(a.load, 15.0, 25.0, 2);
+  FeederShard b;
+  b.feeder = 1;
+  b.premises = 1;
+  b.load = series({5.0, 10.0, 5.0});
+  b.metrics = feeder_metrics(b.load, 15.0, 12.0, 1);
+  const metrics::TimeSeries total = sum_series({&a.load, &b.load});
+
+  const SubstationMetrics m = substation_metrics(total, {a, b}, 20.0);
+  EXPECT_EQ(m.feeders, 2u);
+  EXPECT_DOUBLE_EQ(m.capacity_kw, 20.0);
+  EXPECT_DOUBLE_EQ(m.coincident_peak_kw, 25.0);
+  EXPECT_DOUBLE_EQ(m.sum_feeder_peaks_kw, 30.0);
+  EXPECT_DOUBLE_EQ(m.inter_feeder_diversity, 1.2);  // 30 / 25
+  // One sample (25) above the 20 kW rating => one minute.
+  EXPECT_DOUBLE_EQ(m.overload_minutes, 1.0);
+}
+
+TEST(SubstationMetrics, EmptyAndSingleShardDegenerate) {
+  const SubstationMetrics none =
+      substation_metrics(metrics::TimeSeries{}, {}, 10.0);
+  EXPECT_EQ(none.feeders, 0u);
+  EXPECT_DOUBLE_EQ(none.inter_feeder_diversity, 1.0);
+
+  FeederShard only;
+  only.feeder = 0;
+  only.premises = 3;
+  only.load = series({10.0, 30.0, 20.0});
+  only.metrics = feeder_metrics(only.load, 25.0, 45.0, 3);
+  const SubstationMetrics m =
+      substation_metrics(only.load, {only}, 25.0);
+  // A single feeder cannot stagger against itself.
+  EXPECT_DOUBLE_EQ(m.inter_feeder_diversity, 1.0);
+  EXPECT_DOUBLE_EQ(m.coincident_peak_kw, 30.0);
+  EXPECT_DOUBLE_EQ(m.overload_minutes, 1.0);
+}
+
 }  // namespace
 }  // namespace han::fleet

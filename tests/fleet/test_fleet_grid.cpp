@@ -17,6 +17,15 @@ FleetConfig tiny_dr_heat_wave(std::uint64_t seed = 1) {
   return cfg;
 }
 
+/// multi_feeder shrunk to test size: 10 premises over 3 skewed feeders.
+FleetConfig tiny_multi_feeder(std::uint64_t seed = 1) {
+  FleetConfig cfg = make_scenario(ScenarioKind::kMultiFeeder, 10, seed);
+  cfg.horizon = sim::hours(8);
+  cfg.round_period = sim::seconds(30);
+  cfg.feeder_count = 3;
+  return cfg;
+}
+
 void expect_identical_fleet(const FleetResult& a, const FleetResult& b) {
   ASSERT_EQ(a.premises.size(), b.premises.size());
   for (std::size_t i = 0; i < a.premises.size(); ++i) {
@@ -143,6 +152,166 @@ TEST(FleetGrid, BadControlIntervalThrows) {
   FleetConfig cfg = tiny_dr_heat_wave();
   cfg.grid.control_interval = sim::Duration::zero();
   EXPECT_THROW(FleetEngine{cfg}, std::invalid_argument);
+}
+
+TEST(FleetGrid, BadShardingConfigThrows) {
+  FleetConfig cfg = tiny_multi_feeder();
+  cfg.feeder_count = 0;
+  EXPECT_THROW(FleetEngine{cfg}, std::invalid_argument);
+  FleetConfig skew = tiny_multi_feeder();
+  skew.feeder_skew = -0.1;
+  EXPECT_THROW(FleetEngine{skew}, std::invalid_argument);
+}
+
+TEST(FleetGrid, FeederAssignmentIsDeterministicAndSkewed) {
+  FleetConfig cfg = tiny_multi_feeder();
+  cfg.premise_count = 300;
+  const FleetEngine engine(cfg);
+  const FleetEngine again(cfg);
+  std::vector<std::size_t> counts(cfg.feeder_count, 0);
+  for (std::size_t i = 0; i < cfg.premise_count; ++i) {
+    const std::size_t k = engine.feeder_of(i);
+    ASSERT_LT(k, cfg.feeder_count);
+    EXPECT_EQ(k, again.feeder_of(i)) << i;
+    ++counts[k];
+  }
+  // skew 0.35 plans weights 1 : 1.35 : 1.82 — at 300 premises the last
+  // shard must outnumber the first.
+  EXPECT_GT(counts[2], counts[0]);
+
+  // K=1 assigns everyone to feeder 0 without consulting the RNG.
+  FleetConfig one = tiny_multi_feeder();
+  one.feeder_count = 1;
+  const FleetEngine single(one);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(single.feeder_of(i), 0u);
+  }
+  EXPECT_DOUBLE_EQ(single.feeder_capacity_share(0), 1.0);
+}
+
+TEST(FleetGrid, SpecCarriesFeederAssignment) {
+  const FleetEngine engine(tiny_multi_feeder());
+  for (std::size_t i = 0; i < 10; ++i) {
+    const PremiseSpec spec = engine.make_spec(i);
+    EXPECT_EQ(spec.feeder, engine.feeder_of(i)) << i;
+    EXPECT_EQ(spec.experiment.han.feeder,
+              static_cast<std::uint32_t>(spec.feeder))
+        << i;
+  }
+}
+
+TEST(FleetGrid, MultiFeederByteIdenticalAcrossThreadCounts) {
+  const FleetEngine engine(tiny_multi_feeder());
+  const GridFleetResult one = engine.run_grid(1);
+  const GridFleetResult four = engine.run_grid(4);
+
+  expect_identical_fleet(one.fleet, four.fleet);
+  ASSERT_FALSE(one.signal_log_csv.empty());
+  EXPECT_EQ(one.signal_log_csv, four.signal_log_csv);
+  EXPECT_EQ(one.signals, four.signals);
+  EXPECT_EQ(one.deliveries, four.deliveries);
+  ASSERT_EQ(one.feeders.size(), four.feeders.size());
+  for (std::size_t k = 0; k < one.feeders.size(); ++k) {
+    EXPECT_EQ(one.feeders[k].signal_log_csv, four.feeders[k].signal_log_csv)
+        << k;
+    EXPECT_EQ(one.feeders[k].signals, four.feeders[k].signals) << k;
+    EXPECT_DOUBLE_EQ(one.feeders[k].overload_minutes,
+                     four.feeders[k].overload_minutes)
+        << k;
+  }
+  EXPECT_DOUBLE_EQ(one.overload_minutes, four.overload_minutes);
+  EXPECT_DOUBLE_EQ(one.peak_temperature_pu, four.peak_temperature_pu);
+}
+
+TEST(FleetGrid, SignalsStayOnTheirOwnFeeder) {
+  FleetConfig cfg = tiny_multi_feeder();
+  const FleetEngine engine(cfg);
+  const GridFleetResult r = engine.run_grid(2);
+
+  std::uint64_t total_signals = 0;
+  ASSERT_EQ(r.feeders.size(), cfg.feeder_count);
+  for (const FeederOutcome& fo : r.feeders) {
+    total_signals += fo.signals.size();
+    for (const grid::GridSignal& s : fo.signals) {
+      EXPECT_EQ(s.feeder, static_cast<std::uint32_t>(fo.feeder));
+    }
+    for (const grid::Delivery& d : fo.deliveries) {
+      EXPECT_EQ(engine.feeder_of(d.premise), fo.feeder)
+          << "delivery crossed feeders: premise " << d.premise;
+    }
+  }
+  ASSERT_GT(total_signals, 0u) << "scenario must emit signals to test routing";
+  // The premise-side guard never fired: nothing was misrouted.
+  for (const PremiseResult& p : r.fleet.premises) {
+    EXPECT_EQ(p.network.grid_signals_misrouted, 0u) << p.index;
+  }
+}
+
+TEST(FleetGrid, SingleFeederShardAndSubstationCollapseToTheFeeder) {
+  // K=1: the one shard and the substation view must be exactly the
+  // whole-fleet aggregate — the internal consistency behind the PR 2
+  // byte-compatibility guarantee.
+  const FleetEngine engine(tiny_dr_heat_wave());
+  const GridFleetResult r = engine.run_grid(2);
+
+  ASSERT_EQ(r.fleet.shards.size(), 1u);
+  EXPECT_EQ(r.fleet.shards[0].premises, r.fleet.premises.size());
+  EXPECT_EQ(r.fleet.shards[0].load.values(), r.fleet.feeder_load.values());
+  EXPECT_DOUBLE_EQ(r.fleet.shards[0].metrics.overload_minutes,
+                   r.fleet.feeder.overload_minutes);
+  EXPECT_DOUBLE_EQ(r.fleet.shards[0].metrics.coincident_peak_kw,
+                   r.fleet.feeder.coincident_peak_kw);
+  EXPECT_DOUBLE_EQ(r.fleet.substation.inter_feeder_diversity, 1.0);
+
+  ASSERT_EQ(r.feeders.size(), 1u);
+  EXPECT_EQ(r.signal_log_csv, r.feeders[0].signal_log_csv);
+  EXPECT_DOUBLE_EQ(r.overload_minutes, r.feeders[0].overload_minutes);
+  EXPECT_DOUBLE_EQ(r.hot_minutes, r.feeders[0].hot_minutes);
+  EXPECT_DOUBLE_EQ(r.peak_temperature_pu, r.feeders[0].peak_temperature_pu);
+  EXPECT_DOUBLE_EQ(r.substation_capacity_kw, r.feeders[0].capacity_kw);
+}
+
+TEST(FleetGrid, ShardLoadsSumToTheSubstationSeries) {
+  const FleetEngine engine(tiny_multi_feeder());
+  const FleetResult r = engine.run(2);
+  ASSERT_EQ(r.shards.size(), 3u);
+  std::size_t premises = 0;
+  double capacity = 0.0;
+  for (const FeederShard& s : r.shards) {
+    premises += s.premises;
+    capacity += s.metrics.transformer_capacity_kw;
+  }
+  EXPECT_EQ(premises, r.premises.size());
+  EXPECT_NEAR(capacity, r.feeder.transformer_capacity_kw, 1e-9);
+  // Same samples, different summation order: near, not exact.
+  ASSERT_FALSE(r.feeder_load.empty());
+  for (std::size_t i = 0; i < r.feeder_load.size(); ++i) {
+    double sum = 0.0;
+    for (const FeederShard& s : r.shards) {
+      if (i < s.load.size()) sum += s.load.at(i);
+    }
+    EXPECT_NEAR(sum, r.feeder_load.at(i), 1e-9) << i;
+  }
+  EXPECT_GE(r.substation.inter_feeder_diversity, 1.0);
+  EXPECT_DOUBLE_EQ(r.substation.capacity_kw,
+                   r.feeder.transformer_capacity_kw);
+}
+
+TEST(FleetGrid, AccountingCoversTheFullWindow) {
+  // Regression for the first-interval hole: every feeder model AND the
+  // substation bank are primed at t=0, so with a transformer that is
+  // always overloaded the accounted overload minutes equal the whole
+  // window span — not span minus the first control interval.
+  FleetConfig cfg = tiny_multi_feeder();
+  cfg.grid.enabled = false;       // passive observers still account
+  cfg.transformer_capacity_kw = 1e-3;  // any nonzero load overloads
+  const GridFleetResult r = FleetEngine(cfg).run_grid(2);
+  EXPECT_DOUBLE_EQ(r.overload_minutes, cfg.horizon.minutes_f());
+  for (const FeederOutcome& fo : r.feeders) {
+    if (fo.premises == 0) continue;  // an empty shard carries no load
+    EXPECT_DOUBLE_EQ(fo.overload_minutes, cfg.horizon.minutes_f())
+        << fo.feeder;
+  }
 }
 
 }  // namespace

@@ -134,6 +134,34 @@ TEST(Controller, RollingShedWhenStillHotAtExpiry) {
   EXPECT_DOUBLE_EQ(c.stats().mean_unserved_shed_kw(), 30.0);  // 120 - 90
 }
 
+TEST(Controller, RolloverResetsClearHoldTracking) {
+  // A clear hold accumulated under an expiring shed must not all-clear
+  // the rolled-over shed almost immediately: the fresh shed has to earn
+  // its own clear_hold minutes. Thermal-only trigger so the roll fires
+  // while the load is already below the clear threshold.
+  DrConfig dr = quick_dr();
+  dr.trigger_utilization = 2.0;  // unreachable: thermal path only
+  dr.trigger_temp_pu = 0.9;
+  dr.clear_hold = sim::minutes(10);
+  DemandResponseController c(feeder(), dr);
+  // 130 % for 15 min (hotspot primes at 1.69 pu), then 75 % — below the
+  // 80 % clear line but thermally still hot at the t=22 expiry.
+  std::vector<double> loads(15, 130.0);
+  loads.insert(loads.end(), 25, 75.0);
+  const auto signals = drive(c, loads);
+  ASSERT_GE(signals.size(), 3u);
+  // Shed fires at t=2 (armed at 0, hold 2), expires at t=22 still hot.
+  EXPECT_EQ(signals[0].kind, SignalKind::kDrShed);
+  EXPECT_EQ(signals[0].at, sim::TimePoint::epoch() + sim::minutes(2));
+  EXPECT_EQ(signals[1].kind, SignalKind::kDrShed);
+  EXPECT_EQ(signals[1].at, sim::TimePoint::epoch() + sim::minutes(22));
+  // The clear hold pending since t=15 died at the rollover; the new
+  // hold starts at t=23 and releases at t=33. A leak would have
+  // all-cleared at t=25 (10 min after the STALE clear_since_ of 15).
+  EXPECT_EQ(signals[2].kind, SignalKind::kAllClear);
+  EXPECT_EQ(signals[2].at, sim::TimePoint::epoch() + sim::minutes(33));
+}
+
 TEST(Controller, CooldownSuppressesImmediateRetrigger) {
   DemandResponseController c(feeder(), quick_dr());
   std::vector<double> loads(6, 110.0);
@@ -201,6 +229,72 @@ TEST(Controller, TariffWindowMayWrapMidnight) {
             TariffTier::kStandard);
   EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::hours(12)),
             TariffTier::kStandard);
+}
+
+TEST(Controller, OverlappingTariffWindowsFirstMatchWins) {
+  DrConfig dr = quick_dr();
+  dr.shed_enabled = false;
+  // The peak window sits inside a wider off-peak one; inside the
+  // overlap the FIRST window in declaration order must win.
+  dr.tariff_windows = {
+      {sim::hours(17), sim::hours(21), TariffTier::kPeak},
+      {sim::hours(16), sim::hours(22), TariffTier::kOffPeak},
+  };
+  const DemandResponseController c(feeder(), dr);
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::hours(18)),
+            TariffTier::kPeak);
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::minutes(16 * 60 + 30)),
+            TariffTier::kOffPeak);
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::minutes(21 * 60 + 30)),
+            TariffTier::kOffPeak);
+  // Exactly at the inner window's start the first window takes over.
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::hours(17)),
+            TariffTier::kPeak);
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::hours(12)),
+            TariffTier::kStandard);
+}
+
+TEST(Controller, WrappedWindowOverlapPrecedenceAcrossMidnight) {
+  DrConfig dr = quick_dr();
+  dr.shed_enabled = false;
+  // A midnight-wrapping off-peak window declared first shadows a peak
+  // window that overlaps its post-midnight tail.
+  dr.tariff_windows = {
+      {sim::hours(22), sim::hours(2), TariffTier::kOffPeak},
+      {sim::hours(1), sim::hours(3), TariffTier::kPeak},
+  };
+  const DemandResponseController c(feeder(), dr);
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::minutes(90)),
+            TariffTier::kOffPeak);  // 01:30: both match, first wins
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::minutes(150)),
+            TariffTier::kPeak);  // 02:30: wrap ended, second window
+  EXPECT_EQ(c.tier_at(sim::TimePoint::epoch() + sim::hours(23)),
+            TariffTier::kOffPeak);
+}
+
+TEST(Controller, TariffChangeEmittedExactlyAtWrapBoundaries) {
+  DrConfig dr = quick_dr();
+  dr.shed_enabled = false;
+  dr.tariff_windows = {
+      {sim::hours(22), sim::hours(2), TariffTier::kOffPeak},
+  };
+  DemandResponseController c(feeder(), dr);
+  // Minute resolution from 21:00 through 02:30 (next day): the only
+  // transitions are at exactly 22:00 (into the wrap) and exactly 02:00
+  // (out of it) — midnight itself must NOT re-emit.
+  std::vector<GridSignal> signals;
+  for (sim::Ticks m = 21 * 60; m <= 26 * 60 + 30; ++m) {
+    const auto emitted =
+        c.observe(sim::TimePoint::epoch() + sim::minutes(m), 50.0);
+    signals.insert(signals.end(), emitted.begin(), emitted.end());
+  }
+  ASSERT_EQ(signals.size(), 2u);
+  EXPECT_EQ(signals[0].kind, SignalKind::kTariffChange);
+  EXPECT_EQ(signals[0].tier, TariffTier::kOffPeak);
+  EXPECT_EQ(signals[0].at, sim::TimePoint::epoch() + sim::hours(22));
+  EXPECT_EQ(signals[1].kind, SignalKind::kTariffChange);
+  EXPECT_EQ(signals[1].tier, TariffTier::kStandard);
+  EXPECT_EQ(signals[1].at, sim::TimePoint::epoch() + sim::hours(26));
 }
 
 TEST(Controller, UnitMaxStretchStillSheds) {

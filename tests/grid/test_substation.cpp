@@ -1,0 +1,211 @@
+// Substation: per-feeder control-plane isolation, bank accounting,
+// subscription stability under resharding, and the K=1 log format
+// guarantee.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "grid/substation.hpp"
+
+namespace han::grid {
+namespace {
+
+FeederConfig feeder(double capacity_kw = 100.0) {
+  FeederConfig f;
+  f.capacity_kw = capacity_kw;
+  return f;
+}
+
+DrConfig quick_dr() {
+  DrConfig c;
+  c.trigger_utilization = 1.0;
+  c.trigger_temp_pu = 10.0;
+  c.trigger_hold = sim::minutes(2);
+  c.target_utilization = 0.9;
+  c.shed_duration = sim::minutes(20);
+  c.max_stretch = 4;
+  c.clear_utilization = 0.8;
+  c.clear_hold = sim::minutes(3);
+  c.cooldown = sim::minutes(5);
+  return c;
+}
+
+FeederPlan plan(std::vector<std::size_t> premises,
+                double capacity_kw = 100.0) {
+  FeederPlan p;
+  p.feeder = feeder(capacity_kw);
+  p.dr = quick_dr();
+  p.premises = std::move(premises);
+  return p;
+}
+
+TEST(Substation, RejectsEmptyAndUnsortedPlans) {
+  const sim::Rng rng(1);
+  EXPECT_THROW(Substation(SubstationConfig{}, {}, rng),
+               std::invalid_argument);
+  std::vector<FeederPlan> bad;
+  bad.push_back(plan({3, 1}));
+  EXPECT_THROW(Substation(SubstationConfig{}, std::move(bad), rng),
+               std::invalid_argument);
+}
+
+TEST(Substation, BankCapacityDefaultsToSumOfFeeders) {
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1}, 60.0));
+  plans.push_back(plan({2}, 40.0));
+  const Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1));
+  EXPECT_EQ(sub.feeder_count(), 2u);
+  EXPECT_EQ(sub.premise_count(), 3u);
+  EXPECT_DOUBLE_EQ(sub.transformer().config().capacity_kw, 100.0);
+}
+
+TEST(Substation, ExplicitBankConfigWins) {
+  SubstationConfig cfg;
+  cfg.capacity_kw = 250.0;
+  cfg.thermal_tau = sim::minutes(90);
+  cfg.overload_temp_pu = 1.2;
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0}));
+  const Substation sub(cfg, std::move(plans), sim::Rng(1));
+  EXPECT_DOUBLE_EQ(sub.transformer().config().capacity_kw, 250.0);
+  EXPECT_EQ(sub.transformer().config().thermal_tau, sim::minutes(90));
+  EXPECT_DOUBLE_EQ(sub.transformer().config().overload_temp_pu, 1.2);
+}
+
+TEST(Substation, SignalsStampedWithFeederId) {
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1}));
+  plans.push_back(plan({2, 3}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1));
+  // Only feeder 1 runs hot.
+  std::vector<GridSignal> emitted;
+  for (sim::Ticks m = 0; m < 10; ++m) {
+    const sim::TimePoint t = sim::TimePoint::epoch() + sim::minutes(m);
+    const auto quiet = sub.observe_feeder(0, t, 50.0);
+    EXPECT_TRUE(quiet.empty());
+    const auto hot = sub.observe_feeder(1, t, 120.0);
+    emitted.insert(emitted.end(), hot.begin(), hot.end());
+    sub.observe_total(t, 170.0);
+  }
+  ASSERT_FALSE(emitted.empty());
+  for (const GridSignal& s : emitted) {
+    EXPECT_EQ(s.feeder, 1u);
+    EXPECT_EQ(s.kind, SignalKind::kDrShed);
+  }
+  EXPECT_FALSE(sub.controller(0).shed_active());
+  EXPECT_TRUE(sub.controller(1).shed_active());
+}
+
+TEST(Substation, FeederStateMachinesAreIndependent) {
+  // A shed on one feeder must not advance the other's hold timers: the
+  // quiet feeder fires its own shed only after its own full hold.
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0}));
+  plans.push_back(plan({1}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1));
+  std::vector<GridSignal> first, second;
+  for (sim::Ticks m = 0; m < 12; ++m) {
+    const sim::TimePoint t = sim::TimePoint::epoch() + sim::minutes(m);
+    const auto a = sub.observe_feeder(0, t, 120.0);  // hot from t=0
+    // Feeder 1 only turns hot at t=5.
+    const auto b = sub.observe_feeder(1, t, m < 5 ? 50.0 : 120.0);
+    first.insert(first.end(), a.begin(), a.end());
+    second.insert(second.end(), b.begin(), b.end());
+  }
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  // hold = 2 min: feeder 0 arms at 0 and fires at 2; feeder 1 arms at 5
+  // and fires at 7 — not earlier on the back of feeder 0's arming.
+  EXPECT_EQ(first.front().at, sim::TimePoint::epoch() + sim::minutes(2));
+  EXPECT_EQ(second.front().at, sim::TimePoint::epoch() + sim::minutes(7));
+}
+
+TEST(Substation, SubscriptionsStableUnderResharding) {
+  // A premise's latency/opt-in draw is keyed by its global id, so
+  // moving it to a different shard must not change it.
+  const sim::Rng rng = sim::Rng(42).stream("grid-bus");
+  BusConfig bus;
+  bus.opt_in = 0.5;
+  std::vector<FeederPlan> one;
+  one.push_back(plan({0, 1, 2, 3}));
+  one.front().bus = bus;
+  std::vector<FeederPlan> two;
+  two.push_back(plan({0, 3}));
+  two.push_back(plan({1, 2}));
+  for (FeederPlan& p : two) p.bus = bus;
+  const Substation a(SubstationConfig{}, std::move(one), rng);
+  const Substation b(SubstationConfig{}, std::move(two), rng);
+  // Global id 3: position 3 on the single shard, position 1 on shard 0.
+  EXPECT_EQ(a.bus(0).subscriber(3).latency, b.bus(0).subscriber(1).latency);
+  EXPECT_EQ(a.bus(0).subscriber(3).opted_in, b.bus(0).subscriber(1).opted_in);
+  // Global id 2: position 2 vs shard 1 position 1.
+  EXPECT_EQ(a.bus(0).subscriber(2).latency, b.bus(1).subscriber(1).latency);
+  EXPECT_EQ(a.bus(0).subscriber(2).opted_in, b.bus(1).subscriber(1).opted_in);
+}
+
+TEST(Substation, DeliveriesCarryGlobalPremiseIds) {
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 2}));
+  plans.push_back(plan({5, 9}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1));
+  GridSignal s;
+  s.kind = SignalKind::kTariffChange;
+  s.feeder = 1;
+  const auto& deliveries = sub.bus(1).publish(s);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].premise, 5u);
+  EXPECT_EQ(deliveries[1].premise, 9u);
+}
+
+TEST(Substation, SingleFeederLogMatchesBusFormat) {
+  // K=1 must emit the PR 2 single-bus CSV byte-for-byte (no feeder
+  // column) — the backward-compatibility guarantee.
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1));
+  GridSignal s;
+  s.kind = SignalKind::kTariffChange;
+  (void)sub.bus(0).publish(s);
+  std::ostringstream from_sub, from_bus;
+  sub.write_log_csv(from_sub);
+  sub.bus(0).write_log_csv(from_bus);
+  EXPECT_EQ(from_sub.str(), from_bus.str());
+  EXPECT_EQ(from_sub.str().substr(0, 10), "signal_id,");
+}
+
+TEST(Substation, MultiFeederLogPrefixesFeederColumn) {
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0}));
+  plans.push_back(plan({1}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1));
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    GridSignal s;
+    s.kind = SignalKind::kTariffChange;
+    s.feeder = k;
+    (void)sub.bus(k).publish(s);
+  }
+  std::ostringstream os;
+  sub.write_log_csv(os);
+  const std::string log = os.str();
+  EXPECT_EQ(log.substr(0, 7), "feeder,");
+  EXPECT_NE(log.find("\n0,0,tariff_change,"), std::string::npos);
+  EXPECT_NE(log.find("\n1,0,tariff_change,"), std::string::npos);
+}
+
+TEST(Substation, EmptyFeederIsAllowedAndInert) {
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1}));
+  plans.push_back(plan({}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1));
+  EXPECT_EQ(sub.bus(1).premise_count(), 0u);
+  GridSignal s;
+  s.feeder = 1;
+  EXPECT_TRUE(sub.bus(1).publish(s).empty());
+  // Its transformer still counts toward the bank rating.
+  EXPECT_DOUBLE_EQ(sub.transformer().config().capacity_kw, 200.0);
+}
+
+}  // namespace
+}  // namespace han::grid
