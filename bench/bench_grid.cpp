@@ -2,9 +2,12 @@
 //
 // Prints a DR efficacy table (dr_heat_wave open vs closed loop: overload
 // minutes, sheds, unserved kW, wall clock — the lockstep-barrier
-// overhead is the price of the closed loop), then runs google-benchmark
-// timings over a small fleet: plain run() vs run_grid() disabled (pure
-// lockstep overhead) vs run_grid() enabled (overhead + control).
+// overhead is the price of the closed loop), the multi_feeder shard
+// sweep, and a polled-vs-event-driven control-plane sweep (barrier
+// count, controller wakes, wall clock) across premise counts and K
+// feeders, then runs google-benchmark timings over a small fleet:
+// plain run() vs run_grid() disabled (pure lockstep overhead) vs
+// run_grid() enabled (overhead + control).
 //
 // Environment knobs (CI smoke runs use tiny values):
 //   HAN_GRID_PREMISES   fleet size for the efficacy table (default 100)
@@ -13,6 +16,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -94,11 +99,15 @@ void print_shard_sweep() {
 
   metrics::TextTable table({"K", "subst peak kW", "sum feeder peaks",
                             "inter-feeder div", "subst overload min",
-                            "feeder overload min", "sheds", "wall s"});
+                            "feeder overload min", "sheds", "barriers",
+                            "ctrl wakes", "wall s"});
   fleet::Executor executor(threads);
+  // Parse the preset once; each row only reshards it (the per-row
+  // re-parse used to hide in this loop).
+  const fleet::FleetConfig base =
+      fleet::make_scenario(fleet::ScenarioKind::kMultiFeeder, premises, 1);
   for (const std::size_t k : {1u, 2u, 4u, 8u}) {
-    fleet::FleetConfig cfg =
-        fleet::make_scenario(fleet::ScenarioKind::kMultiFeeder, premises, 1);
+    fleet::FleetConfig cfg = base;
     cfg.feeder_count = k;
     const auto t0 = std::chrono::steady_clock::now();
     const fleet::GridFleetResult r =
@@ -116,6 +125,8 @@ void print_shard_sweep() {
                    metrics::fmt(r.fleet.substation.inter_feeder_diversity, 4),
                    metrics::fmt(r.overload_minutes, 1),
                    metrics::fmt(feeder_overload, 1), std::to_string(sheds),
+                   std::to_string(r.control_barriers),
+                   std::to_string(r.controller_wakes),
                    metrics::fmt(secs, 3)});
   }
   table.print(std::cout);
@@ -123,6 +134,68 @@ void print_shard_sweep() {
       "\ninter-feeder diversity = sum of per-feeder peaks / substation "
       "peak:\nfeeders do not crest together, so the bank rides below the "
       "sum of its\nshards' worst minutes (1.0 by construction at K=1).\n");
+}
+
+void print_event_sweep() {
+  const std::size_t premises = env_size("HAN_GRID_PREMISES", 100);
+  const std::size_t threads = env_size("HAN_GRID_THREADS", 0);
+
+  std::printf(
+      "\n================================================================\n"
+      "control plane — polled vs event-driven (multi_feeder preset)\n"
+      "barriers: lockstep synchronization points; wakes: controller\n"
+      "observations. Same seed; see EXPERIMENTS.md\n"
+      "================================================================\n");
+
+  metrics::TextTable table({"premises", "K", "barriers p", "barriers e",
+                            "reduction", "wakes p", "wakes e", "sheds p/e",
+                            "wall p (s)", "wall e (s)"});
+  fleet::Executor executor(threads);
+  std::vector<std::size_t> premise_counts{premises};
+  if (premises / 2 > 0 && premises / 2 != premises) {
+    premise_counts.insert(premise_counts.begin(), premises / 2);
+  }
+  for (const std::size_t p : premise_counts) {
+    // One parse per premise count (capacity scales with the fleet);
+    // rows only reshard and flip the control mode.
+    const fleet::FleetConfig base =
+        fleet::make_scenario(fleet::ScenarioKind::kMultiFeeder, p, 1);
+    for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+      fleet::FleetConfig polled = base;
+      polled.feeder_count = k;
+      fleet::FleetConfig event = polled;
+      event.grid.control_mode = fleet::ControlMode::kEventDriven;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const fleet::GridFleetResult rp =
+          fleet::FleetEngine(polled).run_grid(executor);
+      const double polled_s = wall_seconds(t0);
+      const auto t1 = std::chrono::steady_clock::now();
+      const fleet::GridFleetResult re =
+          fleet::FleetEngine(event).run_grid(executor);
+      const double event_s = wall_seconds(t1);
+
+      const double reduction =
+          re.control_barriers > 0
+              ? static_cast<double>(rp.control_barriers) /
+                    static_cast<double>(re.control_barriers)
+              : 0.0;
+      table.add_row({std::to_string(p), std::to_string(k),
+                     std::to_string(rp.control_barriers),
+                     std::to_string(re.control_barriers),
+                     metrics::fmt(reduction, 1) + "x",
+                     std::to_string(rp.controller_wakes),
+                     std::to_string(re.controller_wakes),
+                     std::to_string(rp.dr.shed_signals) + "/" +
+                         std::to_string(re.dr.shed_signals),
+                     metrics::fmt(polled_s, 3), metrics::fmt(event_s, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npolled wakes every controller at every barrier; event-driven\n"
+      "wakes only on threshold crossings and declared deadlines, and\n"
+      "premises free-run between them (observe_cap safety net).\n");
 }
 
 /// Small fleet shared by the google-benchmark timings.
@@ -187,6 +260,7 @@ BENCHMARK(BM_ControllerObserve)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   print_efficacy_table();
   print_shard_sweep();
+  print_event_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

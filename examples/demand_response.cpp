@@ -1,10 +1,15 @@
 // demand_response — closed-loop grid control over a neighborhood fleet.
 //
 //   $ ./demand_response [scenario] [premises] [threads] [seed] [log_csv]
-//                       [feeders]
+//                       [feeders] [mode]
 //   $ ./demand_response dr_heat_wave 100 0 1 signals.csv
 //   $ ./demand_response multi_feeder 100 0 1 signals.csv 4
+//   $ ./demand_response dr_heat_wave 100 0 1 signals.csv 0 event
 //   $ ./demand_response --list
+//
+// `mode` selects the control plane: `polled` (default; fixed
+// control-interval barriers, byte-identical output across versions) or
+// `event` (threshold-triggered observation; far fewer barriers).
 //
 // Runs the named scenario twice with the same seed — open loop (DR
 // controller muted) and closed loop — and prints what closing the loop
@@ -39,9 +44,19 @@ int main(int argc, char** argv) {
   // 0 keeps the scenario's own feeder count (1 for single-feeder
   // presets, 4 for multi_feeder).
   const std::size_t feeder_override = arg_count(argc, argv, 6, 0);
+  const std::string mode = argc > 7 ? argv[7] : "polled";
 
   if (premises == 0) {
     std::fprintf(stderr, "premise count must be > 0\n");
+    return 1;
+  }
+  fleet::ControlMode control_mode = fleet::ControlMode::kPolled;
+  if (mode == "event" || mode == "event_driven") {
+    control_mode = fleet::ControlMode::kEventDriven;
+  } else if (mode != "polled") {
+    std::fprintf(stderr,
+                 "unknown control mode '%s' (want polled | event)\n",
+                 mode.c_str());
     return 1;
   }
   const auto kind = fleet::scenario_from_name(scenario_name);
@@ -60,16 +75,17 @@ int main(int argc, char** argv) {
 
   fleet::FleetConfig closed = fleet::make_scenario(*kind, premises, seed);
   closed.grid.enabled = true;  // close the loop even for non-DR presets
+  closed.grid.control_mode = control_mode;
   if (feeder_override > 0) closed.feeder_count = feeder_override;
   fleet::FleetConfig open = closed;
   open.grid.enabled = false;
 
   fleet::Executor executor(threads);
   std::printf("demand_response — %s, %zu premises, %zu feeder(s), "
-              "%.0f h horizon, %zu threads, seed %llu\n\n",
+              "%.0f h horizon, %zu threads, seed %llu, %s control\n\n",
               scenario_name.c_str(), premises, closed.feeder_count,
               closed.horizon.hours_f(), executor.thread_count(),
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed), mode.c_str());
 
   const fleet::GridFleetResult off =
       fleet::FleetEngine(open).run_grid(executor);
@@ -117,6 +133,10 @@ int main(int argc, char** argv) {
               dr.mean_unserved_shed_kw());
   std::printf("  enrolled premises          %zu / %zu (%zu can comply)\n",
               on.opted_in_premises, premises, on.complying_premises);
+  std::printf("  control barriers           %llu\n",
+              static_cast<unsigned long long>(on.control_barriers));
+  std::printf("  controller wakes           %llu\n",
+              static_cast<unsigned long long>(on.controller_wakes));
 
   if (on.feeders.size() > 1) {
     std::printf("\nper-feeder (closed loop, capacity shares by planned "

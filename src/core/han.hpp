@@ -38,8 +38,10 @@
 #include "grid/feeder.hpp"
 #include "grid/signal.hpp"
 #include "metrics/csv.hpp"
+#include "metrics/hotspot.hpp"
 #include "metrics/load_monitor.hpp"
 #include "metrics/stats.hpp"
+#include "metrics/stream_aggregate.hpp"
 #include "metrics/timeseries.hpp"
 #include "net/channel.hpp"
 #include "net/medium.hpp"

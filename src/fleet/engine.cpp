@@ -50,6 +50,9 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
     throw std::invalid_argument(
         "FleetEngine: grid.control_interval must be > 0");
   }
+  if (config_.grid.observe_cap <= sim::Duration::zero()) {
+    throw std::invalid_argument("FleetEngine: grid.observe_cap must be > 0");
+  }
   if (config_.feeder_count == 0) {
     throw std::invalid_argument("FleetEngine: feeder_count must be >= 1");
   }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,23 @@ struct PremiseProfile {
   double base_swing = 0.5;
 };
 
+/// How run_grid drives the control plane.
+enum class ControlMode : std::uint8_t {
+  /// Fixed-interval lockstep: every premise advances in
+  /// control_interval barriers and every controller observes at each
+  /// one. The PR 2/3 behavior — outputs are byte-identical to it.
+  kPolled,
+  /// Threshold-triggered observation: barriers land only at controller
+  /// deadlines (shed expiry, hold ends, cooldown end, tariff
+  /// boundaries), predicted thermal crossings, and the observe_cap
+  /// safety net — and a controller is woken only when one of its
+  /// threshold bands crossed or a deadline it declared came due.
+  /// Barrier count drops from horizon/control_interval to roughly the
+  /// number of control decisions; the trade is that load transients
+  /// fully contained between barriers go unobserved.
+  kEventDriven,
+};
+
 /// Grid-layer (closed-loop) options for a fleet run — see run_grid().
 struct GridOptions {
   /// Master switch: with false, run_grid() still runs the lockstep loop
@@ -98,8 +116,23 @@ struct GridOptions {
   /// the fleet total; thermal shape: the feeder config's).
   grid::SubstationConfig substation;
   /// How often each feeder's controller observes its aggregate (the
-  /// closed-loop barrier period of run_grid).
+  /// closed-loop barrier period of run_grid). Under event_driven this
+  /// is the observation *grid*: adaptive barriers still land on
+  /// multiples of it, so any crossing the event mode sees is one the
+  /// polled mode would have seen at the same instant.
   sim::Duration control_interval = sim::minutes(1);
+  /// Control-plane driving mode (see ControlMode).
+  ControlMode control_mode = ControlMode::kPolled;
+  /// event_driven only: the longest premises may free-run without a
+  /// control barrier (the safety cap on observation gaps). Rounded up
+  /// to a whole number of control intervals.
+  sim::Duration observe_cap = sim::minutes(15);
+  /// Per-feeder DrConfig overrides keyed by feeder id: feeder k runs
+  /// feeder_dr[k] when engaged, the shared `dr` otherwise (and when k
+  /// is past the vector's end). Small volatile shards typically want
+  /// longer holds than big surgical ones. Ignored, like `dr`, when the
+  /// grid layer is disabled.
+  std::vector<std::optional<grid::DrConfig>> feeder_dr;
 };
 
 /// One neighborhood run.
@@ -191,6 +224,10 @@ struct FeederOutcome {
   double peak_load_kw = 0.0;
   std::size_t opted_in_premises = 0;
   std::size_t complying_premises = 0;
+  /// Observations this feeder's controller processed. Polled: one per
+  /// barrier. Event-driven: only crossing/deadline wakes + the prime —
+  /// the gap to the barrier count is work the controller skipped.
+  std::uint64_t controller_wakes = 0;
   /// This feeder's signals in emission order (ids are per feeder).
   std::vector<grid::GridSignal> signals;
   /// This feeder's (signal x premise) delivery log; premise fields are
@@ -216,6 +253,14 @@ struct GridFleetResult {
   double hot_minutes = 0.0;
   double peak_temperature_pu = 0.0;
   double substation_capacity_kw = 0.0;
+  /// Control barriers the run used (global lockstep synchronization
+  /// points, including the priming barrier at the epoch). Polled:
+  /// horizon / control_interval + 1; event_driven: O(control
+  /// decisions) plus the observe_cap safety net.
+  std::uint64_t control_barriers = 0;
+  /// Controller observations summed across feeders (see
+  /// FeederOutcome::controller_wakes).
+  std::uint64_t controller_wakes = 0;
   /// Premises enrolled in the DR program (drawn by the SignalBus).
   std::size_t opted_in_premises = 0;
   /// Enrolled premises that can actually act (coordinated scheduler).
@@ -269,15 +314,19 @@ class FleetEngine {
   /// (0 = hardware concurrency).
   [[nodiscard]] FleetResult run(std::size_t threads = 0) const;
 
-  /// Closed-loop run: all premises advance in lockstep control
-  /// intervals; after each barrier the DemandResponseController
-  /// observes the aggregate (summed in index order) and its signals
-  /// fan out through the SignalBus to complying premises, landing as
-  /// simulation events at each premise's delivery time. Parallelism is
-  /// still premise-granular and thread-confined between barriers, so
-  /// the result — including the signal/compliance log — is
-  /// byte-identical for any executor width. With config.grid.enabled
-  /// == false this reproduces run() exactly (plus thermal metrics).
+  /// Closed-loop run: premises advance between control barriers; at a
+  /// barrier each feeder's aggregate (summed in index order) reaches
+  /// its DemandResponseController and the emitted signals fan out
+  /// through the SignalBus to complying premises, landing as
+  /// simulation events at each premise's delivery time. Under
+  /// ControlMode::kPolled barriers sit at every control_interval
+  /// (byte-identical to the pre-event-plane engine); under
+  /// kEventDriven they adapt to controller deadlines and threshold
+  /// crossings (see ControlMode). Parallelism is premise-granular and
+  /// thread-confined between barriers either way, so the result —
+  /// including the signal/compliance log — is byte-identical for any
+  /// executor width. With config.grid.enabled == false this reproduces
+  /// run() exactly (plus thermal metrics).
   [[nodiscard]] GridFleetResult run_grid(Executor& executor) const;
   [[nodiscard]] GridFleetResult run_grid(std::size_t threads = 0) const;
 

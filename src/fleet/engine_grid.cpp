@@ -2,32 +2,52 @@
 // and the premise schedulers.
 //
 // run() simulates every premise start-to-finish and only then looks at
-// the feeder; here the premises advance in lockstep control intervals
-// so each feeder's DemandResponseController can watch its shard's
+// the feeder; here the premises advance between control barriers so
+// each feeder's DemandResponseController can watch its shard's
 // aggregate *while it forms* and steer it. The fleet is partitioned
-// across K feeders under one grid::Substation: every barrier sums each
-// shard in premise-index order, feeds it to that shard's controller,
-// and fans the emitted signals out through that shard's bus only — a
-// premise never hears another feeder's head end. The substation bank
-// model observes the summed total for inter-feeder accounting.
+// across K feeders under one grid::Substation: every barrier stages
+// each shard's contributions into its metrics::StreamAggregate (summed
+// in premise-index order), routes the committed total to that shard's
+// controller, and fans the emitted signals out through that shard's
+// bus only — a premise never hears another feeder's head end. The
+// substation bank model observes the summed total for inter-feeder
+// accounting.
+//
+// Two barrier schedulers drive the same plumbing (GridOptions::
+// control_mode):
+//
+//   * polled — a barrier every control_interval and every controller
+//     woken at each one. Byte-identical to the fixed-interval engine
+//     this mode preserves.
+//   * event_driven — premises free-run until the earliest pending
+//     controller deadline (registered on a sim::EventQueue via
+//     sim::Timer), the monitor's predicted thermal crossing, or the
+//     observe_cap safety net, with every barrier snapped up to the
+//     control_interval grid. A controller is woken only when one of
+//     its threshold bands crossed at the barrier or a deadline it
+//     declared came due, shrinking barrier count from
+//     horizon/control_interval to O(number of control decisions).
 //
 // Between barriers each premise is still a thread-confined
 // single-threaded simulation (the executor provides the happens-before
-// edges at the barrier), and the whole control plane runs sequentially
-// on the submitter thread in feeder order — which together make the
-// closed loop, including every per-feeder signal/compliance log,
-// byte-identical for any executor width. With feeder_count == 1 the
-// sharded path degenerates to exactly the single-feeder loop: one
-// shard holding every premise, capacity share 1.0, substation ==
-// feeder — byte-identical to the pre-substation engine.
+// edges at the barrier), and the whole control plane — barrier
+// placement included — runs sequentially on the submitter thread in
+// feeder order, which together make the closed loop, including every
+// per-feeder signal/compliance log, byte-identical for any executor
+// width in both modes. With feeder_count == 1 the sharded path
+// degenerates to exactly the single-feeder loop: one shard holding
+// every premise, capacity share 1.0, substation == feeder.
 #include <algorithm>
 #include <memory>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "core/han_network.hpp"
 #include "fleet/engine.hpp"
 #include "metrics/load_monitor.hpp"
+#include "metrics/stream_aggregate.hpp"
+#include "sim/event_queue.hpp"
 
 namespace han::fleet {
 
@@ -49,21 +69,36 @@ struct PremiseRuntime {
   std::size_t pending_next = 0;
 };
 
+/// Rounds `t` up to the next multiple of `interval` past the epoch, so
+/// adaptive barriers stay on the polled observation grid.
+sim::TimePoint snap_up(sim::TimePoint t, sim::Duration interval) {
+  const sim::Ticks rem = t.us() % interval.us();
+  return rem == 0 ? t : sim::TimePoint{t.us() + (interval.us() - rem)};
+}
+
 }  // namespace
 
 GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   const GridOptions& g = config_.grid;
   const std::size_t feeders = config_.feeder_count;
+  const bool event_driven = g.control_mode == ControlMode::kEventDriven;
 
   const double fleet_capacity_kw =
       g.feeder.capacity_kw > 0.0 ? g.feeder.capacity_kw
                                  : resolved_capacity_kw();
-  grid::DrConfig dr = g.dr;
-  if (!g.enabled) {
-    // Open loop: keep every feeder model as a passive observer.
-    dr.shed_enabled = false;
-    dr.tariff_windows.clear();
-  }
+  /// Feeder k's effective controller tuning: the per-feeder override
+  /// when engaged, the shared config otherwise — and muted entirely in
+  /// open-loop runs, where every feeder model is a passive observer.
+  const auto dr_for = [&g](std::size_t k) {
+    grid::DrConfig dr = k < g.feeder_dr.size() && g.feeder_dr[k]
+                            ? *g.feeder_dr[k]
+                            : g.dr;
+    if (!g.enabled) {
+      dr.shed_enabled = false;
+      dr.tariff_windows.clear();
+    }
+    return dr;
+  };
 
   // --- Boot every premise (parallel; construction is the pricey part).
   std::vector<std::unique_ptr<PremiseRuntime>> runtimes(
@@ -96,7 +131,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     plans[k].feeder = g.feeder;
     plans[k].feeder.capacity_kw =
         fleet_capacity_kw * feeder_capacity_share(k);
-    plans[k].dr = dr;
+    plans[k].dr = dr_for(k);
     plans[k].bus = g.bus;
   }
   for (std::size_t i = 0; i < runtimes.size(); ++i) {
@@ -119,15 +154,30 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     }
   }
 
-  // Feeds feeder k's aggregate sample to its controller and fans the
-  // emitted signals out to the shard's premises that will apply them:
-  // sheds land only at premises that opted in and can act; a tariff
-  // tier applies to every customer on the feeder regardless of DR
-  // enrollment (it is informational at the premise).
-  const auto observe_feeder = [&](std::size_t k, sim::TimePoint at,
-                                  double aggregate_kw) {
-    for (const grid::GridSignal& s :
-         substation.observe_feeder(k, at, aggregate_kw)) {
+  // Per-feeder streaming aggregates: the observation side of the
+  // control plane. Both modes commit through them (the committed total
+  // is the same index-ordered sum the controllers always saw); the
+  // event mode additionally arms their threshold bands and thermal
+  // tracking, which is what turns samples into crossings.
+  std::vector<metrics::StreamAggregate> monitors;
+  monitors.reserve(feeders);
+  for (std::size_t k = 0; k < feeders; ++k) {
+    monitors.emplace_back(substation.premises(k).size());
+    if (event_driven) {
+      const grid::FeederConfig& fc = substation.controller(k).feeder().config();
+      monitors[k].enable_thermal(
+          {fc.capacity_kw, fc.thermal_tau, fc.overload_temp_pu});
+      substation.controller(k).register_bands(monitors[k]);
+    }
+  }
+
+  // Fans a batch of emitted signals out to the shard's premises that
+  // will apply them: sheds land only at premises that opted in and can
+  // act; a tariff tier applies to every customer on the feeder
+  // regardless of DR enrollment (it is informational at the premise).
+  const auto fan_out = [&](std::size_t k,
+                           const std::vector<grid::GridSignal>& signals) {
+    for (const grid::GridSignal& s : signals) {
       for (const grid::Delivery& d : substation.bus(k).publish(s)) {
         const bool applies =
             s.kind == grid::SignalKind::kTariffChange || d.complied;
@@ -138,43 +188,27 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     }
   };
 
-  // One control barrier: per-feeder aggregates (index order within the
-  // shard), each routed to its own head end, then the substation total.
-  const auto control_step = [&](sim::TimePoint at, const auto& load_of) {
-    double total_kw = 0.0;
-    for (std::size_t k = 0; k < feeders; ++k) {
-      double aggregate_kw = 0.0;
-      for (const std::size_t i : substation.premises(k)) {
-        aggregate_kw += load_of(i);
-      }
-      observe_feeder(k, at, aggregate_kw);
-      total_kw += aggregate_kw;
+  // Stages feeder k's member contributions and commits at `at`;
+  // returns the crossings (empty in polled mode — no bands).
+  const auto commit_feeder = [&](std::size_t k, sim::TimePoint at,
+                                 const auto& load_of)
+      -> const std::vector<metrics::Crossing>& {
+    metrics::StreamAggregate& agg = monitors[k];
+    const std::vector<std::size_t>& members = substation.premises(k);
+    for (std::size_t pos = 0; pos < members.size(); ++pos) {
+      agg.update(pos, load_of(members[pos]));
     }
-    substation.observe_total(at, total_kw);
+    return agg.commit(at);
   };
 
-  // --- Lockstep control loop.
-  const sim::TimePoint end = sim::TimePoint::epoch() + config_.horizon;
-  sim::TimePoint t = sim::TimePoint::epoch();
-  // Prime every feeder model AND the substation bank at the epoch
-  // (Type-2 load is zero before the CP boots, so each aggregate is the
-  // shard's diurnal base): a FeederModel's priming sample carries no
-  // interval, and anchoring all of them here makes every feeder's
-  // overload/thermal accounting cover the whole (0, horizon] span. It
-  // also emits the initial tariff tier at t=0 when a window covers
-  // midnight.
-  control_step(t, [&runtimes, t](std::size_t i) {
-    return diurnal_base_kw(runtimes[i]->spec, t);
-  });
-  while (t < end) {
-    t = std::min(t + g.control_interval, end);
+  // Advances every premise to the barrier at `t`, landing any signals
+  // due inside the interval as simulation events at their exact
+  // delivery times (deliver_at >= rt.sim.now() because signals are
+  // emitted at barrier times and latency is non-negative).
+  const auto advance_premises = [&](sim::TimePoint t) {
     executor.parallel_for(
         config_.premise_count, [&runtimes, t](std::size_t i) {
           PremiseRuntime& rt = *runtimes[i];
-          // Land signals due inside this interval as simulation events
-          // at their exact delivery times (deliver_at >= rt.sim.now()
-          // because signals are emitted at barrier times and latency is
-          // non-negative).
           while (rt.pending_next < rt.pending.size() &&
                  rt.pending[rt.pending_next].first <= t) {
             const auto& [at, signal] = rt.pending[rt.pending_next];
@@ -188,11 +222,158 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
           rt.inst_kw = rt.net->total_load_kw() +
                        diurnal_base_kw(rt.spec, t);
         });
+  };
 
-    // Sequential from here: the whole control plane in feeder order.
-    control_step(t, [&runtimes](std::size_t i) {
-      return runtimes[i]->inst_kw;
+  const sim::TimePoint end = sim::TimePoint::epoch() + config_.horizon;
+  std::uint64_t barriers = 0;
+
+  if (!event_driven) {
+    // --- Polled: fixed-interval lockstep. One control barrier:
+    // per-feeder aggregates (index order within the shard), each
+    // routed to its own head end, then the substation total.
+    const auto control_step = [&](sim::TimePoint at, const auto& load_of) {
+      double total_kw = 0.0;
+      for (std::size_t k = 0; k < feeders; ++k) {
+        commit_feeder(k, at, load_of);
+        const double aggregate_kw = monitors[k].total_kw();
+        fan_out(k, substation.observe_feeder(k, at, aggregate_kw));
+        total_kw += aggregate_kw;
+      }
+      substation.observe_total(at, total_kw);
+      ++barriers;
+    };
+
+    sim::TimePoint t = sim::TimePoint::epoch();
+    // Prime every feeder model AND the substation bank at the epoch
+    // (Type-2 load is zero before the CP boots, so each aggregate is
+    // the shard's diurnal base): a FeederModel's priming sample
+    // carries no interval, and anchoring all of them here makes every
+    // feeder's overload/thermal accounting cover the whole
+    // (0, horizon] span. It also emits the initial tariff tier at t=0
+    // when a window covers midnight.
+    control_step(t, [&runtimes, t](std::size_t i) {
+      return diurnal_base_kw(runtimes[i]->spec, t);
     });
+    while (t < end) {
+      t = std::min(t + g.control_interval, end);
+      advance_premises(t);
+      // Sequential from here: the whole control plane in feeder order.
+      control_step(t, [&runtimes](std::size_t i) {
+        return runtimes[i]->inst_kw;
+      });
+    }
+  } else {
+    // --- Event-driven: threshold-triggered observation. Controller
+    // deadlines live as re-armable timers on one event queue; barriers
+    // land at the earliest of (any deadline, any predicted thermal
+    // crossing, the observe_cap safety net), snapped up to the
+    // control_interval grid so every observation instant is one the
+    // polled mode would also have taken.
+    sim::EventQueue timers;
+    std::vector<sim::Timer> deadline;
+    std::vector<sim::Timer> thermal;
+    deadline.reserve(feeders);
+    thermal.reserve(feeders);
+    for (std::size_t k = 0; k < feeders; ++k) {
+      deadline.emplace_back(timers);
+      thermal.emplace_back(timers);
+    }
+    std::vector<char> deadline_due(feeders, 0);
+
+    // Re-arms feeder k's declared deadline after a wake changed its
+    // controller state.
+    const auto rearm_deadline = [&](std::size_t k) {
+      const sim::TimePoint at = substation.controller(k).next_deadline();
+      if (at < sim::TimePoint::max()) {
+        deadline[k].arm(at, [&deadline_due, k]() { deadline_due[k] = 1; });
+      } else {
+        deadline[k].cancel();
+      }
+    };
+    // Re-arms feeder k's predicted thermal-trigger crossing from the
+    // monitor's committed state. The timer only forces a barrier; the
+    // crossing itself (if the prediction still holds) is detected by
+    // the temperature band at that barrier's commit.
+    const auto rearm_thermal = [&](std::size_t k) {
+      const grid::DrConfig& dr = substation.controller(k).config();
+      if (!dr.shed_enabled) return;
+      const sim::TimePoint at =
+          monitors[k].predict_thermal_crossing(dr.trigger_temp_pu);
+      if (at < sim::TimePoint::max()) {
+        thermal[k].arm(at, []() {});
+      } else {
+        thermal[k].cancel();
+      }
+    };
+
+    // Prime at the epoch with the same observation the polled loop
+    // takes: every controller is woken once (initial tariff tier,
+    // full-span accounting anchor), every band takes its initial
+    // state, and the first deadlines are armed.
+    sim::TimePoint t = sim::TimePoint::epoch();
+    {
+      double total_kw = 0.0;
+      for (std::size_t k = 0; k < feeders; ++k) {
+        commit_feeder(k, t, [&runtimes, t](std::size_t i) {
+          return diurnal_base_kw(runtimes[i]->spec, t);
+        });
+        const grid::Observation obs{t, monitors[k].total_kw(),
+                                    monitors[k].temperature_pu()};
+        fan_out(k, substation.on_timer(k, obs));
+        total_kw += obs.load_kw;
+        rearm_deadline(k);
+        rearm_thermal(k);
+      }
+      substation.observe_total(t, total_kw);
+      ++barriers;
+    }
+
+    const sim::Duration interval = g.control_interval;
+    // Safety cap in whole intervals (at least one).
+    const sim::Duration cap =
+        interval * std::max<sim::Ticks>(1, (g.observe_cap.us() +
+                                            interval.us() - 1) /
+                                               interval.us());
+
+    while (t < end) {
+      sim::TimePoint next = t + cap;
+      if (!timers.empty()) next = std::min(next, timers.next_time());
+      next = snap_up(next, interval);
+      next = std::max(next, t + interval);  // timers never stall a barrier
+      next = std::min(next, end);
+      t = next;
+      advance_premises(t);
+      ++barriers;
+      // Fire everything due: callbacks mark which feeders' deadlines
+      // came due at (or before) this barrier.
+      while (!timers.empty() && timers.next_time() <= t) timers.pop().fn();
+
+      // The horizon-end barrier wakes every controller, mirroring the
+      // polled loop's final control step: a controller mid-shed with
+      // its next deadline past the horizon would otherwise never
+      // account the tail of its last wake into the DR time integrals.
+      const bool final_barrier = t == end;
+      double total_kw = 0.0;
+      for (std::size_t k = 0; k < feeders; ++k) {
+        const std::vector<metrics::Crossing>& crossings =
+            commit_feeder(k, t, [&runtimes](std::size_t i) {
+              return runtimes[i]->inst_kw;
+            });
+        total_kw += monitors[k].total_kw();
+        const grid::Observation obs{t, monitors[k].total_kw(),
+                                    monitors[k].temperature_pu()};
+        const bool crossed = !crossings.empty();
+        if (crossed) {
+          fan_out(k, substation.on_crossing(k, obs));
+        } else if (deadline_due[k] || final_barrier) {
+          fan_out(k, substation.on_timer(k, obs));
+        }
+        if (crossed || deadline_due[k]) rearm_deadline(k);
+        deadline_due[k] = 0;
+        rearm_thermal(k);
+      }
+      substation.observe_total(t, total_kw);
+    }
   }
 
   // --- Collect premise results (parallel) and aggregate (sequential).
@@ -207,6 +388,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       });
   finish_aggregate(out.fleet);
 
+  out.control_barriers = barriers;
   out.feeders.resize(feeders);
   for (std::size_t k = 0; k < feeders; ++k) {
     FeederOutcome& fo = out.feeders[k];
@@ -216,10 +398,20 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     fo.premises = substation.premises(k).size();
     fo.capacity_kw = c.feeder().config().capacity_kw;
     fo.dr = c.stats();
-    fo.overload_minutes = c.feeder().overload_minutes();
-    fo.hot_minutes = c.feeder().hot_minutes();
-    fo.peak_temperature_pu = c.feeder().peak_temperature_pu();
-    fo.peak_load_kw = c.feeder().peak_load_kw();
+    fo.controller_wakes = c.feeder().observations();
+    if (event_driven) {
+      // The monitor committed at every barrier; the controller's own
+      // model only saw its wakes. Report the finer accounting.
+      fo.overload_minutes = monitors[k].overload_minutes();
+      fo.hot_minutes = monitors[k].hot_minutes();
+      fo.peak_temperature_pu = monitors[k].peak_temperature_pu();
+      fo.peak_load_kw = monitors[k].peak_load_kw();
+    } else {
+      fo.overload_minutes = c.feeder().overload_minutes();
+      fo.hot_minutes = c.feeder().hot_minutes();
+      fo.peak_temperature_pu = c.feeder().peak_temperature_pu();
+      fo.peak_load_kw = c.feeder().peak_load_kw();
+    }
     fo.opted_in_premises = bus.opted_in_count();
     for (std::size_t pos = 0; pos < bus.premise_count(); ++pos) {
       if (bus.subscriber(pos).opted_in && bus.subscriber(pos).can_comply) {
@@ -240,6 +432,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     out.dr.unserved_shed_kw_minutes += fo.dr.unserved_shed_kw_minutes;
     out.dr.total_shed_latency_minutes += fo.dr.total_shed_latency_minutes;
     out.dr.sheds_reaching_target += fo.dr.sheds_reaching_target;
+    out.controller_wakes += fo.controller_wakes;
     out.opted_in_premises += fo.opted_in_premises;
     out.complying_premises += fo.complying_premises;
     out.signals.insert(out.signals.end(), fo.signals.begin(),

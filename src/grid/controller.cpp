@@ -36,6 +36,67 @@ TariffTier DemandResponseController::tier_at(sim::TimePoint t) const noexcept {
   return TariffTier::kStandard;
 }
 
+sim::TimePoint DemandResponseController::next_tariff_boundary(
+    sim::TimePoint after) const noexcept {
+  if (config_.tariff_windows.empty()) return sim::TimePoint::max();
+  const sim::Duration day = sim::hours(24);
+  const sim::Duration tod = sim::phase_in_period(after, day);
+  sim::Duration best = sim::Duration::max();
+  for (const TariffWindow& w : config_.tariff_windows) {
+    for (const sim::Duration edge : {w.day_start, w.day_end}) {
+      // Ring distance to the edge; a zero distance means "this edge,
+      // tomorrow" (strictly after).
+      sim::Duration delta = (edge - tod + day) % day;
+      if (delta == sim::Duration::zero()) delta = day;
+      best = std::min(best, delta);
+    }
+  }
+  return after + best;
+}
+
+sim::TimePoint DemandResponseController::next_deadline() const {
+  sim::TimePoint next =
+      next_tariff_boundary(have_last_ ? last_t_ : sim::TimePoint::epoch());
+  if (config_.shed_enabled) {
+    switch (phase_) {
+      case Phase::kIdle:
+        break;
+      case Phase::kArming:
+        next = std::min(next, armed_since_ + config_.trigger_hold);
+        break;
+      case Phase::kShedding:
+        next = std::min(next, shed_until_);
+        if (clear_pending_) {
+          next = std::min(next, clear_since_ + config_.clear_hold);
+        }
+        break;
+      case Phase::kCooldown:
+        next = std::min(next, cooldown_until_);
+        break;
+    }
+  }
+  return next;
+}
+
+void DemandResponseController::register_bands(
+    metrics::StreamAggregate& aggregate) const {
+  if (!config_.shed_enabled) return;
+  const double cap = feeder_.config().capacity_kw;
+  // Inclusivity mirrors the decision core's comparisons exactly:
+  // hot is load >= trigger, relief/target are load <= level.
+  aggregate.add_band({kDrBandTrigger, metrics::BandQuantity::kLoadKw,
+                      config_.trigger_utilization * cap,
+                      /*inclusive=*/true});
+  aggregate.add_band({kDrBandClear, metrics::BandQuantity::kLoadKw,
+                      config_.clear_utilization * cap,
+                      /*inclusive=*/false});
+  aggregate.add_band({kDrBandTarget, metrics::BandQuantity::kLoadKw,
+                      config_.target_utilization * cap,
+                      /*inclusive=*/false});
+  aggregate.add_band({kDrBandThermal, metrics::BandQuantity::kTemperaturePu,
+                      config_.trigger_temp_pu, /*inclusive=*/true});
+}
+
 GridSignal DemandResponseController::make_shed(sim::TimePoint t,
                                                double load_kw) {
   const double target = config_.target_utilization * feeder_.config().capacity_kw;
@@ -104,8 +165,33 @@ std::vector<GridSignal> DemandResponseController::observe(sim::TimePoint t,
     throw std::invalid_argument(
         "DemandResponseController: observations must not go back");
   }
-  const double dt_min = have_last_ ? (t - last_t_).minutes_f() : 0.0;
   feeder_.observe(t, load_kw);
+  return decide(Observation{t, load_kw, feeder_.temperature_pu()});
+}
+
+std::vector<GridSignal> DemandResponseController::on_crossing(
+    const Observation& obs) {
+  ++crossing_wakes_;
+  feeder_.observe(obs.t, obs.load_kw);
+  return decide(obs);
+}
+
+std::vector<GridSignal> DemandResponseController::on_timer(
+    const Observation& obs) {
+  ++timer_wakes_;
+  feeder_.observe(obs.t, obs.load_kw);
+  return decide(obs);
+}
+
+std::vector<GridSignal> DemandResponseController::decide(
+    const Observation& obs) {
+  // Backwards time was already rejected by whichever front end fed us:
+  // observe() checks explicitly, and on_crossing/on_timer route the
+  // sample through feeder_.observe() first, which enforces the same
+  // ordering against the same last-seen instant.
+  const sim::TimePoint t = obs.t;
+  const double load_kw = obs.load_kw;
+  const double dt_min = have_last_ ? (t - last_t_).minutes_f() : 0.0;
 
   std::vector<GridSignal> out;
 
@@ -127,7 +213,7 @@ std::vector<GridSignal> DemandResponseController::observe(sim::TimePoint t,
   // --- Shed state machine ---------------------------------------------
   const double cap = feeder_.config().capacity_kw;
   const bool hot = load_kw >= config_.trigger_utilization * cap ||
-                   feeder_.temperature_pu() >= config_.trigger_temp_pu;
+                   obs.temp_pu >= config_.trigger_temp_pu;
 
   if (config_.shed_enabled) {
     switch (phase_) {

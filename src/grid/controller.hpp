@@ -1,7 +1,6 @@
 // han::grid — the demand-response head end.
 //
-// Watches the streaming aggregate feeder load (one observe() per
-// control interval, in simulated time) and emits typed GridSignals:
+// Watches the aggregate feeder load and emits typed GridSignals:
 //
 //   * DR_SHED when the transformer is persistently over its trigger
 //     (raw utilization or accumulated thermal stress) — carries the
@@ -15,6 +14,20 @@
 // cooldown) so one noisy sample can neither fire nor cancel a shed.
 // Everything is a pure function of the observed series, which is what
 // keeps closed-loop fleet runs byte-identical at any thread count.
+//
+// Two front ends drive the same decision core:
+//
+//   * observe(t, load) — the polled interface: one call per control
+//     interval, thermal state integrated by the controller's own
+//     FeederModel. This is the PR 2/3 code path, byte-for-byte.
+//   * on_crossing / on_timer — the event-driven interface: the
+//     controller is woken only when a registered threshold band
+//     crosses (register_bands installs them on the feeder's
+//     StreamAggregate) or when a deadline it declared via
+//     next_deadline() comes due (shed expiry, clear hold, cooldown
+//     end, trigger hold, tariff boundary). Observations carry the
+//     monitor's thermal state, which integrates every barrier rather
+//     than only controller wakes.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +35,7 @@
 
 #include "grid/feeder.hpp"
 #include "grid/signal.hpp"
+#include "metrics/stream_aggregate.hpp"
 
 namespace han::grid {
 
@@ -90,15 +104,64 @@ struct DrStats {
   }
 };
 
+/// One observation of the feeder aggregate handed to the decision core.
+/// temp_pu is the hotspot thermal state at `t`: the controller's own
+/// FeederModel under the polled front end, the streaming monitor's
+/// tracker under the event-driven one.
+struct Observation {
+  sim::TimePoint t;
+  double load_kw = 0.0;
+  double temp_pu = 0.0;
+};
+
+/// Band ids register_bands() installs on a feeder's StreamAggregate.
+enum DrBandId : int {
+  /// Load at/above the shed trigger level.
+  kDrBandTrigger = 0,
+  /// Load strictly above the all-clear level (falling = relief starts).
+  kDrBandClear = 1,
+  /// Load strictly above the shed target (falling = target reached).
+  kDrBandTarget = 2,
+  /// Thermal state at/above the thermal trigger.
+  kDrBandThermal = 3,
+};
+
 class DemandResponseController {
  public:
   DemandResponseController(FeederConfig feeder, DrConfig config);
 
-  /// Feeds one aggregate load sample at simulated time `t` (samples must
-  /// be in non-decreasing time order). Returns the signals emitted at
-  /// this instant — usually none.
+  /// Polled front end: feeds one aggregate load sample at simulated
+  /// time `t` (samples must be in non-decreasing time order). Returns
+  /// the signals emitted at this instant — usually none.
   [[nodiscard]] std::vector<GridSignal> observe(sim::TimePoint t,
                                                 double load_kw);
+
+  /// Event-driven front end: called when a registered band crossed at
+  /// the observation barrier. Same decision core as observe(), but the
+  /// thermal state comes from the observation (the monitor's tracker).
+  [[nodiscard]] std::vector<GridSignal> on_crossing(const Observation& obs);
+  /// Event-driven front end: called when a deadline declared via
+  /// next_deadline() came due.
+  [[nodiscard]] std::vector<GridSignal> on_timer(const Observation& obs);
+
+  /// When this controller next needs an observation regardless of
+  /// crossings: trigger-hold end while arming, shed expiry and any
+  /// running clear hold while shedding, cooldown end, and the next
+  /// tariff boundary — TimePoint::max() when none is pending. A
+  /// crossing wake may change the answer; re-query after every wake.
+  [[nodiscard]] sim::TimePoint next_deadline() const;
+
+  /// Next time-of-use boundary strictly after `after` under the
+  /// configured schedule (TimePoint::max() with no windows).
+  [[nodiscard]] sim::TimePoint next_tariff_boundary(
+      sim::TimePoint after) const noexcept;
+
+  /// Installs this controller's threshold bands (DrBandId) on the
+  /// feeder's streaming aggregate: trigger/clear/target load levels
+  /// plus the thermal trigger. No-op when sheds are disabled — the
+  /// controller then only ever needs tariff-boundary timers. The
+  /// aggregate must already have thermal tracking enabled.
+  void register_bands(metrics::StreamAggregate& aggregate) const;
 
   [[nodiscard]] const FeederModel& feeder() const noexcept { return feeder_; }
   [[nodiscard]] const DrConfig& config() const noexcept { return config_; }
@@ -106,12 +169,24 @@ class DemandResponseController {
   [[nodiscard]] bool shed_active() const noexcept {
     return phase_ == Phase::kShedding;
   }
+  /// Event-driven wake counters (both zero under the polled front end).
+  [[nodiscard]] std::uint64_t crossing_wakes() const noexcept {
+    return crossing_wakes_;
+  }
+  [[nodiscard]] std::uint64_t timer_wakes() const noexcept {
+    return timer_wakes_;
+  }
   /// Tariff tier in force at time-of-day `t` under the configured
   /// schedule (kStandard outside every window).
   [[nodiscard]] TariffTier tier_at(sim::TimePoint t) const noexcept;
 
  private:
   enum class Phase : std::uint8_t { kIdle, kArming, kShedding, kCooldown };
+
+  /// The pure decision core both front ends feed: advances the tariff
+  /// tracking and the shed state machine on one observation and
+  /// returns the emitted signals.
+  [[nodiscard]] std::vector<GridSignal> decide(const Observation& obs);
 
   [[nodiscard]] GridSignal make_shed(sim::TimePoint t, double load_kw);
   void close_shed_latency(sim::TimePoint t);
@@ -141,6 +216,8 @@ class DemandResponseController {
   bool have_last_ = false;
   sim::TimePoint last_t_;
   TariffTier last_tier_ = TariffTier::kStandard;
+  std::uint64_t crossing_wakes_ = 0;
+  std::uint64_t timer_wakes_ = 0;
 };
 
 }  // namespace han::grid

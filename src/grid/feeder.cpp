@@ -1,12 +1,13 @@
 #include "grid/feeder.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace han::grid {
 
-FeederModel::FeederModel(FeederConfig config) : config_(config) {
+FeederModel::FeederModel(FeederConfig config)
+    : config_(config),
+      state_(metrics::ThermalParams{config.capacity_kw, config.thermal_tau,
+                                    config.overload_temp_pu}) {
   if (config_.capacity_kw <= 0.0) {
     throw std::invalid_argument("FeederModel: capacity_kw must be > 0");
   }
@@ -20,26 +21,13 @@ void FeederModel::observe(sim::TimePoint t, double load_kw) {
   // (the same per-sample convention as fleet::feeder_metrics). Note the
   // priming observation carries no interval, so feed a sample at the
   // window start if the full span must be accounted.
-  if (primed_ && t < last_t_) {
+  if (state_.primed() && t < last_t_) {
     throw std::invalid_argument("FeederModel: observations must not go back");
   }
-  const double u = load_kw / config_.capacity_kw;
-  if (primed_) {
-    const double dt_min = (t - last_t_).minutes_f();
-    const double alpha =
-        1.0 - std::exp(-dt_min / config_.thermal_tau.minutes_f());
-    temp_pu_ += alpha * (u * u - temp_pu_);
-    if (load_kw > config_.capacity_kw) overload_minutes_ += dt_min;
-    if (temp_pu_ > config_.overload_temp_pu) hot_minutes_ += dt_min;
-  } else {
-    // First observation primes the state at its steady-state value.
-    temp_pu_ = u * u;
-    primed_ = true;
-  }
+  const double dt_min = state_.primed() ? (t - last_t_).minutes_f() : 0.0;
+  state_.observe(dt_min, load_kw);
   last_t_ = t;
   last_load_kw_ = load_kw;
-  peak_temp_pu_ = std::max(peak_temp_pu_, temp_pu_);
-  peak_load_kw_ = std::max(peak_load_kw_, load_kw);
   ++observations_;
 }
 

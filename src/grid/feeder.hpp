@@ -8,11 +8,14 @@
 // constant and decay the same way. The controller watches both the raw
 // headroom (capacity - load) and this accumulated stress, which is what
 // makes it react to *persistent* overload instead of chattering on
-// every surge sample.
+// every surge sample. The integration itself lives in the shared
+// metrics::HotspotTracker, which the event-driven monitor also runs —
+// one implementation, so the two views can never drift apart bit-wise.
 #pragma once
 
 #include <cstddef>
 
+#include "metrics/hotspot.hpp"
 #include "sim/time.hpp"
 
 namespace han::grid {
@@ -53,33 +56,34 @@ class FeederModel {
     return last_load_kw_ / config_.capacity_kw;
   }
   /// Per-unit hotspot temperature (steady state: utilization^2).
-  [[nodiscard]] double temperature_pu() const noexcept { return temp_pu_; }
+  [[nodiscard]] double temperature_pu() const noexcept {
+    return state_.temperature_pu();
+  }
 
   /// Simulated minutes the raw load exceeded capacity.
   [[nodiscard]] double overload_minutes() const noexcept {
-    return overload_minutes_;
+    return state_.overload_minutes();
   }
   /// Simulated minutes the thermal state exceeded overload_temp_pu.
-  [[nodiscard]] double hot_minutes() const noexcept { return hot_minutes_; }
+  [[nodiscard]] double hot_minutes() const noexcept {
+    return state_.hot_minutes();
+  }
   /// Highest per-unit temperature reached so far.
   [[nodiscard]] double peak_temperature_pu() const noexcept {
-    return peak_temp_pu_;
+    return state_.peak_temperature_pu();
   }
-  [[nodiscard]] double peak_load_kw() const noexcept { return peak_load_kw_; }
+  [[nodiscard]] double peak_load_kw() const noexcept {
+    return state_.peak_load_kw();
+  }
   [[nodiscard]] std::size_t observations() const noexcept {
     return observations_;
   }
 
  private:
   FeederConfig config_;
-  bool primed_ = false;
+  metrics::HotspotTracker state_;
   sim::TimePoint last_t_;
   double last_load_kw_ = 0.0;
-  double temp_pu_ = 0.0;
-  double peak_temp_pu_ = 0.0;
-  double peak_load_kw_ = 0.0;
-  double overload_minutes_ = 0.0;
-  double hot_minutes_ = 0.0;
   std::size_t observations_ = 0;
 };
 

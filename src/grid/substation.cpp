@@ -66,6 +66,20 @@ std::vector<GridSignal> Substation::observe_feeder(std::size_t feeder,
   return out;
 }
 
+std::vector<GridSignal> Substation::on_crossing(std::size_t feeder,
+                                                const Observation& obs) {
+  std::vector<GridSignal> out = shards_.at(feeder).controller.on_crossing(obs);
+  for (GridSignal& s : out) s.feeder = static_cast<std::uint32_t>(feeder);
+  return out;
+}
+
+std::vector<GridSignal> Substation::on_timer(std::size_t feeder,
+                                             const Observation& obs) {
+  std::vector<GridSignal> out = shards_.at(feeder).controller.on_timer(obs);
+  for (GridSignal& s : out) s.feeder = static_cast<std::uint32_t>(feeder);
+  return out;
+}
+
 void Substation::observe_total(sim::TimePoint t, double load_kw) {
   transformer_.observe(t, load_kw);
 }

@@ -92,6 +92,16 @@ class Substation {
   [[nodiscard]] std::vector<GridSignal> observe_feeder(std::size_t feeder,
                                                        sim::TimePoint t,
                                                        double load_kw);
+
+  /// Event-driven routing: hands a crossing-triggered observation of
+  /// feeder `feeder`'s aggregate to that shard's controller, stamping
+  /// the emitted signals with the feeder id (publish through
+  /// bus(feeder), exactly as with observe_feeder).
+  [[nodiscard]] std::vector<GridSignal> on_crossing(std::size_t feeder,
+                                                    const Observation& obs);
+  /// Event-driven routing: same for a deadline-triggered observation.
+  [[nodiscard]] std::vector<GridSignal> on_timer(std::size_t feeder,
+                                                 const Observation& obs);
   /// Feeds the substation total (the sum of the per-feeder aggregates)
   /// to the bank model; call once per control barrier, after the
   /// feeders.

@@ -1,0 +1,112 @@
+// han::metrics — first-order hotspot thermal state of a transformer
+// bank, with overload accounting.
+//
+// What kills a distribution transformer is not one bad minute but
+// sustained hotspot temperature, so the state is driven by the square
+// of per-unit loading (copper loss ~ I^2): in steady state at
+// utilization u the temperature settles at u^2, and excursions charge
+// up / decay with the configured time constant. This is the single
+// integrator behind both grid::FeederModel (the polled controller's
+// view) and metrics::StreamAggregate (the event-driven monitor's view)
+// — shared so the two can never drift apart bit-wise; the event-driven
+// equivalence guarantees depend on that.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/time.hpp"
+
+namespace han::metrics {
+
+/// Thermal-model parameters.
+struct ThermalParams {
+  /// Nameplate rating (kW); must be > 0 to observe.
+  double capacity_kw = 0.0;
+  /// First-order hotspot time constant. Distribution transformers are
+  /// tens of minutes to hours; 30 min keeps scenario runs responsive.
+  sim::Duration tau = sim::minutes(30);
+  /// Per-unit temperature above which insulation-loss minutes accrue
+  /// (1.0 == the steady-state temperature at exactly rated load).
+  double overload_temp_pu = 1.0;
+};
+
+/// Streaming thermal/overload state. Feed it load samples in order via
+/// observe(); the caller supplies the elapsed minutes since its
+/// previous sample (ignored on the priming call, which carries no
+/// interval and settles the state at u^2).
+class HotspotTracker {
+ public:
+  HotspotTracker() = default;
+  explicit HotspotTracker(const ThermalParams& params) : params_(params) {}
+
+  /// Advances the state across `dt_min` minutes under `load_kw`
+  /// (attributing the whole interval to this sample, the convention
+  /// every consumer shares) and records the new sample.
+  void observe(double dt_min, double load_kw) {
+    const double u = load_kw / params_.capacity_kw;
+    if (primed_) {
+      const double alpha = 1.0 - std::exp(-dt_min / params_.tau.minutes_f());
+      temp_pu_ += alpha * (u * u - temp_pu_);
+      if (load_kw > params_.capacity_kw) overload_minutes_ += dt_min;
+      if (temp_pu_ > params_.overload_temp_pu) hot_minutes_ += dt_min;
+    } else {
+      // First observation primes the state at its steady-state value.
+      temp_pu_ = u * u;
+      primed_ = true;
+    }
+    peak_temp_pu_ = std::max(peak_temp_pu_, temp_pu_);
+    peak_load_kw_ = std::max(peak_load_kw_, load_kw);
+  }
+
+  /// Minutes until the state reaches `level_pu` if `load_kw` holds,
+  /// in either direction; +infinity when the trajectory never gets
+  /// there (or the state is unprimed). The trajectory
+  /// temp(dt) = ss + (temp - ss) e^(-dt/tau) reaches the level iff it
+  /// lies strictly between the current state and the settling point
+  /// ss = u^2.
+  [[nodiscard]] double minutes_to_reach(double level_pu,
+                                        double load_kw) const {
+    constexpr double kNever = std::numeric_limits<double>::infinity();
+    if (!primed_) return kNever;
+    const double u = load_kw / params_.capacity_kw;
+    const double ss = u * u;
+    const double from = ss - temp_pu_;
+    const double to = ss - level_pu;
+    if (from == 0.0 || to == 0.0) return kNever;
+    if ((from > 0.0) != (to > 0.0)) return kNever;
+    const double ratio = from / to;  // > 1 exactly when the level is crossed
+    if (ratio <= 1.0) return kNever;
+    return params_.tau.minutes_f() * std::log(ratio);
+  }
+
+  [[nodiscard]] const ThermalParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+  /// Per-unit hotspot temperature (steady state: utilization^2).
+  [[nodiscard]] double temperature_pu() const noexcept { return temp_pu_; }
+  [[nodiscard]] double peak_temperature_pu() const noexcept {
+    return peak_temp_pu_;
+  }
+  [[nodiscard]] double peak_load_kw() const noexcept { return peak_load_kw_; }
+  /// Accounted minutes with the raw load strictly above capacity.
+  [[nodiscard]] double overload_minutes() const noexcept {
+    return overload_minutes_;
+  }
+  /// Accounted minutes with the thermal state strictly above the
+  /// configured overload level.
+  [[nodiscard]] double hot_minutes() const noexcept { return hot_minutes_; }
+
+ private:
+  ThermalParams params_{};
+  bool primed_ = false;
+  double temp_pu_ = 0.0;
+  double peak_temp_pu_ = 0.0;
+  double peak_load_kw_ = 0.0;
+  double overload_minutes_ = 0.0;
+  double hot_minutes_ = 0.0;
+};
+
+}  // namespace han::metrics

@@ -1,0 +1,88 @@
+#include "metrics/stream_aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace han::metrics {
+
+StreamAggregate::StreamAggregate(std::size_t members)
+    : contributions_(members, 0.0) {}
+
+void StreamAggregate::enable_thermal(const ThermalParams& params) {
+  if (primed_) {
+    throw std::logic_error(
+        "StreamAggregate: enable_thermal before the first commit");
+  }
+  if (params.capacity_kw <= 0.0) {
+    throw std::invalid_argument(
+        "StreamAggregate: thermal capacity_kw must be > 0");
+  }
+  if (params.tau <= sim::Duration::zero()) {
+    throw std::invalid_argument("StreamAggregate: thermal tau must be > 0");
+  }
+  thermal_ = true;
+  thermal_state_ = HotspotTracker(params);
+}
+
+void StreamAggregate::add_band(const ThresholdBand& band) {
+  if (primed_) {
+    throw std::logic_error("StreamAggregate: add_band before the first commit");
+  }
+  if (band.quantity == BandQuantity::kTemperaturePu && !thermal_) {
+    throw std::logic_error(
+        "StreamAggregate: temperature band needs enable_thermal first");
+  }
+  bands_.push_back(BandState{band, false});
+}
+
+const std::vector<Crossing>& StreamAggregate::commit(sim::TimePoint t) {
+  if (primed_ && t < last_t_) {
+    throw std::invalid_argument("StreamAggregate: commits must not go back");
+  }
+  crossings_.clear();
+
+  // Fresh sum in member index order — bit-identical to the
+  // rebuild-the-aggregate-per-barrier pattern this class replaces.
+  double total = 0.0;
+  for (const double kw : contributions_) total += kw;
+
+  if (thermal_) {
+    // The shared tracker uses the same interval convention as every
+    // consumer: (last, t] is attributed to the sample observed at t,
+    // and the priming commit carries no interval.
+    const double dt_min = primed_ ? (t - last_t_).minutes_f() : 0.0;
+    thermal_state_.observe(dt_min, total);
+  }
+
+  const bool was_primed = primed_;
+  total_kw_ = total;
+  last_t_ = t;
+  primed_ = true;
+  ++commits_;
+
+  for (BandState& b : bands_) {
+    const double value = b.band.quantity == BandQuantity::kLoadKw
+                             ? total_kw_
+                             : thermal_state_.temperature_pu();
+    const bool now_high = high(b.band, value);
+    if (was_primed && now_high != b.high) {
+      crossings_.push_back(Crossing{
+          b.band.id,
+          now_high ? CrossDirection::kRising : CrossDirection::kFalling, t,
+          value});
+    }
+    b.high = now_high;
+  }
+  return crossings_;
+}
+
+sim::TimePoint StreamAggregate::predict_thermal_crossing(
+    double level_pu) const {
+  if (!thermal_ || !primed_) return sim::TimePoint::max();
+  const double dt_min = thermal_state_.minutes_to_reach(level_pu, total_kw_);
+  if (!std::isfinite(dt_min)) return sim::TimePoint::max();
+  return last_t_ + sim::seconds_f(dt_min * 60.0);
+}
+
+}  // namespace han::metrics

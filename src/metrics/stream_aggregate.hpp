@@ -1,0 +1,153 @@
+// han::metrics — streaming aggregate of many member loads with
+// registered threshold bands.
+//
+// The grid control plane used to rebuild each feeder's index-ordered
+// aggregate at every lockstep barrier and hand it to the controller
+// unconditionally, whether or not anything changed. StreamAggregate is
+// the observation side of the event-driven control plane: it holds one
+// contribution per member, commits the total at observation times, and
+// reports *threshold crossings* — the moments a consumer actually needs
+// to look. Bands watch either the committed load or an optional
+// first-order thermal state (the same hotspot model the feeder
+// transformer uses: steady state = utilization^2, configurable time
+// constant), and the thermal state's smooth trajectory lets the
+// aggregate predict when it will cross a level if the load holds —
+// which is how a sleeping controller gets woken *at* a thermal trigger
+// instead of polling for it.
+//
+// Determinism: commit() recomputes the total as a fresh sum in member
+// index order, bit-identical to the rebuild-per-barrier pattern it
+// replaces, so polled-mode outputs are preserved byte-for-byte and
+// event-mode runs are reproducible at any executor width (all updates
+// happen on the control thread between barriers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "metrics/hotspot.hpp"
+#include "sim/time.hpp"
+
+namespace han::metrics {
+
+/// Direction of a threshold crossing: into the band's high state or out
+/// of it.
+enum class CrossDirection : std::uint8_t { kRising, kFalling };
+
+/// Quantity a band watches.
+enum class BandQuantity : std::uint8_t { kLoadKw, kTemperaturePu };
+
+/// One registered threshold. `inclusive` picks the comparison that
+/// defines the high state — `value >= level` when true, `value > level`
+/// when false — so a consumer whose own predicate is "at or above"
+/// vs "strictly above" sees a crossing exactly when its predicate
+/// flips, including at floating-point equality.
+struct ThresholdBand {
+  int id = 0;
+  BandQuantity quantity = BandQuantity::kLoadKw;
+  double level = 0.0;
+  bool inclusive = true;
+};
+
+/// One emitted crossing event.
+struct Crossing {
+  int band = 0;
+  CrossDirection direction = CrossDirection::kRising;
+  sim::TimePoint at;
+  /// The watched quantity's committed value after the crossing.
+  double value = 0.0;
+
+  bool operator==(const Crossing&) const = default;
+};
+
+class StreamAggregate {
+ public:
+  /// Aggregates `members` contributions (all start at 0 kW).
+  explicit StreamAggregate(std::size_t members);
+
+  /// Enables thermal tracking (and load/thermal overload accounting).
+  /// Must be called before the first commit.
+  void enable_thermal(const ThermalParams& params);
+
+  /// Registers a band. Must be called before the first commit; bands on
+  /// kTemperaturePu require enable_thermal().
+  void add_band(const ThresholdBand& band);
+
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return contributions_.size();
+  }
+
+  /// Stages member `pos`'s instantaneous contribution; takes effect at
+  /// the next commit.
+  void update(std::size_t pos, double kw) { contributions_.at(pos) = kw; }
+
+  /// Commits the staged contributions at time `t` (non-decreasing):
+  /// recomputes the total in member index order, advances the thermal
+  /// state across (last commit, t], and returns the crossings this
+  /// commit produced (empty on the priming commit — band states
+  /// initialize from the first total). The returned reference is valid
+  /// until the next commit.
+  const std::vector<Crossing>& commit(sim::TimePoint t);
+
+  /// Committed total (0 before the first commit).
+  [[nodiscard]] double total_kw() const noexcept { return total_kw_; }
+  [[nodiscard]] std::size_t commits() const noexcept { return commits_; }
+
+  // --- Thermal state / accounting (enable_thermal only) ---------------
+  // The integrator is the shared HotspotTracker — the same math
+  // grid::FeederModel runs, so the monitor's temperature is
+  // interchangeable with a transformer model fed the same samples.
+  [[nodiscard]] bool thermal_enabled() const noexcept { return thermal_; }
+  [[nodiscard]] double temperature_pu() const noexcept {
+    return thermal_state_.temperature_pu();
+  }
+  [[nodiscard]] double peak_temperature_pu() const noexcept {
+    return thermal_state_.peak_temperature_pu();
+  }
+  [[nodiscard]] double peak_load_kw() const noexcept {
+    return thermal_state_.peak_load_kw();
+  }
+  /// Committed minutes with the total strictly above capacity.
+  [[nodiscard]] double overload_minutes() const noexcept {
+    return thermal_state_.overload_minutes();
+  }
+  /// Committed minutes with the thermal state strictly above the
+  /// configured overload level.
+  [[nodiscard]] double hot_minutes() const noexcept {
+    return thermal_state_.hot_minutes();
+  }
+
+  /// Predicted time the thermal state crosses `level_pu` if the
+  /// committed load holds, in either direction; TimePoint::max() when
+  /// the trajectory never reaches it (or thermal is unprimed). The
+  /// event-driven engine schedules a barrier there so a thermal trigger
+  /// wakes the controller on time instead of being discovered late.
+  [[nodiscard]] sim::TimePoint predict_thermal_crossing(
+      double level_pu) const;
+
+ private:
+  struct BandState {
+    ThresholdBand band;
+    bool high = false;
+  };
+
+  [[nodiscard]] bool high(const ThresholdBand& band,
+                          double value) const noexcept {
+    return band.inclusive ? value >= band.level : value > band.level;
+  }
+
+  std::vector<double> contributions_;
+  std::vector<BandState> bands_;
+  std::vector<Crossing> crossings_;
+
+  bool thermal_ = false;
+  HotspotTracker thermal_state_;
+
+  bool primed_ = false;
+  sim::TimePoint last_t_;
+  double total_kw_ = 0.0;
+  std::size_t commits_ = 0;
+};
+
+}  // namespace han::metrics

@@ -44,6 +44,11 @@ class EventQueue {
   /// handle is invalid. Safe to call from inside event callbacks.
   bool cancel(EventId id);
 
+  /// True if `id` is still scheduled (not yet fired or cancelled).
+  [[nodiscard]] bool pending(EventId id) const {
+    return slot_of_.find(id.value) != slot_of_.end();
+  }
+
   /// True if no events are pending.
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
 
@@ -89,6 +94,42 @@ class EventQueue {
   std::vector<Node> heap_;
   std::unordered_map<std::uint64_t, std::size_t> slot_of_;  // seq -> heap index
   std::uint64_t next_seq_ = 1;  // 0 is the invalid EventId
+};
+
+/// Re-armable one-shot deadline over an EventQueue — the registration
+/// plumbing an event-driven controller uses to declare "look at me
+/// again at T". Arming replaces any still-pending schedule (a
+/// controller has one next deadline, not a backlog), cancelling is
+/// idempotent, and a fired event leaves the timer disarmed. The timer
+/// does not own the queue; it must not outlive it.
+class Timer {
+ public:
+  explicit Timer(EventQueue& queue) : queue_(&queue) {}
+
+  /// Schedules `fn` at `at`, replacing any pending schedule.
+  void arm(TimePoint at, EventFn fn) {
+    cancel();
+    id_ = queue_->schedule(at, std::move(fn));
+    at_ = at;
+  }
+
+  /// Cancels the pending schedule, if any.
+  void cancel() {
+    if (id_.valid()) queue_->cancel(id_);
+    id_ = EventId{};
+  }
+
+  /// True while the scheduled event has neither fired nor been
+  /// cancelled.
+  [[nodiscard]] bool armed() const { return id_.valid() && queue_->pending(id_); }
+
+  /// Fire time of the pending schedule (meaningful only while armed()).
+  [[nodiscard]] TimePoint at() const noexcept { return at_; }
+
+ private:
+  EventQueue* queue_;
+  EventId id_{};
+  TimePoint at_{};
 };
 
 }  // namespace han::sim

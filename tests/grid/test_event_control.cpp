@@ -1,0 +1,304 @@
+// Event-driven controller front end: declared deadlines per phase,
+// deadline bookkeeping (each deadline fires exactly once, including
+// coinciding ones), and the equivalence pin — when every crossing
+// lands on an interval boundary the event-driven front end emits
+// byte-for-byte the signals the polled front end emits, for every
+// scenario preset's controller tuning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fleet/scenario.hpp"
+#include "grid/controller.hpp"
+#include "metrics/stream_aggregate.hpp"
+
+namespace han::grid {
+namespace {
+
+sim::TimePoint at_min(sim::Ticks m) {
+  return sim::TimePoint::epoch() + sim::minutes(m);
+}
+
+/// Polled reference: one observation per minute.
+std::vector<GridSignal> run_polled(const FeederConfig& f, const DrConfig& dr,
+                                   const std::vector<double>& series) {
+  DemandResponseController c(f, dr);
+  std::vector<GridSignal> out;
+  for (std::size_t m = 0; m < series.size(); ++m) {
+    const auto emitted = c.observe(at_min(static_cast<sim::Ticks>(m)),
+                                   series[m]);
+    out.insert(out.end(), emitted.begin(), emitted.end());
+  }
+  return out;
+}
+
+struct EventRun {
+  std::vector<GridSignal> signals;
+  /// Minutes at which the controller was actually woken (prime
+  /// included) — everything else it slept through.
+  std::vector<sim::Ticks> wake_minutes;
+};
+
+/// Event-driven driver, mimicking the engine's wake rules over the
+/// same minute series: the monitor commits every minute (so every
+/// crossing lands on an interval boundary — the equivalence regime),
+/// but the controller is woken only on crossings and due deadlines.
+EventRun run_event(const FeederConfig& f, const DrConfig& dr,
+                   const std::vector<double>& series) {
+  DemandResponseController c(f, dr);
+  metrics::StreamAggregate agg(1);
+  agg.enable_thermal({f.capacity_kw, f.thermal_tau, f.overload_temp_pu});
+  c.register_bands(agg);
+
+  EventRun run;
+  sim::TimePoint deadline = sim::TimePoint::max();
+  for (std::size_t m = 0; m < series.size(); ++m) {
+    const sim::TimePoint t = at_min(static_cast<sim::Ticks>(m));
+    agg.update(0, series[m]);
+    const auto& crossings = agg.commit(t);
+
+    std::vector<GridSignal> emitted;
+    const Observation obs{t, agg.total_kw(), agg.temperature_pu()};
+    if (m == 0) {
+      emitted = c.on_timer(obs);  // the priming observation
+    } else if (!crossings.empty()) {
+      emitted = c.on_crossing(obs);
+    } else if (deadline <= t) {
+      emitted = c.on_timer(obs);
+    } else {
+      continue;  // asleep
+    }
+    run.wake_minutes.push_back(static_cast<sim::Ticks>(m));
+    run.signals.insert(run.signals.end(), emitted.begin(), emitted.end());
+    deadline = c.next_deadline();
+  }
+  return run;
+}
+
+std::size_t wakes_at(const EventRun& run, sim::Ticks minute) {
+  std::size_t n = 0;
+  for (const sim::Ticks m : run.wake_minutes) n += m == minute ? 1 : 0;
+  return n;
+}
+
+FeederConfig plain_feeder(double capacity_kw = 100.0) {
+  FeederConfig f;
+  f.capacity_kw = capacity_kw;
+  return f;
+}
+
+/// Baseline tuning with the thermal trigger parked far away, so tests
+/// exercise pure utilization logic unless they opt in.
+DrConfig plain_dr() {
+  DrConfig dr;
+  dr.trigger_utilization = 1.0;
+  dr.trigger_temp_pu = 1e9;
+  dr.trigger_hold = sim::minutes(3);
+  dr.target_utilization = 0.9;
+  dr.shed_duration = sim::minutes(45);
+  dr.clear_utilization = 0.85;
+  dr.clear_hold = sim::minutes(10);
+  dr.cooldown = sim::minutes(15);
+  return dr;
+}
+
+void append(std::vector<double>& series, int minutes, double value) {
+  series.insert(series.end(), static_cast<std::size_t>(minutes), value);
+}
+
+TEST(EventControl, NextDeadlineTracksThePhase) {
+  DemandResponseController c(plain_feeder(), plain_dr());
+  // Idle, no tariff: nothing pending.
+  (void)c.observe(at_min(0), 50.0);
+  EXPECT_EQ(c.next_deadline(), sim::TimePoint::max());
+  // Arming: the trigger-hold end.
+  (void)c.observe(at_min(1), 120.0);
+  EXPECT_EQ(c.next_deadline(), at_min(1) + sim::minutes(3));
+  // Shedding (no relief yet): the shed expiry.
+  (void)c.observe(at_min(2), 120.0);
+  (void)c.observe(at_min(3), 120.0);
+  const auto shed = c.observe(at_min(4), 120.0);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_TRUE(c.shed_active());
+  EXPECT_EQ(c.next_deadline(), at_min(4) + sim::minutes(45));
+  // Relief starts: the clear hold end, earlier than the expiry.
+  (void)c.observe(at_min(5), 80.0);
+  EXPECT_EQ(c.next_deadline(), at_min(5) + sim::minutes(10));
+  // Relief interrupted: back to the expiry.
+  (void)c.observe(at_min(6), 95.0);
+  EXPECT_EQ(c.next_deadline(), at_min(4) + sim::minutes(45));
+}
+
+TEST(EventControl, NextDeadlineCooldownAndTariff) {
+  DrConfig dr = plain_dr();
+  dr.tariff_windows = {{sim::hours(17), sim::hours(21), TariffTier::kPeak}};
+  DemandResponseController c(plain_feeder(), dr);
+  (void)c.observe(at_min(0), 50.0);
+  // Idle with a schedule: the next window edge.
+  EXPECT_EQ(c.next_deadline(), sim::TimePoint::epoch() + sim::hours(17));
+  // Before any observation the boundary search anchors at the epoch.
+  DemandResponseController fresh(plain_feeder(), dr);
+  EXPECT_EQ(fresh.next_deadline(), sim::TimePoint::epoch() + sim::hours(17));
+}
+
+TEST(EventControl, NextTariffBoundaryWrapsMidnight) {
+  DrConfig dr = plain_dr();
+  dr.tariff_windows = {{sim::hours(22), sim::hours(2), TariffTier::kOffPeak}};
+  DemandResponseController c(plain_feeder(), dr);
+  EXPECT_EQ(c.next_tariff_boundary(sim::TimePoint::epoch() + sim::hours(23)),
+            sim::TimePoint::epoch() + sim::hours(26));  // 02:00 next day
+  EXPECT_EQ(c.next_tariff_boundary(sim::TimePoint::epoch() + sim::hours(2)),
+            sim::TimePoint::epoch() + sim::hours(22));  // strictly after
+  EXPECT_EQ(c.next_tariff_boundary(sim::TimePoint::epoch() + sim::hours(5)),
+            sim::TimePoint::epoch() + sim::hours(22));
+  DemandResponseController flat(plain_feeder(), plain_dr());
+  EXPECT_EQ(flat.next_tariff_boundary(sim::TimePoint::epoch()),
+            sim::TimePoint::max());
+}
+
+TEST(EventControl, HoldClearAndCooldownDeadlinesFireExactlyOnce) {
+  // 120 kW until the shed fires at m3, then 60 kW (below clear):
+  // all-clear at m14 (clear hold 10 from the m4 crossing), cooldown
+  // end at m29 — and not a single wake beyond those.
+  std::vector<double> series;
+  append(series, 4, 120.0);
+  append(series, 56, 60.0);
+  const EventRun run = run_event(plain_feeder(), plain_dr(), series);
+
+  ASSERT_EQ(run.signals.size(), 2u);
+  EXPECT_EQ(run.signals[0].kind, SignalKind::kDrShed);
+  EXPECT_EQ(run.signals[0].at, at_min(3));
+  EXPECT_EQ(run.signals[1].kind, SignalKind::kAllClear);
+  EXPECT_EQ(run.signals[1].at, at_min(14));
+  EXPECT_EQ(run.wake_minutes, (std::vector<sim::Ticks>{0, 3, 4, 14, 29}));
+  EXPECT_EQ(wakes_at(run, 3), 1u);   // trigger-hold deadline
+  EXPECT_EQ(wakes_at(run, 14), 1u);  // clear-hold deadline
+  EXPECT_EQ(wakes_at(run, 29), 1u);  // cooldown end (no signal)
+}
+
+TEST(EventControl, ShedExpiryRollsExactlyOncePerExpiry) {
+  DrConfig dr = plain_dr();
+  dr.shed_duration = sim::minutes(20);
+  std::vector<double> series;
+  append(series, 60, 120.0);  // hot forever: every expiry rolls
+  const EventRun run = run_event(plain_feeder(), dr, series);
+
+  // Sheds at m3 (hold), then rolls at m23 and m43 — one wake each.
+  ASSERT_EQ(run.signals.size(), 3u);
+  for (const GridSignal& s : run.signals) {
+    EXPECT_EQ(s.kind, SignalKind::kDrShed);
+  }
+  EXPECT_EQ(run.signals[0].at, at_min(3));
+  EXPECT_EQ(run.signals[1].at, at_min(23));
+  EXPECT_EQ(run.signals[2].at, at_min(43));
+  EXPECT_EQ(run.wake_minutes, (std::vector<sim::Ticks>{0, 3, 23, 43}));
+}
+
+TEST(EventControl, CoincidingClearAndExpiryDeadlinesResolveOnce) {
+  // Thermal keeps the feeder "hot" (slow decay from a stressed prime)
+  // while the load sits below clear, and the clear hold is sized so
+  // its deadline lands exactly on the shed expiry: the shed fires at
+  // m3 (trigger hold 3 from the hot prime), relief starts at the m6
+  // crossing, and both the clear hold (6 + 27) and the expiry (3 + 30)
+  // land on m33. The single wake there must resolve to one all-clear —
+  // relief wins over a rollover, exactly as the polled state machine
+  // orders its checks.
+  DrConfig dr = plain_dr();
+  dr.trigger_temp_pu = 1.05;
+  dr.shed_duration = sim::minutes(30);
+  dr.clear_hold = sim::minutes(27);
+  FeederConfig f = plain_feeder();
+  f.thermal_tau = sim::minutes(300);
+  std::vector<double> series;
+  append(series, 6, 130.0);  // primes hot; shed fires at m3
+  append(series, 35, 60.0);  // relief from m6; temp stays above 1.05
+  const EventRun run = run_event(f, dr, series);
+
+  ASSERT_EQ(run.signals.size(), 2u);
+  EXPECT_EQ(run.signals[0].kind, SignalKind::kDrShed);
+  EXPECT_EQ(run.signals[0].at, at_min(3));
+  EXPECT_EQ(run.signals[1].kind, SignalKind::kAllClear);
+  EXPECT_EQ(run.signals[1].at, at_min(33));
+  EXPECT_EQ(wakes_at(run, 33), 1u);
+  // And the polled reference agrees signal-for-signal.
+  EXPECT_EQ(run.signals, run_polled(f, dr, series));
+}
+
+TEST(EventControl, TariffBoundariesWakeWithoutBands) {
+  DrConfig dr = plain_dr();
+  dr.shed_enabled = false;  // no bands registered at all
+  dr.tariff_windows = {{sim::hours(1), sim::hours(2), TariffTier::kPeak}};
+  std::vector<double> series;
+  append(series, 181, 50.0);
+  const EventRun run = run_event(plain_feeder(), dr, series);
+
+  ASSERT_EQ(run.signals.size(), 2u);
+  EXPECT_EQ(run.signals[0].kind, SignalKind::kTariffChange);
+  EXPECT_EQ(run.signals[0].at, at_min(60));
+  EXPECT_EQ(run.signals[0].tier, TariffTier::kPeak);
+  EXPECT_EQ(run.signals[1].at, at_min(120));
+  EXPECT_EQ(run.signals[1].tier, TariffTier::kStandard);
+  EXPECT_EQ(run.wake_minutes, (std::vector<sim::Ticks>{0, 60, 120}));
+}
+
+/// Builds a boundary-aligned stress series exercising every transition
+/// of `dr` against capacity `cap`: arm+shed, early all-clear, a
+/// rolling expiry, a cancelled relief, and a cooldown re-trigger.
+std::vector<double> stress_series(const DrConfig& dr, double cap) {
+  const double quiet = 0.5 * dr.clear_utilization * cap;
+  const double hot = 1.08 * dr.trigger_utilization * cap;
+  const double relief =
+      0.9 * std::min(dr.clear_utilization, dr.target_utilization) * cap;
+  const double mid =
+      0.5 * (dr.clear_utilization + dr.trigger_utilization) * cap;
+  const int hold = static_cast<int>(dr.trigger_hold.min());
+  const int duration = static_cast<int>(dr.shed_duration.min());
+  const int clear = static_cast<int>(dr.clear_hold.min());
+  const int cooldown = static_cast<int>(dr.cooldown.min());
+
+  std::vector<double> s;
+  append(s, 30, quiet);
+  append(s, hold + 3, hot);              // arm, fire
+  append(s, clear + 3, relief);          // early all-clear
+  append(s, cooldown + 5, quiet);        // cooldown runs out cold
+  append(s, hold + duration + 3, hot);   // fire again, roll at expiry
+  append(s, clear / 2 + 1, relief);      // relief starts...
+  append(s, 3, mid);                     // ...and is cancelled
+  append(s, clear + 3, relief);          // fresh relief: all-clear
+  append(s, cooldown + 10, quiet);
+  return s;
+}
+
+TEST(EventControl, MatchesPolledOnEveryPresetTuning) {
+  // The equivalence guarantee, pinned per preset: with every crossing
+  // landing on an interval boundary, the event-driven front end emits
+  // exactly the polled signal stream — ids, times, targets, stretches,
+  // tiers — under each scenario's controller tuning.
+  for (const fleet::ScenarioInfo& info : fleet::scenarios()) {
+    const fleet::FleetConfig cfg = fleet::make_scenario(info.kind, 100, 1);
+    const double cap = cfg.transformer_capacity_kw > 0.0
+                           ? cfg.transformer_capacity_kw
+                           : 2.0 * 100.0;
+    FeederConfig f = cfg.grid.feeder;
+    f.capacity_kw = cap;
+    const DrConfig& dr = cfg.grid.dr;
+    const std::vector<double> series = stress_series(dr, cap);
+
+    const std::vector<GridSignal> polled = run_polled(f, dr, series);
+    const EventRun event = run_event(f, dr, series);
+    EXPECT_EQ(event.signals, polled) << info.name;
+
+    // Not vacuous: the series must exercise the shed machinery, and
+    // the event run must have slept through most of it.
+    std::size_t sheds = 0;
+    for (const GridSignal& s : polled) {
+      sheds += s.kind == SignalKind::kDrShed ? 1 : 0;
+    }
+    EXPECT_GE(sheds, 2u) << info.name;
+    EXPECT_LT(event.wake_minutes.size(), series.size() / 4) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace han::grid

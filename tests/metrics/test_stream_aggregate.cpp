@@ -1,0 +1,191 @@
+// StreamAggregate: index-ordered commit totals, band-crossing semantics
+// (including at floating-point equality), thermal tracking equivalence
+// with grid::FeederModel, and thermal-crossing prediction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/feeder.hpp"
+#include "metrics/stream_aggregate.hpp"
+
+namespace han::metrics {
+namespace {
+
+sim::TimePoint at_min(sim::Ticks m) {
+  return sim::TimePoint::epoch() + sim::minutes(m);
+}
+
+TEST(StreamAggregate, CommitSumsInMemberIndexOrder) {
+  StreamAggregate agg(3);
+  agg.update(0, 0.1);
+  agg.update(1, 0.2);
+  agg.update(2, 0.3);
+  agg.commit(at_min(0));
+  // Bit-identical to the rebuild pattern: left-to-right accumulation.
+  EXPECT_EQ(agg.total_kw(), 0.1 + 0.2 + 0.3);
+  agg.update(1, 5.0);
+  agg.commit(at_min(1));
+  EXPECT_EQ(agg.total_kw(), 0.1 + 5.0 + 0.3);
+  EXPECT_EQ(agg.commits(), 2u);
+}
+
+TEST(StreamAggregate, PrimingCommitEmitsNoCrossings) {
+  StreamAggregate agg(1);
+  agg.add_band({/*id=*/7, BandQuantity::kLoadKw, /*level=*/10.0,
+                /*inclusive=*/true});
+  agg.update(0, 50.0);  // starts high
+  EXPECT_TRUE(agg.commit(at_min(0)).empty());
+  // The primed state was captured: falling below now crosses.
+  agg.update(0, 5.0);
+  const auto& down = agg.commit(at_min(1));
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].band, 7);
+  EXPECT_EQ(down[0].direction, CrossDirection::kFalling);
+  EXPECT_EQ(down[0].at, at_min(1));
+  EXPECT_DOUBLE_EQ(down[0].value, 5.0);
+}
+
+TEST(StreamAggregate, InclusiveBandCrossesAtExactEquality) {
+  // inclusive=true: high means value >= level, so landing exactly on
+  // the level from below is a rising crossing...
+  StreamAggregate ge(1);
+  ge.add_band({0, BandQuantity::kLoadKw, 10.0, /*inclusive=*/true});
+  ge.update(0, 9.0);
+  ge.commit(at_min(0));
+  ge.update(0, 10.0);
+  EXPECT_EQ(ge.commit(at_min(1)).size(), 1u);
+
+  // ...while inclusive=false (high means value > level) stays low at
+  // equality — the "at or below" consumers (clear/target) need this.
+  StreamAggregate gt(1);
+  gt.add_band({0, BandQuantity::kLoadKw, 10.0, /*inclusive=*/false});
+  gt.update(0, 9.0);
+  gt.commit(at_min(0));
+  gt.update(0, 10.0);
+  EXPECT_TRUE(gt.commit(at_min(1)).empty());
+  gt.update(0, 10.5);
+  EXPECT_EQ(gt.commit(at_min(2)).size(), 1u);
+}
+
+TEST(StreamAggregate, UnchangedTotalEmitsNothing) {
+  StreamAggregate agg(2);
+  agg.add_band({0, BandQuantity::kLoadKw, 10.0, true});
+  agg.update(0, 3.0);
+  agg.update(1, 4.0);
+  agg.commit(at_min(0));
+  for (int m = 1; m < 10; ++m) {
+    EXPECT_TRUE(agg.commit(at_min(m)).empty()) << m;
+  }
+}
+
+TEST(StreamAggregate, ThermalMatchesFeederModelBitForBit) {
+  // Same samples into both integrators: the temperatures and the
+  // overload/hot accounting must agree exactly, which is what lets the
+  // event-driven engine source feeder thermal metrics from the monitor.
+  grid::FeederConfig cfg;
+  cfg.capacity_kw = 100.0;
+  cfg.thermal_tau = sim::minutes(30);
+  cfg.overload_temp_pu = 1.0;
+  grid::FeederModel model(cfg);
+
+  StreamAggregate agg(1);
+  agg.enable_thermal({cfg.capacity_kw, cfg.thermal_tau, cfg.overload_temp_pu});
+
+  const double loads[] = {40.0, 80.0, 120.0, 120.0, 95.0, 130.0, 20.0};
+  sim::Ticks m = 0;
+  for (const double kw : loads) {
+    model.observe(at_min(m), kw);
+    agg.update(0, kw);
+    agg.commit(at_min(m));
+    EXPECT_EQ(agg.temperature_pu(), model.temperature_pu()) << m;
+    EXPECT_EQ(agg.overload_minutes(), model.overload_minutes()) << m;
+    EXPECT_EQ(agg.hot_minutes(), model.hot_minutes()) << m;
+    EXPECT_EQ(agg.peak_temperature_pu(), model.peak_temperature_pu()) << m;
+    EXPECT_EQ(agg.peak_load_kw(), model.peak_load_kw()) << m;
+    m += 3;
+  }
+}
+
+TEST(StreamAggregate, TemperatureBandRidesTheThermalState) {
+  StreamAggregate agg(1);
+  agg.enable_thermal({100.0, sim::minutes(10), 1.0});
+  agg.add_band({1, BandQuantity::kTemperaturePu, 1.05, true});
+  agg.update(0, 120.0);  // settles at 1.44
+  agg.commit(at_min(0));  // primes at 1.44: band starts high
+  agg.update(0, 50.0);   // settles at 0.25: decays through 1.05
+  bool fell = false;
+  for (int m = 1; m <= 30 && !fell; ++m) {
+    for (const Crossing& c : agg.commit(at_min(m))) {
+      if (c.band == 1 && c.direction == CrossDirection::kFalling) fell = true;
+    }
+  }
+  EXPECT_TRUE(fell);
+  EXPECT_LT(agg.temperature_pu(), 1.05);
+}
+
+TEST(StreamAggregate, PredictsRisingThermalCrossing) {
+  StreamAggregate cool(1);
+  cool.enable_thermal({100.0, sim::minutes(30), 1.0});
+  cool.update(0, 50.0);
+  cool.commit(at_min(0));  // primes at 0.25
+  cool.update(0, 110.0);   // heads for 1.21
+  cool.commit(at_min(1));
+  const sim::TimePoint hit = cool.predict_thermal_crossing(1.05);
+  ASSERT_LT(hit, sim::TimePoint::max());
+  EXPECT_GT(hit, at_min(1));
+  // Walk the model to the predicted instant: it must be at the level
+  // (within integration rounding), and strictly below one minute prior.
+  StreamAggregate walk(1);
+  walk.enable_thermal({100.0, sim::minutes(30), 1.0});
+  walk.update(0, 50.0);
+  walk.commit(at_min(0));
+  walk.update(0, 110.0);
+  walk.commit(hit - sim::minutes(1));
+  EXPECT_LT(walk.temperature_pu(), 1.05);
+  walk.commit(hit);
+  EXPECT_NEAR(walk.temperature_pu(), 1.05, 1e-6);
+}
+
+TEST(StreamAggregate, PredictsFallingCrossingAndRefusesUnreachable) {
+  StreamAggregate agg(1);
+  agg.enable_thermal({100.0, sim::minutes(30), 1.0});
+  agg.update(0, 120.0);
+  agg.commit(at_min(0));  // primes hot at 1.44
+  agg.update(0, 50.0);    // decays toward 0.25
+  agg.commit(at_min(1));
+  EXPECT_LT(agg.predict_thermal_crossing(1.05), sim::TimePoint::max());
+  // A level outside (state, settling) is never reached.
+  EXPECT_EQ(agg.predict_thermal_crossing(2.0), sim::TimePoint::max());
+  EXPECT_EQ(agg.predict_thermal_crossing(0.1), sim::TimePoint::max());
+}
+
+TEST(StreamAggregate, RejectsMisuse) {
+  StreamAggregate agg(1);
+  EXPECT_THROW(agg.add_band({0, BandQuantity::kTemperaturePu, 1.0, true}),
+               std::logic_error);
+  EXPECT_THROW(agg.enable_thermal({0.0, sim::minutes(1), 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(agg.enable_thermal({1.0, sim::Duration::zero(), 1.0}),
+               std::invalid_argument);
+  agg.commit(at_min(5));
+  EXPECT_THROW(agg.commit(at_min(4)), std::invalid_argument);
+  EXPECT_THROW(agg.add_band({0, BandQuantity::kLoadKw, 1.0, true}),
+               std::logic_error);
+  StreamAggregate late(1);
+  late.commit(at_min(0));
+  EXPECT_THROW(late.enable_thermal({1.0, sim::minutes(1), 1.0}),
+               std::logic_error);
+}
+
+TEST(StreamAggregate, EmptyMembershipIsInert) {
+  StreamAggregate agg(0);
+  agg.enable_thermal({10.0, sim::minutes(5), 1.0});
+  agg.add_band({0, BandQuantity::kLoadKw, 1.0, true});
+  agg.commit(at_min(0));
+  EXPECT_TRUE(agg.commit(at_min(10)).empty());
+  EXPECT_DOUBLE_EQ(agg.total_kw(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.overload_minutes(), 0.0);
+}
+
+}  // namespace
+}  // namespace han::metrics

@@ -126,5 +126,64 @@ TEST_P(EventQueueFuzz, RandomOpsKeepHeapOrdered) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
                          ::testing::Values(1, 2, 3, 7, 11, 13, 42, 99));
 
+TEST(Timer, ArmReplacesPendingSchedule) {
+  EventQueue q;
+  Timer timer(q);
+  int fired = 0;
+  timer.arm(at(100), [&] { fired += 1; });
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.at(), at(100));
+  // Re-arming earlier discards the first schedule entirely.
+  timer.arm(at(50), [&] { fired += 10; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(timer.at(), at(50));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, CancelIsIdempotentAndFiringDisarms) {
+  EventQueue q;
+  Timer timer(q);
+  timer.cancel();  // never armed: no-op
+  EXPECT_FALSE(timer.armed());
+  timer.arm(at(10), [] {});
+  timer.cancel();
+  timer.cancel();
+  EXPECT_FALSE(timer.armed());
+  EXPECT_TRUE(q.empty());
+
+  timer.arm(at(20), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(timer.armed());  // fired, not pending
+  // Re-arming after a fire works.
+  timer.arm(at(30), [] {});
+  EXPECT_TRUE(timer.armed());
+}
+
+TEST(Timer, CoincidingTimersFireInArmOrder) {
+  EventQueue q;
+  Timer a(q);
+  Timer b(q);
+  std::vector<int> order;
+  a.arm(at(40), [&] { order.push_back(1); });
+  b.arm(at(40), [&] { order.push_back(2); });
+  EXPECT_EQ(q.next_time(), at(40));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PendingTracksLifecycle) {
+  EventQueue q;
+  const EventId id = q.schedule(at(5), [] {});
+  EXPECT_TRUE(q.pending(id));
+  q.pop();
+  EXPECT_FALSE(q.pending(id));
+  const EventId id2 = q.schedule(at(6), [] {});
+  q.cancel(id2);
+  EXPECT_FALSE(q.pending(id2));
+  EXPECT_FALSE(q.pending(EventId{}));
+}
+
 }  // namespace
 }  // namespace han::sim
