@@ -92,48 +92,67 @@ void print_shard_sweep() {
       "\n================================================================\n"
       "substation layer — multi_feeder shard sweep (K feeders)\n"
       "same premises/seed, resharded; capacity shares follow the planned\n"
-      "skew weights; see EXPERIMENTS.md\n"
+      "skew weights; each K runs twice: tie switches open (multi_feeder)\n"
+      "and closed (tie_switch transfers); see EXPERIMENTS.md\n"
       "================================================================\n");
   std::printf("premises: %zu, horizon: 24 h, seed 1, skew 0.35\n\n",
               premises);
 
-  metrics::TextTable table({"K", "subst peak kW", "sum feeder peaks",
-                            "inter-feeder div", "subst overload min",
-                            "feeder overload min", "sheds", "barriers",
-                            "ctrl wakes", "wall s"});
+  // Peak/diversity columns report the UNTIED run (comparable with the
+  // PR 3/PR 4 sweeps); the (tie) columns are the tied counterpart.
+  metrics::TextTable table({"K", "peak kW (no tie)", "div (no tie)",
+                            "feeder ovl min", "feeder ovl (tie)",
+                            "xfer ops", "xfer kWh", "sheds", "sheds (tie)",
+                            "wall s", "wall s (tie)"});
   fleet::Executor executor(threads);
-  // Parse the preset once; each row only reshards it (the per-row
+  // Parse the presets once; each row only reshards them (the per-row
   // re-parse used to hide in this loop).
   const fleet::FleetConfig base =
       fleet::make_scenario(fleet::ScenarioKind::kMultiFeeder, premises, 1);
+  const fleet::FleetConfig tied =
+      fleet::make_scenario(fleet::ScenarioKind::kTieSwitch, premises, 1);
   for (const std::size_t k : {1u, 2u, 4u, 8u}) {
     fleet::FleetConfig cfg = base;
     cfg.feeder_count = k;
+    fleet::FleetConfig tie_cfg = tied;
+    tie_cfg.feeder_count = k;
     const auto t0 = std::chrono::steady_clock::now();
     const fleet::GridFleetResult r =
         fleet::FleetEngine(cfg).run_grid(executor);
     const double secs = wall_seconds(t0);
-    double feeder_overload = 0.0;
-    std::uint64_t sheds = 0;
-    for (const fleet::FeederOutcome& fo : r.feeders) {
-      feeder_overload += fo.overload_minutes;
-      sheds += fo.dr.shed_signals;
-    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const fleet::GridFleetResult rt =
+        fleet::FleetEngine(tie_cfg).run_grid(executor);
+    const double tie_secs = wall_seconds(t1);
+    const auto shard_totals = [](const fleet::GridFleetResult& res) {
+      std::pair<double, std::uint64_t> out{0.0, 0};
+      for (const fleet::FeederOutcome& fo : res.feeders) {
+        out.first += fo.overload_minutes;
+        out.second += fo.dr.shed_signals;
+      }
+      return out;
+    };
+    const auto [feeder_overload, sheds] = shard_totals(r);
+    const auto [tie_overload, tie_sheds] = shard_totals(rt);
     table.add_row({std::to_string(k),
                    metrics::fmt(r.fleet.substation.coincident_peak_kw, 1),
-                   metrics::fmt(r.fleet.substation.sum_feeder_peaks_kw, 1),
                    metrics::fmt(r.fleet.substation.inter_feeder_diversity, 4),
-                   metrics::fmt(r.overload_minutes, 1),
-                   metrics::fmt(feeder_overload, 1), std::to_string(sheds),
-                   std::to_string(r.control_barriers),
-                   std::to_string(r.controller_wakes),
-                   metrics::fmt(secs, 3)});
+                   metrics::fmt(feeder_overload, 1),
+                   metrics::fmt(tie_overload, 1),
+                   std::to_string(
+                       rt.fleet.substation.tie_switch_operations),
+                   metrics::fmt(rt.fleet.substation.transferred_energy_kwh, 1),
+                   std::to_string(sheds), std::to_string(tie_sheds),
+                   metrics::fmt(secs, 3), metrics::fmt(tie_secs, 3)});
   }
   table.print(std::cout);
   std::printf(
       "\ninter-feeder diversity = sum of per-feeder peaks / substation "
       "peak:\nfeeders do not crest together, so the bank rides below the "
-      "sum of its\nshards' worst minutes (1.0 by construction at K=1).\n");
+      "sum of its\nshards' worst minutes (1.0 by construction at K=1). "
+      "The (tie) columns\nare the same run with the substation tie "
+      "switches closed: overloaded\nshards lend premises to neighbors "
+      "with headroom.\n");
 }
 
 void print_event_sweep() {

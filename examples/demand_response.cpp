@@ -1,15 +1,20 @@
 // demand_response — closed-loop grid control over a neighborhood fleet.
 //
 //   $ ./demand_response [scenario] [premises] [threads] [seed] [log_csv]
-//                       [feeders] [mode]
+//                       [feeders] [mode] [--transfers[=on|off]]
 //   $ ./demand_response dr_heat_wave 100 0 1 signals.csv
 //   $ ./demand_response multi_feeder 100 0 1 signals.csv 4
 //   $ ./demand_response dr_heat_wave 100 0 1 signals.csv 0 event
+//   $ ./demand_response multi_feeder 100 0 1 signals.csv 8 polled --transfers
+//   $ ./demand_response tie_switch 100 0 1 signals.csv 0 polled --transfers=off
 //   $ ./demand_response --list
 //
 // `mode` selects the control plane: `polled` (default; fixed
 // control-interval barriers, byte-identical output across versions) or
 // `event` (threshold-triggered observation; far fewer barriers).
+// `--transfers` (anywhere on the line) forces the substation tie
+// switches on; `--transfers=off` mutes them even for presets that
+// enable them (tie_switch with transfers off is multi_feeder exactly).
 //
 // Runs the named scenario twice with the same seed — open loop (DR
 // controller muted) and closed loop — and prints what closing the loop
@@ -19,9 +24,11 @@
 // same scenario/premises/seed yields byte-identical output (including
 // the log) for any thread count.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/han.hpp"
 #include "example_util.hpp"
@@ -35,6 +42,23 @@ int main(int argc, char** argv) {
     print_scenarios(stdout);
     return 0;
   }
+
+  // Peel the --transfers flag off wherever it sits, leaving the
+  // positional arguments where arg_count expects them.
+  int transfers_override = -1;  // -1 preset, 0 off, 1 on
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transfers") == 0 ||
+        std::strcmp(argv[i], "--transfers=on") == 0) {
+      transfers_override = 1;
+    } else if (std::strcmp(argv[i], "--transfers=off") == 0) {
+      transfers_override = 0;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size());
+  argv = positional.data();
 
   const std::string scenario_name = argc > 1 ? argv[1] : "dr_heat_wave";
   const std::size_t premises = arg_count(argc, argv, 2, 100);
@@ -77,6 +101,9 @@ int main(int argc, char** argv) {
   closed.grid.enabled = true;  // close the loop even for non-DR presets
   closed.grid.control_mode = control_mode;
   if (feeder_override > 0) closed.feeder_count = feeder_override;
+  if (transfers_override >= 0) {
+    closed.grid.tie.enabled = transfers_override == 1;
+  }
   fleet::FleetConfig open = closed;
   open.grid.enabled = false;
 
@@ -159,6 +186,30 @@ int main(int argc, char** argv) {
                 "peaks (inter-feeder diversity %.4f)\n",
                 sub.coincident_peak_kw, sub.sum_feeder_peaks_kw,
                 sub.inter_feeder_diversity);
+
+    if (closed.grid.tie.enabled) {
+      std::printf("\ntie-switch transfers (closed loop): %llu operations "
+                  "(%llu transfers, %llu give-backs), %llu premise moves, "
+                  "%.2f kWh served off home feeder\n",
+                  static_cast<unsigned long long>(sub.tie_switch_operations),
+                  static_cast<unsigned long long>(sub.tie_transfers),
+                  static_cast<unsigned long long>(sub.tie_give_backs),
+                  static_cast<unsigned long long>(sub.premises_transferred),
+                  sub.transferred_energy_kwh);
+      metrics::TextTable ties({"feeder", "xfers out", "xfers in",
+                               "lent", "borrowed", "lent kWh",
+                               "borrowed kWh"});
+      for (const fleet::FeederOutcome& fo : on.feeders) {
+        ties.add_row({std::to_string(fo.feeder),
+                      std::to_string(fo.transfers_out),
+                      std::to_string(fo.transfers_in),
+                      std::to_string(fo.premises_lent),
+                      std::to_string(fo.premises_borrowed),
+                      metrics::fmt(fo.energy_lent_kwh, 2),
+                      metrics::fmt(fo.energy_borrowed_kwh, 2)});
+      }
+      ties.print(std::cout);
+    }
   }
 
   log << on.signal_log_csv;

@@ -129,6 +129,18 @@ class HanNetwork {
   /// stamped onto every scheduling view — only a dr_aware coordinated
   /// scheduler acts on it.
   void apply_grid_signal(const grid::GridSignal& signal);
+  /// Re-homes the premise onto another feeder (tie-switch transfer):
+  /// the misroute guard now accepts the new head end's signals and
+  /// drops the old one's. An active shed keeps running to its
+  /// stamped expiry — the stretch is a premise-side commitment.
+  void set_feeder(std::uint32_t feeder) noexcept { config_.feeder = feeder; }
+  /// Adopts the serving feeder's tariff tier on migration: tariff
+  /// changes are only broadcast at window boundaries, so without this
+  /// a transferred premise would keep its old head end's tier (and
+  /// disagree with every neighbor) until the next boundary.
+  void set_tariff_tier(grid::TariffTier tier) noexcept {
+    tariff_tier_ = tier;
+  }
   /// Demand-response pressure in force right now.
   [[nodiscard]] sched::GridPressure grid_pressure() const;
   /// Last tariff tier signalled to this premise.

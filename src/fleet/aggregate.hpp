@@ -66,6 +66,17 @@ struct SubstationMetrics {
   double inter_feeder_diversity = 1.0;
   /// Simulated minutes the summed load exceeds the substation rating.
   double overload_minutes = 0.0;
+
+  // --- Tie-switch traffic (run_grid fills these from the substation's
+  // transfer state machine; all zero with transfers disabled) ----------
+  /// Actuations of any tie switch (transfers + give-backs).
+  std::uint64_t tie_switch_operations = 0;
+  std::uint64_t tie_transfers = 0;
+  std::uint64_t tie_give_backs = 0;
+  /// Premises moved across a tie, both directions summed.
+  std::uint64_t premises_transferred = 0;
+  /// Energy served to premises while away from their home feeder (kWh).
+  double transferred_energy_kwh = 0.0;
 };
 
 /// Rolls per-feeder shards up into the substation view. `total` is the

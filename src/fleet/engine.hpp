@@ -133,6 +133,11 @@ struct GridOptions {
   /// longer holds than big surgical ones. Ignored, like `dr`, when the
   /// grid layer is disabled.
   std::vector<std::optional<grid::DrConfig>> feeder_dr;
+  /// Substation tie switches (inter-feeder load transfer). Takes
+  /// effect only with the grid layer enabled and feeder_count > 1;
+  /// disabled ties leave every output byte-identical to the
+  /// transfer-free engine.
+  grid::TieConfig tie;
 };
 
 /// One neighborhood run.
@@ -212,6 +217,8 @@ struct FleetResult {
 /// Closed-loop outcome of one feeder shard under run_grid.
 struct FeederOutcome {
   std::size_t feeder = 0;
+  /// Premises on this feeder at the end of the run — with transfers
+  /// active at the horizon this differs from the planned shard size.
   std::size_t premises = 0;
   /// This shard's capacity share of the fleet transformer rating.
   double capacity_kw = 0.0;
@@ -236,6 +243,20 @@ struct FeederOutcome {
   /// This feeder's log as CSV (single-feeder format) — byte-identical
   /// at any executor width.
   std::string signal_log_csv;
+
+  // --- Tie-switch traffic (all zero with transfers disabled) ----------
+  /// Transfer operations that lent this feeder's premises out / that
+  /// borrowed foreign premises onto it (give-backs are the return leg
+  /// and are not counted again).
+  std::uint64_t transfers_out = 0;
+  std::uint64_t transfers_in = 0;
+  /// Premises lent out / borrowed in across those operations.
+  std::uint64_t premises_lent = 0;
+  std::uint64_t premises_borrowed = 0;
+  /// Energy of this feeder's home premises served by neighbors, and of
+  /// foreign premises this bank served, over borrowed time (kWh).
+  double energy_lent_kwh = 0.0;
+  double energy_borrowed_kwh = 0.0;
 };
 
 /// Output of one closed-loop (grid-layer) fleet run.
@@ -270,6 +291,11 @@ struct GridFleetResult {
   std::vector<grid::GridSignal> signals;
   /// Flat (signal x premise) delivery/compliance log, feeder order.
   std::vector<grid::Delivery> deliveries;
+  /// Every actuated tie-switch operation in actuation order (empty
+  /// with transfers disabled). Replaying it from the planned shard
+  /// assignment reconstructs the serving-feeder timeline of every
+  /// premise — the invariant harness leans on that.
+  std::vector<grid::TieEvent> transfers;
   /// The substation log rendered as CSV — the byte-comparable
   /// determinism artifact (identical for any executor width; verbatim
   /// the single bus log when feeder_count == 1).

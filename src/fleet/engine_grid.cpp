@@ -37,6 +37,16 @@
 // width in both modes. With feeder_count == 1 the sharded path
 // degenerates to exactly the single-feeder loop: one shard holding
 // every premise, capacity share 1.0, substation == feeder.
+//
+// Tie switches (GridOptions::tie) hook into both schedulers at the
+// barriers: actuations due at a barrier re-home the moved premises
+// across the whole plane (shard member lists and buses inside the
+// Substation; monitor membership, the premise-side feeder stamp and
+// in-flight signal queues here) BEFORE the commit, so the controllers
+// observe the post-transfer aggregates; new transfers are planned from
+// the committed aggregates AFTER the controllers ran. Every tie step
+// is a no-op with transfers disabled, which is what keeps the
+// transfer-free outputs byte-identical to the pre-tie engine.
 #include <algorithm>
 #include <memory>
 #include <sstream>
@@ -140,8 +150,15 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
 
   grid::SubstationConfig bank = g.substation;
   if (bank.capacity_kw <= 0.0) bank.capacity_kw = fleet_capacity_kw;
+  // Ties engage only when the grid layer is closed-loop and there is a
+  // neighbor to transfer to; the config is muted otherwise so the
+  // open-loop baseline and single-feeder runs stay transfer-free.
+  grid::TieConfig tie = g.tie;
+  tie.enabled = tie.enabled && g.enabled && feeders > 1;
+  const bool tie_enabled = tie.enabled;
   grid::Substation substation(bank, std::move(plans),
-                              sim::Rng(config_.seed).stream("grid-bus"));
+                              sim::Rng(config_.seed).stream("grid-bus"),
+                              std::move(tie));
 
   // Only coordinated premises can act on a shed; the uncoordinated
   // baseline ignores signals by design.
@@ -224,6 +241,76 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         });
   };
 
+  // --- Tie-switch plumbing. Each helper is a no-op with ties disabled.
+  std::vector<double> energy_lent_kwh(feeders, 0.0);
+  std::vector<double> energy_borrowed_kwh(feeders, 0.0);
+
+  // Integrates the borrowed premises' contributions over the barrier
+  // interval that just elapsed (right-edge load over (t - dt, t]),
+  // BEFORE actuations at t move anyone — membership during the
+  // interval is the membership the interval started with.
+  const auto account_transfers = [&](sim::Duration dt) {
+    if (!tie_enabled || dt <= sim::Duration::zero()) return;
+    for (const grid::ActiveTransfer& a : substation.active_transfers()) {
+      double kw = 0.0;
+      for (const std::size_t p : a.premises) kw += runtimes[p]->inst_kw;
+      const double kwh = kw * dt.hours_f();
+      energy_lent_kwh[a.from] += kwh;
+      energy_borrowed_kwh[a.to] += kwh;
+    }
+  };
+
+  // Actuates every switch operation due at `t` and re-homes the moved
+  // premises across the engine's side of the plane: the monitor
+  // membership, the premise-side feeder stamp, and the premise's
+  // in-flight signal queue — undelivered signals from the old head end
+  // are dropped (the switch re-registers the premise with the new
+  // one; a signal applied after the move would count as misrouted).
+  // Controllers on both ends forget partial holds: the step they are
+  // about to observe is the switch, not organic load movement.
+  const auto apply_tie_ops = [&](sim::TimePoint t) -> std::vector<grid::TieEvent> {
+    if (!tie_enabled) return {};
+    std::vector<grid::TieEvent> events = substation.apply_due_transfers(t);
+    for (const grid::TieEvent& ev : events) {
+      for (const std::size_t p : ev.premises) {
+        PremiseRuntime& rt = *runtimes[p];
+        rt.net->set_feeder(static_cast<std::uint32_t>(ev.to));
+        // Tariff tiers travel with the feeder, not the premise: the
+        // new head end only broadcasts at window boundaries, so the
+        // migrated premise adopts its current tier here (informational
+        // — nothing premise-side acts on the tier yet).
+        rt.net->set_tariff_tier(substation.controller(ev.to).tier_at(t));
+        std::size_t w = rt.pending_next;
+        for (std::size_t r = rt.pending_next; r < rt.pending.size(); ++r) {
+          if (rt.pending[r].second.feeder == ev.to) {
+            rt.pending[w++] = rt.pending[r];
+          }
+        }
+        rt.pending.resize(w);
+      }
+      substation.controller(ev.from).on_membership_change(t);
+      substation.controller(ev.to).on_membership_change(t);
+    }
+    if (!events.empty()) {
+      // Contributions are restaged in full before every commit, so
+      // resizing to the new member counts is the whole re-home.
+      for (std::size_t k = 0; k < feeders; ++k) {
+        monitors[k].resize_members(substation.premises(k).size());
+      }
+    }
+    return events;
+  };
+
+  // Plans new transfers / give-backs from this barrier's committed
+  // aggregates; call after the controllers observed.
+  const auto plan_tie = [&](sim::TimePoint t, const auto& load_of) {
+    if (!tie_enabled) return;
+    std::vector<double> loads(feeders);
+    for (std::size_t k = 0; k < feeders; ++k) loads[k] = monitors[k].total_kw();
+    substation.plan_transfers(
+        t, loads, [&load_of](std::size_t p) { return load_of(p); });
+  };
+
   const sim::TimePoint end = sim::TimePoint::epoch() + config_.horizon;
   std::uint64_t barriers = 0;
 
@@ -240,6 +327,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         total_kw += aggregate_kw;
       }
       substation.observe_total(at, total_kw);
+      plan_tie(at, load_of);
       ++barriers;
     };
 
@@ -255,9 +343,12 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       return diurnal_base_kw(runtimes[i]->spec, t);
     });
     while (t < end) {
+      const sim::TimePoint prev = t;
       t = std::min(t + g.control_interval, end);
       advance_premises(t);
       // Sequential from here: the whole control plane in feeder order.
+      account_transfers(t - prev);
+      apply_tie_ops(t);
       control_step(t, [&runtimes](std::size_t i) {
         return runtimes[i]->inst_kw;
       });
@@ -312,11 +403,12 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     // state, and the first deadlines are armed.
     sim::TimePoint t = sim::TimePoint::epoch();
     {
+      const auto prime_load = [&runtimes, t](std::size_t i) {
+        return diurnal_base_kw(runtimes[i]->spec, t);
+      };
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
-        commit_feeder(k, t, [&runtimes, t](std::size_t i) {
-          return diurnal_base_kw(runtimes[i]->spec, t);
-        });
+        commit_feeder(k, t, prime_load);
         const grid::Observation obs{t, monitors[k].total_kw(),
                                     monitors[k].temperature_pu()};
         fan_out(k, substation.on_timer(k, obs));
@@ -325,6 +417,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         rearm_thermal(k);
       }
       substation.observe_total(t, total_kw);
+      plan_tie(t, prime_load);
       ++barriers;
     }
 
@@ -338,9 +431,16 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     while (t < end) {
       sim::TimePoint next = t + cap;
       if (!timers.empty()) next = std::min(next, timers.next_time());
+      if (tie_enabled) {
+        // A planned actuation or a hold expiry forces a barrier just
+        // like a controller deadline — actuations land at the same
+        // instants the polled loop would land them.
+        next = std::min(next, substation.next_tie_deadline(t));
+      }
       next = snap_up(next, interval);
       next = std::max(next, t + interval);  // timers never stall a barrier
       next = std::min(next, end);
+      const sim::TimePoint prev = t;
       t = next;
       advance_premises(t);
       ++barriers;
@@ -348,17 +448,21 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       // came due at (or before) this barrier.
       while (!timers.empty() && timers.next_time() <= t) timers.pop().fn();
 
+      account_transfers(t - prev);
+      const std::vector<grid::TieEvent> tie_events = apply_tie_ops(t);
+
       // The horizon-end barrier wakes every controller, mirroring the
       // polled loop's final control step: a controller mid-shed with
       // its next deadline past the horizon would otherwise never
       // account the tail of its last wake into the DR time integrals.
       const bool final_barrier = t == end;
+      const auto inst_load = [&runtimes](std::size_t i) {
+        return runtimes[i]->inst_kw;
+      };
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
         const std::vector<metrics::Crossing>& crossings =
-            commit_feeder(k, t, [&runtimes](std::size_t i) {
-              return runtimes[i]->inst_kw;
-            });
+            commit_feeder(k, t, inst_load);
         total_kw += monitors[k].total_kw();
         const grid::Observation obs{t, monitors[k].total_kw(),
                                     monitors[k].temperature_pu()};
@@ -372,7 +476,14 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         deadline_due[k] = 0;
         rearm_thermal(k);
       }
+      // A migration may have emptied a controller's armed/clear state
+      // without waking it: refresh both ends' declared deadlines.
+      for (const grid::TieEvent& ev : tie_events) {
+        rearm_deadline(ev.from);
+        rearm_deadline(ev.to);
+      }
       substation.observe_total(t, total_kw);
+      plan_tie(t, inst_load);
     }
   }
 
@@ -412,6 +523,8 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       fo.peak_temperature_pu = c.feeder().peak_temperature_pu();
       fo.peak_load_kw = c.feeder().peak_load_kw();
     }
+    fo.energy_lent_kwh = energy_lent_kwh[k];
+    fo.energy_borrowed_kwh = energy_borrowed_kwh[k];
     fo.opted_in_premises = bus.opted_in_count();
     for (std::size_t pos = 0; pos < bus.premise_count(); ++pos) {
       if (bus.subscriber(pos).opted_in && bus.subscriber(pos).can_comply) {
@@ -439,6 +552,25 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
                        fo.signals.end());
     out.deliveries.insert(out.deliveries.end(), fo.deliveries.begin(),
                           fo.deliveries.end());
+  }
+
+  // Tie-switch roll-ups: the actuation log, per-feeder lending
+  // counters, and the substation totals.
+  out.transfers = substation.tie_log();
+  for (const grid::TieEvent& ev : out.transfers) {
+    if (ev.give_back) continue;
+    ++out.feeders[ev.from].transfers_out;
+    ++out.feeders[ev.to].transfers_in;
+    out.feeders[ev.from].premises_lent += ev.premises.size();
+    out.feeders[ev.to].premises_borrowed += ev.premises.size();
+  }
+  const grid::TieStats& ties = substation.tie_stats();
+  out.fleet.substation.tie_switch_operations = ties.switch_operations;
+  out.fleet.substation.tie_transfers = ties.transfers;
+  out.fleet.substation.tie_give_backs = ties.give_backs;
+  out.fleet.substation.premises_transferred = ties.premise_moves;
+  for (const double kwh : energy_lent_kwh) {
+    out.fleet.substation.transferred_energy_kwh += kwh;
   }
 
   out.overload_minutes = substation.transformer().overload_minutes();

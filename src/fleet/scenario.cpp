@@ -20,6 +20,8 @@ std::string_view to_string(ScenarioKind kind) noexcept {
       return "rolling_shed";
     case ScenarioKind::kMultiFeeder:
       return "multi_feeder";
+    case ScenarioKind::kTieSwitch:
+      return "tie_switch";
   }
   return "?";
 }
@@ -42,6 +44,8 @@ const std::vector<ScenarioInfo>& scenarios() {
        "undersized transformer; back-to-back rolling sheds (run_grid)"},
       {ScenarioKind::kMultiFeeder, "multi_feeder",
        "heat wave sharded across 4 skewed feeders under a substation"},
+      {ScenarioKind::kTieSwitch, "tie_switch",
+       "multi_feeder with tie-switch load transfer between feeders"},
   };
   return kScenarios;
 }
@@ -87,6 +91,27 @@ void apply_heat_wave(FleetConfig& cfg, std::size_t premise_count) {
   // Above the all-day mean (~4.4 kW/premise) but below the evening
   // crest, so overload minutes discriminate rather than saturate.
   cfg.transformer_capacity_kw = 4.75 * static_cast<double>(premise_count);
+}
+
+/// Four deliberately unbalanced feeders (weight 1 : 1.35 : 1.82 :
+/// 2.46) over the heat-wave fleet, so the small shards run cool while
+/// the big ones shed — the per-feeder DR comparison the substation
+/// layer exists for (multi_feeder and tie_switch).
+void apply_multi_feeder(FleetConfig& cfg, std::size_t premise_count) {
+  apply_heat_wave(cfg, premise_count);
+  cfg.feeder_count = 4;
+  cfg.feeder_skew = 0.35;
+  cfg.grid.enabled = true;
+  cfg.grid.dr.trigger_utilization = 1.0;
+  cfg.grid.dr.trigger_temp_pu = 1.05;
+  cfg.grid.dr.trigger_hold = sim::minutes(5);
+  cfg.grid.dr.target_utilization = 0.9;
+  cfg.grid.dr.shed_duration = sim::minutes(45);
+  cfg.grid.dr.max_stretch = 3;
+  cfg.grid.dr.clear_utilization = 0.85;
+  cfg.grid.dr.clear_hold = sim::minutes(10);
+  cfg.grid.dr.cooldown = sim::minutes(20);
+  cfg.grid.bus.opt_in = 0.9;
 }
 
 }  // namespace
@@ -170,23 +195,24 @@ FleetConfig make_scenario(ScenarioKind kind, std::size_t premise_count,
       break;
 
     case ScenarioKind::kMultiFeeder:
-      apply_heat_wave(cfg, premise_count);
-      // Four feeders, deliberately unbalanced (weight 1 : 1.35 : 1.82 :
-      // 2.46), so the small shards run cool while the big ones shed —
-      // the per-feeder DR comparison the substation layer exists for.
-      cfg.feeder_count = 4;
-      cfg.feeder_skew = 0.35;
-      cfg.grid.enabled = true;
-      cfg.grid.dr.trigger_utilization = 1.0;
-      cfg.grid.dr.trigger_temp_pu = 1.05;
-      cfg.grid.dr.trigger_hold = sim::minutes(5);
-      cfg.grid.dr.target_utilization = 0.9;
-      cfg.grid.dr.shed_duration = sim::minutes(45);
-      cfg.grid.dr.max_stretch = 3;
-      cfg.grid.dr.clear_utilization = 0.85;
-      cfg.grid.dr.clear_hold = sim::minutes(10);
-      cfg.grid.dr.cooldown = sim::minutes(20);
-      cfg.grid.bus.opt_in = 0.9;
+      apply_multi_feeder(cfg, premise_count);
+      break;
+
+    case ScenarioKind::kTieSwitch:
+      apply_multi_feeder(cfg, premise_count);
+      // Ring ties over the K feeders. The trigger matches the DR shed
+      // trigger, so a feeder that would arm a shed first asks a
+      // neighbor to carry some of its premises; give-back needs the
+      // donor comfortably cool with the load returned (0.8 vs the 1.0
+      // trigger — the anti-ping-pong hysteresis).
+      cfg.grid.tie.enabled = true;
+      cfg.grid.tie.trigger_utilization = 1.0;
+      cfg.grid.tie.donor_target_utilization = 0.9;
+      cfg.grid.tie.receiver_cap_utilization = 0.9;
+      cfg.grid.tie.max_transfer_fraction = 0.3;
+      cfg.grid.tie.switch_latency = sim::minutes(1);
+      cfg.grid.tie.hold_time = sim::minutes(30);
+      cfg.grid.tie.give_back_utilization = 0.8;
       break;
   }
   return cfg;

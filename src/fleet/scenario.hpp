@@ -43,6 +43,11 @@ enum class ScenarioKind : std::uint8_t {
   /// bus, and the substation bank accounts the inter-feeder
   /// coincidence (sum of shard peaks vs the substation peak).
   kMultiFeeder,
+  /// multi_feeder with the substation tie switches enabled: an
+  /// overloaded feeder's premises are re-homed onto a tied neighbor
+  /// with headroom (switch latency, transfer hold, hysteretic
+  /// give-back). With transfers muted this is multi_feeder exactly.
+  kTieSwitch,
 };
 
 struct ScenarioInfo {

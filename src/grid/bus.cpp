@@ -1,5 +1,6 @@
 #include "grid/bus.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "metrics/csv.hpp"
@@ -44,6 +45,31 @@ SignalBus::SignalBus(BusConfig config, std::vector<std::size_t> premise_ids,
     s.opted_in = draw.bernoulli(config.opt_in);
     subscribers_.push_back(s);
   }
+}
+
+Subscriber SignalBus::remove_member(std::size_t premise_id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), premise_id);
+  if (it == ids_.end() || *it != premise_id) {
+    throw std::invalid_argument("SignalBus: premise is not a member");
+  }
+  const auto pos = static_cast<std::size_t>(it - ids_.begin());
+  const Subscriber sub = subscribers_[pos];
+  ids_.erase(it);
+  subscribers_.erase(subscribers_.begin() +
+                     static_cast<std::ptrdiff_t>(pos));
+  return sub;
+}
+
+void SignalBus::add_member(std::size_t premise_id,
+                           const Subscriber& subscriber) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), premise_id);
+  if (it != ids_.end() && *it == premise_id) {
+    throw std::invalid_argument("SignalBus: premise is already a member");
+  }
+  const auto pos = static_cast<std::size_t>(it - ids_.begin());
+  ids_.insert(it, premise_id);
+  subscribers_.insert(subscribers_.begin() + static_cast<std::ptrdiff_t>(pos),
+                      subscriber);
 }
 
 std::size_t SignalBus::opted_in_count() const noexcept {

@@ -90,6 +90,17 @@ class SignalBus {
   }
   [[nodiscard]] std::size_t opted_in_count() const noexcept;
 
+  /// Tie-switch migration: removes global premise `premise_id` from
+  /// this bus and returns its subscription (latency / opt-in /
+  /// can_comply), so the receiving feeder's bus can carry the
+  /// premise's draws over verbatim. Throws if the premise is not a
+  /// member. Past log entries stand — they record deliveries that
+  /// happened.
+  Subscriber remove_member(std::size_t premise_id);
+  /// Adds `premise_id` with an existing subscription, keeping the
+  /// member list ascending by global id. Throws on a duplicate.
+  void add_member(std::size_t premise_id, const Subscriber& subscriber);
+
   /// Fans `signal` out to every premise in index order, appending to the
   /// log. Returns the deliveries of this signal (same order).
   const std::vector<Delivery>& publish(const GridSignal& signal);

@@ -78,6 +78,11 @@ sim::TimePoint DemandResponseController::next_deadline() const {
   return next;
 }
 
+void DemandResponseController::on_membership_change(sim::TimePoint t) {
+  if (phase_ == Phase::kArming) phase_ = Phase::kIdle;
+  if (phase_ == Phase::kShedding) reset_clear_tracking(t);
+}
+
 void DemandResponseController::register_bands(
     metrics::StreamAggregate& aggregate) const {
   if (!config_.shed_enabled) return;

@@ -156,6 +156,17 @@ class DemandResponseController {
   [[nodiscard]] sim::TimePoint next_tariff_boundary(
       sim::TimePoint after) const noexcept;
 
+  /// The premise set this controller serves changed at `t` (tie-switch
+  /// transfer, either direction): the next observed aggregate will
+  /// step discontinuously for non-organic reasons. Any partial
+  /// trigger-hold or all-clear hold built against the old membership
+  /// is forgotten — a shed or early all-clear must re-earn its hold
+  /// minutes against the post-transfer aggregate, which is how DR and
+  /// the tie switches avoid fighting over the same load step. Active
+  /// sheds and running cooldowns stand: those are commitments already
+  /// made to the premises.
+  void on_membership_change(sim::TimePoint t);
+
   /// Installs this controller's threshold bands (DrBandId) on the
   /// feeder's streaming aggregate: trigger/clear/target load levels
   /// plus the thermal trigger. No-op when sheds are disabled — the

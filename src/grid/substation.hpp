@@ -14,10 +14,26 @@
 // shard holding every premise the Substation is byte-identical to the
 // plain single-feeder control loop — the K=1 equivalence guarantee the
 // fleet tests pin.
+//
+// With a TieConfig the substation stops being a passive accountant:
+// normally-open tie switches join adjacent feeders, and when one
+// feeder runs persistently over its transfer-trigger band while a tied
+// neighbor has headroom, the substation closes the tie and re-homes a
+// bounded slice of the overloaded feeder's premises onto the
+// neighbor's bank (bus membership migrates by global premise id, so
+// every subscription draw survives the move). Actuation is delayed by
+// the mechanical switch latency, the transfer is held for a minimum
+// time, and give-back is hysteretic — the donor must be able to carry
+// the returned load strictly below the trigger — so the switch cannot
+// ping-pong premises between two busy feeders.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <ostream>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "grid/bus.hpp"
@@ -40,6 +56,77 @@ struct SubstationConfig {
   double overload_temp_pu = 0.0;
 };
 
+/// Tie-switch topology and inter-feeder transfer tuning. Disabled by
+/// default: every guarantee of the passive substation (byte-identical
+/// logs, K=1 collapse) is preserved until `enabled` flips.
+struct TieConfig {
+  bool enabled = false;
+  /// Tie switches as unordered feeder pairs. Empty derives a ring over
+  /// the K feeders (k — k+1 mod K; a single tie for K == 2, none for
+  /// K == 1).
+  std::vector<std::pair<std::size_t, std::size_t>> ties;
+  /// Donor utilization at/above which a transfer is considered (the
+  /// transfer-trigger band).
+  double trigger_utilization = 1.0;
+  /// A transfer aims the donor back down to this utilization.
+  double donor_target_utilization = 0.9;
+  /// The receiver must stay at/below this utilization with the moved
+  /// load added — the headroom test.
+  double receiver_cap_utilization = 0.9;
+  /// Hard ceiling on the load moved per operation, as a fraction of
+  /// the donor's current load (a premise that does not fit whole
+  /// under the ceiling is skipped in favor of smaller ones).
+  double max_transfer_fraction = 0.3;
+  /// Decision-to-actuation delay of the mechanical tie switch.
+  sim::Duration switch_latency = sim::minutes(1);
+  /// Minimum time a transfer stays in place before give-back is
+  /// considered.
+  sim::Duration hold_time = sim::minutes(30);
+  /// Give-back requires the donor to carry the returned load at/below
+  /// this utilization. Must sit strictly below trigger_utilization
+  /// (enforced at construction) — the gap is the hysteresis that
+  /// stops the switch ping-ponging.
+  double give_back_utilization = 0.8;
+};
+
+/// Tie-switch operation counters.
+struct TieStats {
+  /// Actuations of any tie switch (transfers + give-backs).
+  std::uint64_t switch_operations = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t give_backs = 0;
+  /// Premises moved across a tie, both directions summed.
+  std::uint64_t premise_moves = 0;
+};
+
+/// One actuated tie-switch operation: `premises` moved from feeder
+/// `from` to feeder `to` at `at`. For a give-back, `to` is the
+/// premises' home feeder and `from` the neighbor that had borrowed
+/// them.
+struct TieEvent {
+  sim::TimePoint at;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  bool give_back = false;
+  /// Global premise ids moved, ascending.
+  std::vector<std::size_t> premises;
+  /// Instantaneous load the operation moved, at decision time (kW).
+  double moved_kw = 0.0;
+
+  bool operator==(const TieEvent&) const = default;
+};
+
+/// One lent premise set currently living on a neighbor's bank.
+struct ActiveTransfer {
+  std::size_t from = 0;  ///< Home (donor) feeder.
+  std::size_t to = 0;    ///< Feeder currently serving the premises.
+  std::vector<std::size_t> premises;
+  sim::TimePoint since;
+  sim::TimePoint hold_until;
+  /// A give-back has been decided and awaits its switch latency.
+  bool give_back_pending = false;
+};
+
 /// Construction inputs of one feeder shard.
 struct FeederPlan {
   FeederConfig feeder;
@@ -55,8 +142,10 @@ class Substation {
   /// Builds the K shards. `bus_rng` is the shared root every shard's
   /// SignalBus draws per-global-premise subscriptions from — a premise
   /// keeps its latency/opt-in draws however the fleet is sharded.
+  /// `tie` closes the loop between feeders; the default keeps every
+  /// tie switch absent (the pre-transfer behavior, bit-for-bit).
   Substation(SubstationConfig config, std::vector<FeederPlan> plans,
-             const sim::Rng& bus_rng);
+             const sim::Rng& bus_rng, TieConfig tie = {});
 
   [[nodiscard]] std::size_t feeder_count() const noexcept {
     return shards_.size();
@@ -113,6 +202,56 @@ class Substation {
   /// by feeder in publish order. Deterministic either way.
   void write_log_csv(std::ostream& os) const;
 
+  // --- Tie switches / inter-feeder load transfer ----------------------
+  [[nodiscard]] const TieConfig& tie_config() const noexcept { return tie_; }
+  [[nodiscard]] const TieStats& tie_stats() const noexcept {
+    return tie_stats_;
+  }
+  /// Every actuated operation, in actuation order.
+  [[nodiscard]] const std::vector<TieEvent>& tie_log() const noexcept {
+    return tie_log_;
+  }
+  /// Lent premise sets currently living away from home.
+  [[nodiscard]] const std::vector<ActiveTransfer>& active_transfers()
+      const noexcept {
+    return active_;
+  }
+  /// Feeder the premise was constructed on.
+  [[nodiscard]] std::size_t home_feeder(std::size_t premise) const;
+  /// Feeder currently serving the premise (== home when not lent).
+  [[nodiscard]] std::size_t serving_feeder(std::size_t premise) const;
+
+  /// Decides new transfers and give-backs from this barrier's committed
+  /// per-feeder aggregates. `premise_load_kw` maps a global premise id
+  /// to its instantaneous contribution (used to bound the moved load
+  /// and to pick which premises travel: biggest contributors first, so
+  /// the fewest switches move the most relief). Decisions actuate after
+  /// the switch latency — apply_due_transfers() lands them. Pure
+  /// bookkeeping when ties are disabled or K == 1.
+  void plan_transfers(
+      sim::TimePoint t, const std::vector<double>& feeder_load_kw,
+      const std::function<double(std::size_t)>& premise_load_kw);
+
+  /// Actuates every planned operation whose switch latency has elapsed
+  /// by `t`: migrates the premises between shard member lists and
+  /// buses (subscriptions move wholesale, so every per-premise draw
+  /// survives), updates the serving map and counters, and returns the
+  /// applied events so the engine can mirror the move (monitor
+  /// membership, premise-side feeder stamp).
+  std::vector<TieEvent> apply_due_transfers(sim::TimePoint t);
+
+  /// Earliest instant the tie state machine needs a barrier
+  /// regardless of load: a planned operation's actuation time (even
+  /// when already due — the caller's barrier clamp turns it into "the
+  /// next barrier", matching where polled actuates it) or an active
+  /// transfer's hold expiry strictly after `after` (give-back becomes
+  /// legal there). A hold that already expired is NOT a deadline —
+  /// once give-back is merely waiting on the donor's load to recover,
+  /// the observe_cap bounds the re-check cadence exactly as it does
+  /// for DR load triggers. TimePoint::max() when nothing is pending.
+  [[nodiscard]] sim::TimePoint next_tie_deadline(
+      sim::TimePoint after) const noexcept;
+
  private:
   struct Shard {
     DemandResponseController controller;
@@ -120,8 +259,27 @@ class Substation {
     std::vector<std::size_t> premises;
   };
 
+  [[nodiscard]] double capacity_of(std::size_t feeder) const {
+    return shards_[feeder].controller.feeder().config().capacity_kw;
+  }
+  /// Feeders tied to `feeder` (ascending), from the configured pairs or
+  /// the derived ring.
+  [[nodiscard]] std::vector<std::size_t> tied_neighbors(
+      std::size_t feeder) const;
+
   std::vector<Shard> shards_;
   FeederModel transformer_;
+
+  TieConfig tie_;
+  TieStats tie_stats_;
+  std::vector<TieEvent> tie_log_;
+  /// Planned operations awaiting their switch latency, decision order.
+  std::vector<TieEvent> pending_;
+  std::vector<ActiveTransfer> active_;
+  /// Global premise id -> home / current feeder (lookup only — never
+  /// iterated, so the unordered container cannot perturb determinism).
+  std::unordered_map<std::size_t, std::size_t> home_;
+  std::unordered_map<std::size_t, std::size_t> serving_;
 };
 
 }  // namespace han::grid

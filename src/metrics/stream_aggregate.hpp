@@ -82,6 +82,16 @@ class StreamAggregate {
   /// the next commit.
   void update(std::size_t pos, double kw) { contributions_.at(pos) = kw; }
 
+  /// Re-homes the aggregate onto a different member list (tie-switch
+  /// premise migration). Contributions are zeroed — the engine
+  /// restages every member before each commit anyway — while bands,
+  /// the thermal state and all accounting carry across: the load step
+  /// the migration causes integrates from the next commit exactly
+  /// like any organic step.
+  void resize_members(std::size_t members) {
+    contributions_.assign(members, 0.0);
+  }
+
   /// Commits the staged contributions at time `t` (non-decreasing):
   /// recomputes the total in member index order, advances the thermal
   /// state across (last commit, t], and returns the crossings this

@@ -142,7 +142,7 @@ TEST(FleetEngine, ConstraintsAreNeverViolated) {
 }
 
 TEST(Scenario, RegistryHasAllPresets) {
-  ASSERT_EQ(scenarios().size(), 8u);
+  ASSERT_EQ(scenarios().size(), 9u);
   for (const ScenarioInfo& s : scenarios()) {
     EXPECT_EQ(to_string(s.kind), s.name);
     const auto back = scenario_from_name(s.name);

@@ -1,0 +1,190 @@
+// Tie-switch transfers at the fleet-engine level: transfers-disabled
+// byte-identity with the transfer-free engine, determinism of the
+// full transfer pipeline across executor widths in both control
+// modes, well-formedness of the actuation log, and the accounting
+// that hangs off it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/engine.hpp"
+#include "fleet/scenario.hpp"
+
+namespace han::fleet {
+namespace {
+
+/// tie_switch shrunk to test size: 12 premises over 4 skewed feeders,
+/// 8 h. The small shards overload against their thin capacity shares,
+/// which is exactly what makes transfers fire.
+FleetConfig tiny_tie_switch(std::uint64_t seed = 1) {
+  FleetConfig cfg = make_scenario(ScenarioKind::kTieSwitch, 12, seed);
+  cfg.horizon = sim::hours(8);
+  cfg.round_period = sim::seconds(30);
+  return cfg;
+}
+
+void expect_identical_grid_results(const GridFleetResult& a,
+                                   const GridFleetResult& b) {
+  EXPECT_EQ(a.signal_log_csv, b.signal_log_csv);
+  EXPECT_EQ(a.signals, b.signals);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.control_barriers, b.control_barriers);
+  EXPECT_EQ(a.fleet.feeder_load.values(), b.fleet.feeder_load.values());
+  ASSERT_EQ(a.feeders.size(), b.feeders.size());
+  for (std::size_t k = 0; k < a.feeders.size(); ++k) {
+    EXPECT_EQ(a.feeders[k].premises, b.feeders[k].premises) << k;
+    EXPECT_EQ(a.feeders[k].transfers_out, b.feeders[k].transfers_out) << k;
+    EXPECT_EQ(a.feeders[k].transfers_in, b.feeders[k].transfers_in) << k;
+    EXPECT_EQ(a.feeders[k].energy_lent_kwh, b.feeders[k].energy_lent_kwh)
+        << k;
+    EXPECT_EQ(a.feeders[k].energy_borrowed_kwh,
+              b.feeders[k].energy_borrowed_kwh)
+        << k;
+    EXPECT_EQ(a.feeders[k].overload_minutes, b.feeders[k].overload_minutes)
+        << k;
+  }
+  EXPECT_EQ(a.fleet.substation.tie_switch_operations,
+            b.fleet.substation.tie_switch_operations);
+  EXPECT_EQ(a.fleet.substation.transferred_energy_kwh,
+            b.fleet.substation.transferred_energy_kwh);
+}
+
+TEST(TransferMode, DisabledTransfersReproduceMultiFeederByteForByte) {
+  // tie_switch with the ties muted IS multi_feeder: every output —
+  // signal log included — must be byte-identical to the transfer-free
+  // preset at the same premises/seed.
+  FleetConfig tied = tiny_tie_switch();
+  tied.grid.tie.enabled = false;
+  FleetConfig base = make_scenario(ScenarioKind::kMultiFeeder, 12, 1);
+  base.horizon = sim::hours(8);
+  base.round_period = sim::seconds(30);
+  const GridFleetResult a = FleetEngine(tied).run_grid(2);
+  const GridFleetResult b = FleetEngine(base).run_grid(2);
+  expect_identical_grid_results(a, b);
+  EXPECT_TRUE(a.transfers.empty());
+  EXPECT_EQ(a.fleet.substation.tie_switch_operations, 0u);
+  EXPECT_EQ(a.fleet.substation.transferred_energy_kwh, 0.0);
+}
+
+TEST(TransferMode, TransfersFireOnTheTinyPreset) {
+  // Guard against the rest of this suite silently testing a no-op
+  // config: the shrunk preset must actually produce transfers.
+  const GridFleetResult r = FleetEngine(tiny_tie_switch()).run_grid(2);
+  EXPECT_GT(r.fleet.substation.tie_transfers, 0u);
+  EXPECT_GT(r.fleet.substation.transferred_energy_kwh, 0.0);
+}
+
+TEST(TransferMode, PolledTransfersByteIdenticalAcrossThreadCounts) {
+  const FleetEngine engine(tiny_tie_switch());
+  const GridFleetResult one = engine.run_grid(1);
+  const GridFleetResult four = engine.run_grid(4);
+  expect_identical_grid_results(one, four);
+  EXPECT_GT(one.transfers.size(), 0u);
+}
+
+TEST(TransferMode, EventTransfersByteIdenticalAcrossThreadCounts) {
+  FleetConfig cfg = tiny_tie_switch();
+  cfg.grid.control_mode = ControlMode::kEventDriven;
+  const FleetEngine engine(cfg);
+  const GridFleetResult one = engine.run_grid(1);
+  const GridFleetResult four = engine.run_grid(4);
+  expect_identical_grid_results(one, four);
+}
+
+TEST(TransferMode, TransferLogIsWellFormed) {
+  const GridFleetResult r = FleetEngine(tiny_tie_switch()).run_grid(2);
+  ASSERT_GT(r.transfers.size(), 0u);
+  sim::TimePoint last = sim::TimePoint::epoch();
+  for (const grid::TieEvent& ev : r.transfers) {
+    EXPECT_GE(ev.at, last);  // actuation order
+    last = ev.at;
+    EXPECT_NE(ev.from, ev.to);
+    EXPECT_LT(ev.from, r.feeders.size());
+    EXPECT_LT(ev.to, r.feeders.size());
+    ASSERT_FALSE(ev.premises.empty());
+    for (std::size_t i = 1; i < ev.premises.size(); ++i) {
+      EXPECT_LT(ev.premises[i - 1], ev.premises[i]);
+    }
+    EXPECT_GT(ev.moved_kw, 0.0);
+  }
+}
+
+TEST(TransferMode, PerFeederCountersMatchTheLog) {
+  const GridFleetResult r = FleetEngine(tiny_tie_switch()).run_grid(2);
+  std::vector<std::uint64_t> out(r.feeders.size(), 0);
+  std::vector<std::uint64_t> in(r.feeders.size(), 0);
+  std::uint64_t moves = 0;
+  std::uint64_t give_backs = 0;
+  for (const grid::TieEvent& ev : r.transfers) {
+    moves += ev.premises.size();
+    if (ev.give_back) {
+      ++give_backs;
+      continue;
+    }
+    ++out[ev.from];
+    ++in[ev.to];
+  }
+  for (std::size_t k = 0; k < r.feeders.size(); ++k) {
+    EXPECT_EQ(r.feeders[k].transfers_out, out[k]) << k;
+    EXPECT_EQ(r.feeders[k].transfers_in, in[k]) << k;
+  }
+  EXPECT_EQ(r.fleet.substation.premises_transferred, moves);
+  EXPECT_EQ(r.fleet.substation.tie_give_backs, give_backs);
+  EXPECT_EQ(r.fleet.substation.tie_switch_operations, r.transfers.size());
+  // Lent and borrowed energy are two views of the same kWh.
+  double lent = 0.0;
+  double borrowed = 0.0;
+  for (const FeederOutcome& fo : r.feeders) {
+    lent += fo.energy_lent_kwh;
+    borrowed += fo.energy_borrowed_kwh;
+  }
+  EXPECT_DOUBLE_EQ(lent, borrowed);
+  EXPECT_DOUBLE_EQ(lent, r.fleet.substation.transferred_energy_kwh);
+}
+
+TEST(TransferMode, EndMembershipCountsSumToTheFleet) {
+  const GridFleetResult r = FleetEngine(tiny_tie_switch()).run_grid(2);
+  std::size_t total = 0;
+  for (const FeederOutcome& fo : r.feeders) total += fo.premises;
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(TransferMode, NoSignalIsEverMisrouted) {
+  // Premises drop signals stamped for a foreign feeder. Migration
+  // re-stamps the premise and drops in-flight signals from the old
+  // head end, so the counter must stay zero even with heavy transfer
+  // traffic in both control modes.
+  for (const ControlMode mode :
+       {ControlMode::kPolled, ControlMode::kEventDriven}) {
+    FleetConfig cfg = tiny_tie_switch();
+    cfg.grid.control_mode = mode;
+    const GridFleetResult r = FleetEngine(cfg).run_grid(3);
+    for (const PremiseResult& p : r.fleet.premises) {
+      EXPECT_EQ(p.network.grid_signals_misrouted, 0u) << p.index;
+    }
+  }
+}
+
+TEST(TransferMode, SingleFeederMutesTransfers) {
+  // K=1 has no neighbor: the tie config is ignored and the run stays
+  // transfer-free (and identical to the K=1 multi_feeder run).
+  FleetConfig cfg = tiny_tie_switch();
+  cfg.feeder_count = 1;
+  const GridFleetResult r = FleetEngine(cfg).run_grid(2);
+  EXPECT_TRUE(r.transfers.empty());
+  EXPECT_EQ(r.fleet.substation.tie_switch_operations, 0u);
+}
+
+TEST(TransferMode, OpenLoopMutesTransfers) {
+  // The open-loop baseline (grid.enabled == false) must stay the pure
+  // counterfactual even when the preset asks for ties.
+  FleetConfig cfg = tiny_tie_switch();
+  cfg.grid.enabled = false;
+  const GridFleetResult r = FleetEngine(cfg).run_grid(2);
+  EXPECT_TRUE(r.transfers.empty());
+  EXPECT_TRUE(r.signals.empty());
+}
+
+}  // namespace
+}  // namespace han::fleet

@@ -1,0 +1,458 @@
+// Tie-switch transfer state machine: trigger/latency/hold/give-back
+// semantics, hysteresis, ping-pong resistance, premise selection
+// bounds, topology, and subscription stability across a migration —
+// all driven directly against the Substation, no fleet engine.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "grid/substation.hpp"
+
+namespace han::grid {
+namespace {
+
+FeederConfig feeder(double capacity_kw = 100.0) {
+  FeederConfig f;
+  f.capacity_kw = capacity_kw;
+  return f;
+}
+
+DrConfig quiet_dr() {
+  // Sheds out of the way: these tests watch the tie switches only.
+  DrConfig c;
+  c.shed_enabled = false;
+  return c;
+}
+
+FeederPlan plan(std::vector<std::size_t> premises,
+                double capacity_kw = 100.0) {
+  FeederPlan p;
+  p.feeder = feeder(capacity_kw);
+  p.dr = quiet_dr();
+  p.premises = std::move(premises);
+  return p;
+}
+
+TieConfig tie_defaults() {
+  TieConfig t;
+  t.enabled = true;
+  t.trigger_utilization = 1.0;
+  t.donor_target_utilization = 0.9;
+  t.receiver_cap_utilization = 0.9;
+  t.max_transfer_fraction = 0.5;
+  t.switch_latency = sim::minutes(1);
+  t.hold_time = sim::minutes(30);
+  t.give_back_utilization = 0.8;
+  return t;
+}
+
+/// Two 100 kW feeders: premises 0-3 on feeder 0, 4-7 on feeder 1.
+Substation two_feeders(TieConfig tie = tie_defaults()) {
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1, 2, 3}));
+  plans.push_back(plan({4, 5, 6, 7}));
+  return Substation(SubstationConfig{}, std::move(plans), sim::Rng(1),
+                    std::move(tie));
+}
+
+sim::TimePoint at_min(long long m) {
+  return sim::TimePoint::epoch() + sim::minutes(m);
+}
+
+/// Every premise contributes `kw` except the overrides.
+std::function<double(std::size_t)> loads(
+    double kw, std::unordered_map<std::size_t, double> overrides = {}) {
+  return [kw, overrides = std::move(overrides)](std::size_t p) {
+    const auto it = overrides.find(p);
+    return it == overrides.end() ? kw : it->second;
+  };
+}
+
+TEST(TieSwitch, TriggerSchedulesTransferAfterSwitchLatency) {
+  Substation sub = two_feeders();
+  // Feeder 0 at 120/100, feeder 1 at 20/100: over trigger vs headroom.
+  sub.plan_transfers(at_min(10), {120.0, 20.0}, loads(30.0));
+  // Decision made, actuation pending behind the switch latency.
+  EXPECT_EQ(sub.next_tie_deadline(at_min(10)), at_min(11));
+  EXPECT_TRUE(sub.apply_due_transfers(at_min(10)).empty());
+  EXPECT_EQ(sub.premises(0).size(), 4u);
+
+  const std::vector<TieEvent> events = sub.apply_due_transfers(at_min(11));
+  ASSERT_EQ(events.size(), 1u);
+  const TieEvent& ev = events.front();
+  EXPECT_EQ(ev.from, 0u);
+  EXPECT_EQ(ev.to, 1u);
+  EXPECT_FALSE(ev.give_back);
+  EXPECT_EQ(ev.at, at_min(11));
+  // Budget = min(120 - 90, 0.5 * 120, 0.9*100 - 20) = 30 kW; the first
+  // 30 kW premise fills it alone.
+  EXPECT_EQ(ev.premises, (std::vector<std::size_t>{0}));
+  EXPECT_DOUBLE_EQ(ev.moved_kw, 30.0);
+
+  EXPECT_EQ(sub.premises(0), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(sub.premises(1), (std::vector<std::size_t>{0, 4, 5, 6, 7}));
+  EXPECT_EQ(sub.serving_feeder(0), 1u);
+  EXPECT_EQ(sub.home_feeder(0), 0u);
+  EXPECT_EQ(sub.tie_stats().switch_operations, 1u);
+  EXPECT_EQ(sub.tie_stats().transfers, 1u);
+  EXPECT_EQ(sub.tie_stats().premise_moves, 1u);
+  ASSERT_EQ(sub.active_transfers().size(), 1u);
+  EXPECT_EQ(sub.active_transfers().front().hold_until, at_min(41));
+}
+
+TEST(TieSwitch, NoTransferBelowTriggerOrWithoutHeadroom) {
+  Substation sub = two_feeders();
+  // Below the trigger band.
+  sub.plan_transfers(at_min(0), {99.0, 20.0}, loads(25.0));
+  EXPECT_EQ(sub.next_tie_deadline(at_min(0)), sim::TimePoint::max());
+  // Over trigger, but the neighbor has no headroom under its cap.
+  sub.plan_transfers(at_min(1), {120.0, 95.0}, loads(30.0));
+  EXPECT_EQ(sub.next_tie_deadline(at_min(1)), sim::TimePoint::max());
+  EXPECT_TRUE(sub.tie_log().empty());
+}
+
+TEST(TieSwitch, ReceiverHeadroomIsAHardWallOnSelection) {
+  Substation sub = two_feeders();
+  // Headroom = 0.9*100 - 85 = 5 kW. 4 kW premises: the first fits,
+  // the second would break the wall and is skipped even though the
+  // budget (min(30, 60, 5) = 5) is not yet met.
+  sub.plan_transfers(at_min(0), {120.0, 85.0}, loads(4.0));
+  const std::vector<TieEvent> events = sub.apply_due_transfers(at_min(1));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.front().premises.size(), 1u);
+  EXPECT_DOUBLE_EQ(events.front().moved_kw, 4.0);
+}
+
+TEST(TieSwitch, MovedLoadRespectsTheFractionCap) {
+  TieConfig tie = tie_defaults();
+  tie.max_transfer_fraction = 0.1;  // 12 kW of a 120 kW donor
+  Substation sub = two_feeders(std::move(tie));
+  sub.plan_transfers(at_min(0), {120.0, 0.0}, loads(10.0));
+  const std::vector<TieEvent> events = sub.apply_due_transfers(at_min(1));
+  ASSERT_EQ(events.size(), 1u);
+  // Budget = min(30, 12, 90) = 12 kW of 10 kW premises: the budget is
+  // a hard wall, so exactly one premise fits — the fraction cap can
+  // never be overshot.
+  EXPECT_EQ(events.front().premises.size(), 1u);
+  EXPECT_DOUBLE_EQ(events.front().moved_kw, 10.0);
+}
+
+TEST(TieSwitch, BiggestContributorsTravelFirst) {
+  Substation sub = two_feeders();
+  // Budget 30; premise 2 carries 25, the rest 5 each: 2 goes first,
+  // then the lowest-id 5 kW premise tops it up.
+  sub.plan_transfers(at_min(0), {120.0, 20.0}, loads(5.0, {{2, 25.0}}));
+  const std::vector<TieEvent> events = sub.apply_due_transfers(at_min(1));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.front().premises, (std::vector<std::size_t>{0, 2}));
+  EXPECT_DOUBLE_EQ(events.front().moved_kw, 30.0);
+}
+
+TEST(TieSwitch, HoldBlocksGiveBackUntilExpiry) {
+  Substation sub = two_feeders();
+  sub.plan_transfers(at_min(0), {120.0, 20.0}, loads(30.0));
+  ASSERT_EQ(sub.apply_due_transfers(at_min(1)).size(), 1u);
+  // Donor fully recovered (40 + 30 returned = 70 <= 80), but the hold
+  // runs to minute 31: planning earlier must not schedule a give-back.
+  sub.plan_transfers(at_min(20), {40.0, 50.0}, loads(30.0));
+  EXPECT_EQ(sub.next_tie_deadline(at_min(20)), at_min(31));
+  EXPECT_TRUE(sub.apply_due_transfers(at_min(30)).empty());
+
+  sub.plan_transfers(at_min(31), {40.0, 50.0}, loads(30.0));
+  const std::vector<TieEvent> events = sub.apply_due_transfers(at_min(32));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events.front().give_back);
+  EXPECT_EQ(events.front().from, 1u);
+  EXPECT_EQ(events.front().to, 0u);
+  EXPECT_EQ(sub.premises(0), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(sub.serving_feeder(0), 0u);
+  EXPECT_EQ(sub.tie_stats().give_backs, 1u);
+  EXPECT_TRUE(sub.active_transfers().empty());
+}
+
+TEST(TieSwitch, GiveBackIsHysteretic) {
+  Substation sub = two_feeders();
+  sub.plan_transfers(at_min(0), {120.0, 20.0}, loads(30.0));
+  ASSERT_EQ(sub.apply_due_transfers(at_min(1)).size(), 1u);
+  // Past the hold, donor at 55: returning 30 kW would land it at 85 —
+  // above the 0.8 give-back band although well below the 1.0 trigger.
+  // The gap is the hysteresis; no give-back.
+  sub.plan_transfers(at_min(40), {55.0, 50.0}, loads(30.0));
+  EXPECT_TRUE(sub.apply_due_transfers(at_min(41)).empty());
+  // Once the returned load fits under the band, it goes home.
+  sub.plan_transfers(at_min(45), {50.0, 50.0}, loads(30.0));
+  EXPECT_EQ(sub.apply_due_transfers(at_min(46)).size(), 1u);
+}
+
+TEST(TieSwitch, StableLoadsNeverPingPong) {
+  // Ping-pong resistance: drive the machine every minute for six
+  // hours. The donor sheds its lent load but stays warm enough that
+  // give-back would land it above the hysteresis band (60 + 30 = 90 >
+  // 80) — so after the single transfer the switch must never operate
+  // again, in either direction.
+  Substation sub = two_feeders();
+  double donor = 120.0;
+  double receiver = 20.0;
+  for (int m = 0; m <= 360; ++m) {
+    sub.plan_transfers(at_min(m), {donor, receiver}, loads(30.0));
+    for (const TieEvent& ev : sub.apply_due_transfers(at_min(m))) {
+      ASSERT_FALSE(ev.give_back);
+      donor -= ev.moved_kw * 2.0;  // lent load plus organic cooling
+      receiver += ev.moved_kw;
+    }
+  }
+  EXPECT_EQ(sub.tie_stats().transfers, 1u);
+  EXPECT_EQ(sub.tie_stats().give_backs, 0u);
+  EXPECT_EQ(sub.tie_stats().switch_operations, 1u);
+}
+
+TEST(TieSwitch, RecoveredDonorCycleSettles) {
+  // Full cycle with recovery: transfer, hold, give-back, then quiet.
+  Substation sub = two_feeders();
+  std::uint64_t ops_after_cycle = 0;
+  for (int m = 0; m <= 360; ++m) {
+    // Donor surges 100-130 min, runs cool before and after.
+    const bool surge = m >= 100 && m < 130;
+    const bool lent = !sub.active_transfers().empty();
+    double donor = surge ? 120.0 : 45.0;
+    if (lent) donor -= 30.0;
+    const double receiver = lent ? 50.0 : 20.0;
+    sub.plan_transfers(at_min(m), {donor, receiver}, loads(30.0));
+    (void)sub.apply_due_transfers(at_min(m));
+    if (m == 200) ops_after_cycle = sub.tie_stats().switch_operations;
+  }
+  EXPECT_EQ(sub.tie_stats().transfers, 1u);
+  EXPECT_EQ(sub.tie_stats().give_backs, 1u);
+  // Nothing switched again after the cycle completed.
+  EXPECT_EQ(sub.tie_stats().switch_operations, ops_after_cycle);
+  EXPECT_EQ(sub.premises(0), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(TieSwitch, BorrowersNeverDonateAndLendersNeverBorrow) {
+  // K=3 ring. Feeder 0 lends to feeder 1; while that transfer is
+  // active, feeder 1 (a borrower) may not donate — not even its own
+  // home premises, and certainly not the borrowed ones — and feeder 0
+  // (a lender) may not receive. The role split is what rules out
+  // lending cycles.
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1, 2}));
+  plans.push_back(plan({3, 4, 5}));
+  plans.push_back(plan({6, 7, 8}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1),
+                 tie_defaults());
+  sub.plan_transfers(at_min(0), {120.0, 20.0, 20.0}, loads(30.0));
+  ASSERT_EQ(sub.apply_due_transfers(at_min(1)).size(), 1u);
+  ASSERT_EQ(sub.serving_feeder(0), 1u);
+  // Feeder 1 (borrower) goes over trigger with feeder 2 wide open.
+  // The donor is kept hot (95 + 30 returned >= trigger) so the
+  // emergency give-back cannot resolve it either: nothing may move.
+  sub.plan_transfers(at_min(5), {95.0, 150.0, 10.0}, loads(30.0));
+  EXPECT_TRUE(sub.apply_due_transfers(at_min(6)).empty());
+  EXPECT_EQ(sub.tie_stats().transfers, 1u);
+  EXPECT_EQ(sub.serving_feeder(0), 1u);
+  // Feeder 2 overloads; its ring ties reach 0 (a lender — excluded)
+  // and 1 (a borrower — a legal receiver, but without headroom).
+  // Nothing moves, and in particular lender 0's headroom is off
+  // limits.
+  sub.plan_transfers(at_min(7), {40.0, 95.0, 150.0}, loads(30.0));
+  EXPECT_TRUE(sub.apply_due_transfers(at_min(8)).empty());
+  EXPECT_EQ(sub.tie_stats().transfers, 1u);
+}
+
+TEST(TieSwitch, DeeplyOverloadedDonorLendsRepeatedly) {
+  // One transfer moves at most max_transfer_fraction of the donor's
+  // load; a 2x-overloaded shard needs several bites. Once a transfer
+  // is ACTIVE (actuated, so its effect shows in the observed loads)
+  // the donor may lend again — only PENDING operations freeze it.
+  Substation sub = two_feeders();
+  sub.plan_transfers(at_min(0), {200.0, 10.0}, loads(25.0));
+  ASSERT_EQ(sub.next_tie_deadline(at_min(0)), at_min(1));
+  // Still pending: planning again at the same loads must not stack a
+  // second operation on the frozen pair.
+  sub.plan_transfers(at_min(0), {200.0, 10.0}, loads(25.0));
+  ASSERT_EQ(sub.apply_due_transfers(at_min(1)).size(), 1u);
+  EXPECT_EQ(sub.tie_stats().transfers, 1u);
+  // First bite: budget min(200-90, 0.5*200, 0.9*100-10) = 80 moved
+  // three 25 kW premises. The donor is still over trigger, the first
+  // transfer is active (not pending), so a second bite follows.
+  sub.plan_transfers(at_min(2), {120.0, 50.0}, loads(25.0));
+  const std::vector<TieEvent> second = sub.apply_due_transfers(at_min(3));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_FALSE(second.front().give_back);
+  EXPECT_EQ(sub.tie_stats().transfers, 2u);
+  EXPECT_EQ(sub.active_transfers().size(), 2u);
+}
+
+TEST(TieSwitch, ReceiverDistressForcesGiveBackThroughTheHold) {
+  Substation sub = two_feeders();
+  sub.plan_transfers(at_min(0), {120.0, 20.0}, loads(30.0));
+  ASSERT_EQ(sub.apply_due_transfers(at_min(1)).size(), 1u);
+  // Well inside the 30 min hold the receiver's own load surges over
+  // its trigger band while the donor could take the premises back
+  // without re-triggering: the emergency give-back overrides the
+  // hold (holding load on a failing bank beats nothing but churn).
+  sub.plan_transfers(at_min(5), {60.0, 105.0}, loads(30.0));
+  const std::vector<TieEvent> events = sub.apply_due_transfers(at_min(6));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events.front().give_back);
+  EXPECT_EQ(sub.serving_feeder(0), 0u);
+  // But with BOTH ends over trigger there is no good move: the
+  // transfer stands.
+  sub.plan_transfers(at_min(10), {120.0, 20.0}, loads(30.0));
+  ASSERT_EQ(sub.apply_due_transfers(at_min(11)).size(), 1u);
+  sub.plan_transfers(at_min(15), {90.0, 120.0}, loads(30.0));
+  EXPECT_TRUE(sub.apply_due_transfers(at_min(16)).empty());
+}
+
+TEST(TieSwitch, ExplicitTiePairsLimitTheTopology) {
+  TieConfig tie = tie_defaults();
+  tie.ties = {{0, 1}};
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1}));
+  plans.push_back(plan({2, 3}));
+  plans.push_back(plan({4, 5}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1),
+                 std::move(tie));
+  // Feeder 2 is overloaded with both others wide open, but no tie
+  // reaches it.
+  sub.plan_transfers(at_min(0), {10.0, 10.0, 150.0}, loads(50.0));
+  EXPECT_EQ(sub.next_tie_deadline(at_min(0)), sim::TimePoint::max());
+  // Feeder 0 can still hand off across its configured tie.
+  sub.plan_transfers(at_min(1), {150.0, 10.0, 150.0}, loads(50.0));
+  const std::vector<TieEvent> events = sub.apply_due_transfers(at_min(2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.front().to, 1u);
+}
+
+TEST(TieSwitch, SubscriptionsSurviveMigration) {
+  Substation sub = two_feeders();
+  // Latency/opt-in of premise 0 as drawn on its home bus.
+  const Subscriber before = sub.bus(0).subscriber(0);
+  sub.plan_transfers(at_min(0), {120.0, 20.0}, loads(30.0));
+  ASSERT_EQ(sub.apply_due_transfers(at_min(1)).size(), 1u);
+  // Premise 0 is now member 0 of feeder 1's bus (global ids ascend).
+  ASSERT_EQ(sub.bus(1).premise_id(0), 0u);
+  const Subscriber after = sub.bus(1).subscriber(0);
+  EXPECT_EQ(before.latency, after.latency);
+  EXPECT_EQ(before.opted_in, after.opted_in);
+  EXPECT_EQ(before.can_comply, after.can_comply);
+}
+
+TEST(TieSwitch, DisabledTiesNeverPlan) {
+  TieConfig tie = tie_defaults();
+  tie.enabled = false;
+  Substation sub = two_feeders(std::move(tie));
+  sub.plan_transfers(at_min(0), {200.0, 0.0}, loads(50.0));
+  EXPECT_EQ(sub.next_tie_deadline(at_min(0)), sim::TimePoint::max());
+  EXPECT_TRUE(sub.apply_due_transfers(at_min(10)).empty());
+  EXPECT_EQ(sub.tie_stats().switch_operations, 0u);
+}
+
+TEST(TieSwitch, ZeroLatencyOpsStillReportADeadline) {
+  // A zero-latency switch planned at barrier t is due at t itself —
+  // after apply_due_transfers already ran. It must still show up as a
+  // deadline so the event engine's barrier clamp lands the actuation
+  // one control interval later, where the polled loop would land it.
+  TieConfig tie = tie_defaults();
+  tie.switch_latency = sim::Duration::zero();
+  Substation sub = two_feeders(std::move(tie));
+  sub.plan_transfers(at_min(10), {120.0, 20.0}, loads(30.0));
+  EXPECT_EQ(sub.next_tie_deadline(at_min(10)), at_min(10));
+  EXPECT_EQ(sub.apply_due_transfers(at_min(11)).size(), 1u);
+}
+
+TEST(TieSwitch, SingleFeederHasNoNeighbors) {
+  std::vector<FeederPlan> plans;
+  plans.push_back(plan({0, 1, 2}));
+  Substation sub(SubstationConfig{}, std::move(plans), sim::Rng(1),
+                 tie_defaults());
+  sub.plan_transfers(at_min(0), {500.0}, loads(100.0));
+  EXPECT_EQ(sub.next_tie_deadline(at_min(0)), sim::TimePoint::max());
+}
+
+TEST(TieSwitch, RejectsBadTieConfigs) {
+  {
+    TieConfig tie = tie_defaults();
+    tie.ties = {{0, 7}};
+    std::vector<FeederPlan> plans;
+    plans.push_back(plan({0}));
+    plans.push_back(plan({1}));
+    EXPECT_THROW(Substation(SubstationConfig{}, std::move(plans),
+                            sim::Rng(1), std::move(tie)),
+                 std::invalid_argument);
+  }
+  {
+    TieConfig tie = tie_defaults();
+    tie.max_transfer_fraction = 0.0;
+    std::vector<FeederPlan> plans;
+    plans.push_back(plan({0}));
+    plans.push_back(plan({1}));
+    EXPECT_THROW(Substation(SubstationConfig{}, std::move(plans),
+                            sim::Rng(1), std::move(tie)),
+                 std::invalid_argument);
+  }
+  {
+    // No hysteresis gap: give-back at/above the trigger would
+    // ping-pong the switch every hold_time.
+    TieConfig tie = tie_defaults();
+    tie.give_back_utilization = tie.trigger_utilization;
+    std::vector<FeederPlan> plans;
+    plans.push_back(plan({0}));
+    plans.push_back(plan({1}));
+    EXPECT_THROW(Substation(SubstationConfig{}, std::move(plans),
+                            sim::Rng(1), std::move(tie)),
+                 std::invalid_argument);
+  }
+}
+
+TEST(TieSwitch, MembershipChangeDropsPartialControllerHolds) {
+  // The controller forgets a partial trigger hold when its member set
+  // changes: the shed must re-earn its hold minutes against the
+  // post-transfer aggregate.
+  DrConfig dr;
+  dr.trigger_utilization = 1.0;
+  dr.trigger_temp_pu = 10.0;  // thermal trigger out of the way
+  dr.trigger_hold = sim::minutes(3);
+  DemandResponseController c(feeder(100.0), dr);
+  EXPECT_TRUE(c.observe(at_min(0), 120.0).empty());  // arming starts
+  EXPECT_TRUE(c.observe(at_min(2), 120.0).empty());
+  c.on_membership_change(at_min(2));
+  // Without the reset this observation would complete the hold and
+  // shed; with it, minute 3 only re-arms.
+  EXPECT_TRUE(c.observe(at_min(3), 120.0).empty());
+  EXPECT_TRUE(c.observe(at_min(5), 120.0).empty());
+  EXPECT_EQ(c.observe(at_min(6), 120.0).size(), 1u);  // re-earned hold
+}
+
+TEST(TieSwitch, MembershipChangeResetsClearHoldMidShed) {
+  DrConfig dr;
+  dr.trigger_utilization = 1.0;
+  dr.trigger_temp_pu = 10.0;
+  dr.trigger_hold = sim::minutes(1);
+  dr.clear_utilization = 0.8;
+  dr.clear_hold = sim::minutes(5);
+  dr.shed_duration = sim::minutes(60);
+  DemandResponseController c(feeder(100.0), dr);
+  (void)c.observe(at_min(0), 120.0);
+  ASSERT_EQ(c.observe(at_min(1), 120.0).size(), 1u);  // shed fires
+  ASSERT_TRUE(c.shed_active());
+  // Relief accumulates toward the clear hold...
+  (void)c.observe(at_min(2), 70.0);
+  (void)c.observe(at_min(5), 70.0);
+  c.on_membership_change(at_min(5));
+  // ...but the membership change resets it: minute 7 would have
+  // completed the hold running since minute 2. Instead relief only
+  // restarts the hold there, and the all-clear needs five fresh
+  // minutes — minute 12.
+  EXPECT_TRUE(c.observe(at_min(7), 70.0).empty());
+  EXPECT_TRUE(c.observe(at_min(9), 70.0).empty());
+  EXPECT_EQ(c.observe(at_min(12), 70.0).size(), 1u);  // all-clear
+  EXPECT_FALSE(c.shed_active());
+}
+
+}  // namespace
+}  // namespace han::grid
