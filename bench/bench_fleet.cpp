@@ -8,6 +8,8 @@
 //     thread axis degenerates to speedup 1x.
 // Then runs google-benchmark timings over a small fleet.
 //
+// Pass `--json out.json` to also write the headline metrics as JSON.
+//
 // Environment knobs (CI smoke runs use tiny values):
 //   HAN_FLEET_PREMISES   fleet size for the thread table and the
 //                        largest row of the size table (default 200)
@@ -26,7 +28,7 @@ namespace {
 using namespace han;
 using bench::env_size;
 
-void print_scaling_table() {
+void print_scaling_table(bench::JsonReport& report) {
   const std::size_t premises = env_size("HAN_FLEET_PREMISES", 200);
   const std::size_t max_threads = env_size("HAN_FLEET_MAX_THREADS", 8);
 
@@ -55,12 +57,15 @@ void print_scaling_table() {
     table.add_row({std::to_string(threads), metrics::fmt(seconds, 3),
                    metrics::fmt(seconds > 0 ? base_seconds / seconds : 0.0),
                    metrics::fmt(result.feeder.coincident_peak_kw)});
+    report.set("thread_scaling",
+               "wall_s_t" + std::to_string(threads), seconds);
   }
+  report.set("thread_scaling", "premises", static_cast<double>(premises));
   table.print(std::cout);
   std::printf("\n(identical peak on every row = thread-count independence)\n");
 }
 
-void print_premise_sweep_table() {
+void print_premise_sweep_table(bench::JsonReport& report) {
   const std::size_t max_premises = env_size("HAN_FLEET_PREMISES", 200);
   const std::size_t threads = env_size("HAN_FLEET_SWEEP_THREADS", 1);
 
@@ -88,6 +93,8 @@ void print_premise_sweep_table() {
         {std::to_string(premises), metrics::fmt(seconds, 3),
          metrics::fmt(1000.0 * seconds / static_cast<double>(premises), 2),
          metrics::fmt(result.feeder.coincident_peak_kw)});
+    report.set("premise_scaling",
+               "wall_s_p" + std::to_string(premises), seconds);
   }
   table.print(std::cout);
 }
@@ -111,8 +118,11 @@ BENCHMARK(BM_FleetScaleSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scaling_table();
-  print_premise_sweep_table();
+  const std::string json_path = han::bench::take_json_flag(argc, argv);
+  han::bench::JsonReport report;
+  print_scaling_table(report);
+  print_premise_sweep_table(report);
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,13 @@
 // plain run() vs run_grid() disabled (pure lockstep overhead) vs
 // run_grid() enabled (overhead + control).
 //
+// Also prints a fidelity-tier throughput sweep (open-loop premises/sec
+// at full / device / statistical fidelity plus each cheap tier's feeder
+// energy divergence from full — the numbers EXPERIMENTS.md records).
+//
+// Pass `--json out.json` to also write the headline metrics as JSON
+// (CI archives BENCH_grid.json).
+//
 // Environment knobs (CI smoke runs use tiny values):
 //   HAN_GRID_PREMISES   fleet size for the efficacy table (default 100)
 //   HAN_GRID_THREADS    executor width for the table (default 0 = hw)
@@ -31,7 +38,7 @@ double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
-void print_efficacy_table() {
+void print_efficacy_table(bench::JsonReport& report) {
   const std::size_t premises = env_size("HAN_GRID_PREMISES", 100);
   const std::size_t threads = env_size("HAN_GRID_THREADS", 0);
 
@@ -82,6 +89,66 @@ void print_efficacy_table() {
                   on.fleet.feeder.overload_minutes,
               bench::reduction_pct(off.fleet.feeder.overload_minutes,
                                    on.fleet.feeder.overload_minutes));
+
+  report.set("dr_heat_wave", "premises", static_cast<double>(premises));
+  report.set("dr_heat_wave", "open_overload_minutes",
+             off.fleet.feeder.overload_minutes);
+  report.set("dr_heat_wave", "closed_overload_minutes",
+             on.fleet.feeder.overload_minutes);
+  report.set("dr_heat_wave", "shed_signals",
+             static_cast<double>(on.dr.shed_signals));
+  report.set("dr_heat_wave", "open_wall_s", off_s);
+  report.set("dr_heat_wave", "closed_wall_s", on_s);
+}
+
+void print_fidelity_sweep(bench::JsonReport& report) {
+  const std::size_t premises = env_size("HAN_GRID_PREMISES", 100);
+  const std::size_t threads = env_size("HAN_GRID_THREADS", 0);
+
+  std::printf(
+      "\n================================================================\n"
+      "fidelity tiers — open-loop throughput per tier (scale_sweep)\n"
+      "full = HAN simulation, device = duty-cycle state machines,\n"
+      "stat = calibrated surrogate; divergence is feeder aggregate\n"
+      "energy vs the full run (see README 'Fidelity tiers')\n"
+      "================================================================\n");
+  std::printf("premises: %zu, horizon: 6 h, seed 1\n\n", premises);
+
+  fleet::Executor executor(threads);
+  const fleet::FleetConfig base =
+      fleet::make_scenario(fleet::ScenarioKind::kScaleSweep, premises, 1);
+
+  metrics::TextTable table({"tier", "wall (s)", "premises/s",
+                            "energy rel err vs full"});
+  metrics::TimeSeries full_load;
+  for (const char* flag : {"full", "device", "stat"}) {
+    fleet::FleetConfig cfg = base;
+    cfg.fidelity = *fidelity::policy_from_flag(flag);
+    const fleet::FleetEngine engine(cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const fleet::FleetResult r = engine.run(executor);
+    const double secs = wall_seconds(t0);
+    double rel_err = 0.0;
+    if (std::string(flag) == "full") {
+      full_load = r.feeder_load;
+    } else {
+      rel_err = metrics::divergence(full_load, r.feeder_load).energy_rel_err;
+    }
+    const double rate =
+        secs > 0.0 ? static_cast<double>(premises) / secs : 0.0;
+    table.add_row({flag, metrics::fmt(secs, 3), metrics::fmt(rate, 1),
+                   std::string(flag) == "full" ? "-"
+                                               : metrics::fmt(rel_err, 4)});
+    const std::string section = std::string("fidelity_") + flag;
+    report.set(section, "premises", static_cast<double>(premises));
+    report.set(section, "wall_s", secs);
+    report.set(section, "premises_per_sec", rate);
+    report.set(section, "energy_rel_err_vs_full", rel_err);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\ncheap tiers trade per-premise exactness for scale; the feeder\n"
+      "aggregate stays pinned by tests/fidelity/test_calibration.cpp.\n");
 }
 
 void print_shard_sweep() {
@@ -277,9 +344,13 @@ BENCHMARK(BM_ControllerObserve)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_efficacy_table();
+  const std::string json_path = han::bench::take_json_flag(argc, argv);
+  han::bench::JsonReport report;
+  print_efficacy_table(report);
   print_shard_sweep();
   print_event_sweep();
+  print_fidelity_sweep(report);
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,11 +13,80 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/han.hpp"
 
 namespace han::bench {
+
+/// Machine-readable counterpart of the printed tables: one level of
+/// nesting ({"section": {"key": number}}), insertion-ordered. CI
+/// archives the file (BENCH_grid.json) next to the human logs so perf
+/// regressions diff as JSON, not as table scraping.
+class JsonReport {
+ public:
+  void set(const std::string& section, const std::string& key,
+           double value) {
+    for (auto& [name, entries] : sections_) {
+      if (name == section) {
+        entries.emplace_back(key, value);
+        return;
+      }
+    }
+    sections_.push_back({section, {{key, value}}});
+  }
+
+  /// Writes the report; false (with a stderr note) on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n";
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      out << "  \"" << sections_[s].first << "\": {\n";
+      const auto& entries = sections_[s].second;
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", entries[e].second);
+        out << "    \"" << entries[e].first << "\": " << buf
+            << (e + 1 < entries.size() ? "," : "") << "\n";
+      }
+      out << "  }" << (s + 1 < sections_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    return out.good();
+  }
+
+ private:
+  std::vector<std::pair<
+      std::string, std::vector<std::pair<std::string, double>>>>
+      sections_;
+};
+
+/// Peels "--json out.json" / "--json=out.json" from argv — before
+/// benchmark::Initialize, which rejects flags it does not know —
+/// and returns the path ("" when absent).
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
 
 /// True when HAN_BENCH_FAST=1: use the abstract CP for reproductions.
 inline bool fast_mode() {

@@ -2,11 +2,13 @@
 //
 //   $ ./demand_response [scenario] [premises] [threads] [seed] [log_csv]
 //                       [feeders] [mode] [--transfers[=on|off]]
+//                       [--fidelity=full|device|stat|mixed:P]
 //   $ ./demand_response dr_heat_wave 100 0 1 signals.csv
 //   $ ./demand_response multi_feeder 100 0 1 signals.csv 4
 //   $ ./demand_response dr_heat_wave 100 0 1 signals.csv 0 event
 //   $ ./demand_response multi_feeder 100 0 1 signals.csv 8 polled --transfers
 //   $ ./demand_response tie_switch 100 0 1 signals.csv 0 polled --transfers=off
+//   $ ./demand_response dr_heat_wave 10000 0 1 signals.csv 0 polled --fidelity=stat
 //   $ ./demand_response --list
 //
 // `mode` selects the control plane: `polled` (default; fixed
@@ -15,6 +17,11 @@
 // `--transfers` (anywhere on the line) forces the substation tie
 // switches on; `--transfers=off` mutes them even for presets that
 // enable them (tie_switch with transfers off is multi_feeder exactly).
+// `--fidelity` picks the premise backend tier (default full):
+// `device` steps duty-cycle state machines without the radio plane,
+// `stat` runs the calibrated statistical surrogate, and `mixed:P`
+// keeps fraction P of each feeder at full fidelity (stratified,
+// at least one per feeder) with the rest statistical.
 //
 // Runs the named scenario twice with the same seed — open loop (DR
 // controller muted) and closed loop — and prints what closing the loop
@@ -43,9 +50,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Peel the --transfers flag off wherever it sits, leaving the
-  // positional arguments where arg_count expects them.
+  // Peel the --transfers/--fidelity flags off wherever they sit,
+  // leaving the positional arguments where arg_count expects them.
   int transfers_override = -1;  // -1 preset, 0 off, 1 on
+  fidelity::FidelityPolicy fidelity_policy;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transfers") == 0 ||
@@ -53,6 +61,16 @@ int main(int argc, char** argv) {
       transfers_override = 1;
     } else if (std::strcmp(argv[i], "--transfers=off") == 0) {
       transfers_override = 0;
+    } else if (std::strncmp(argv[i], "--fidelity=", 11) == 0) {
+      const auto parsed = fidelity::policy_from_flag(argv[i] + 11);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --fidelity value '%s' "
+                     "(want full | device | stat | mixed:P)\n",
+                     argv[i] + 11);
+        return 1;
+      }
+      fidelity_policy = *parsed;
     } else {
       positional.push_back(argv[i]);
     }
@@ -100,6 +118,7 @@ int main(int argc, char** argv) {
   fleet::FleetConfig closed = fleet::make_scenario(*kind, premises, seed);
   closed.grid.enabled = true;  // close the loop even for non-DR presets
   closed.grid.control_mode = control_mode;
+  closed.fidelity = fidelity_policy;
   if (feeder_override > 0) closed.feeder_count = feeder_override;
   if (transfers_override >= 0) {
     closed.grid.tie.enabled = transfers_override == 1;
@@ -109,10 +128,12 @@ int main(int argc, char** argv) {
 
   fleet::Executor executor(threads);
   std::printf("demand_response — %s, %zu premises, %zu feeder(s), "
-              "%.0f h horizon, %zu threads, seed %llu, %s control\n\n",
+              "%.0f h horizon, %zu threads, seed %llu, %s control, "
+              "%s fidelity\n\n",
               scenario_name.c_str(), premises, closed.feeder_count,
               closed.horizon.hours_f(), executor.thread_count(),
-              static_cast<unsigned long long>(seed), mode.c_str());
+              static_cast<unsigned long long>(seed), mode.c_str(),
+              fidelity::to_string(fidelity_policy).c_str());
 
   const fleet::GridFleetResult off =
       fleet::FleetEngine(open).run_grid(executor);

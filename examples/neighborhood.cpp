@@ -1,20 +1,25 @@
 // neighborhood — fleet-scale simulation of many premises on one feeder.
 //
 //   $ ./neighborhood [scenario] [premises] [threads] [seed] [csv_path]
+//                    [--fidelity=full|device|stat|mixed:P]
 //   $ ./neighborhood evening_peak 100 0 1 neighborhood.csv
+//   $ ./neighborhood scale_sweep 100000 0 1 sweep.csv --fidelity=stat
 //   $ ./neighborhood --list
 //
 // Runs the named fleet scenario (default: evening_peak, 100 premises,
 // 24 simulated hours) on the work-stealing executor, prints the feeder
 // metrics the utility cares about, and writes the aggregate feeder load
 // series as CSV. An unknown scenario name is an error (never a silent
-// fallback); --list prints the registered presets. Deterministic: the
-// same scenario/premises/seed yields a byte-identical CSV for any
-// thread count.
+// fallback); --list prints the registered presets. `--fidelity` picks
+// the premise backend tier (default full; see src/fidelity/).
+// Deterministic: the same scenario/premises/seed/fidelity yields a
+// byte-identical CSV for any thread count.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/han.hpp"
 #include "example_util.hpp"
@@ -28,6 +33,27 @@ int main(int argc, char** argv) {
     print_scenarios(stdout);
     return 0;
   }
+
+  // Peel --fidelity off wherever it sits; positionals stay in place.
+  fidelity::FidelityPolicy fidelity_policy;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fidelity=", 11) == 0) {
+      const auto parsed = fidelity::policy_from_flag(argv[i] + 11);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --fidelity value '%s' "
+                     "(want full | device | stat | mixed:P)\n",
+                     argv[i] + 11);
+        return 1;
+      }
+      fidelity_policy = *parsed;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size());
+  argv = positional.data();
 
   const std::string scenario_name = argc > 1 ? argv[1] : "evening_peak";
   const std::size_t premises = arg_count(argc, argv, 2, 100);
@@ -56,14 +82,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const fleet::FleetConfig cfg =
-      fleet::make_scenario(*kind, premises, seed);
+  fleet::FleetConfig cfg = fleet::make_scenario(*kind, premises, seed);
+  cfg.fidelity = fidelity_policy;
   fleet::Executor executor(threads);
   std::printf("neighborhood — %s, %zu premises, %.0f h horizon, "
-              "%zu threads, seed %llu\n\n",
+              "%zu threads, seed %llu, %s fidelity\n\n",
               scenario_name.c_str(), premises, cfg.horizon.hours_f(),
               executor.thread_count(),
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed),
+              fidelity::to_string(fidelity_policy).c_str());
 
   const fleet::FleetEngine engine(cfg);
   const fleet::FleetResult result = engine.run(executor);

@@ -29,6 +29,9 @@
 #include "core/experiment.hpp"
 #include "core/han_network.hpp"
 #include "core/status_codec.hpp"
+#include "fidelity/backend.hpp"
+#include "fidelity/calibration.hpp"
+#include "fidelity/fidelity.hpp"
 #include "fleet/aggregate.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/executor.hpp"
@@ -38,6 +41,7 @@
 #include "grid/feeder.hpp"
 #include "grid/signal.hpp"
 #include "metrics/csv.hpp"
+#include "metrics/divergence.hpp"
 #include "metrics/hotspot.hpp"
 #include "metrics/load_monitor.hpp"
 #include "metrics/stats.hpp"

@@ -222,6 +222,13 @@ void HanNetwork::inject_request(const appliance::Request& request) {
   }
   ++requests_injected_;
   sim_.schedule_at(request.at, [this, request]() {
+    if (config_.tariff_defer && tariff_tier_ == grid::TariffTier::kPeak) {
+      // Discretionary demand arriving mid-peak parks at the gateway
+      // until the tier drops; it still counts as injected.
+      ++tariff_deferrals_;
+      parked_requests_.emplace_back(request.device, request.service);
+      return;
+    }
     dis_[request.device]->add_demand(request.service);
   });
 }
@@ -265,8 +272,20 @@ void HanNetwork::apply_grid_signal(const grid::GridSignal& signal) {
       shed_until_ = sim_.now();
       break;
     case grid::SignalKind::kTariffChange:
-      tariff_tier_ = signal.tier;
+      set_tariff_tier(signal.tier);
       break;
+  }
+}
+
+void HanNetwork::set_tariff_tier(grid::TariffTier tier) {
+  tariff_tier_ = tier;
+  if (tier == grid::TariffTier::kPeak || parked_requests_.empty()) return;
+  // Leaving peak: everything parked lands now, in arrival order. Swap
+  // first so a re-entrant peak signal cannot double-release.
+  std::vector<std::pair<std::size_t, sim::Duration>> parked;
+  parked.swap(parked_requests_);
+  for (const auto& [device, service] : parked) {
+    dis_[device]->add_demand(service);
   }
 }
 
@@ -299,6 +318,7 @@ NetworkStats HanNetwork::stats() const {
   s.requests_injected = requests_injected_;
   s.grid_signals_applied = grid_signals_applied_;
   s.grid_signals_misrouted = grid_signals_misrouted_;
+  s.tariff_deferrals = tariff_deferrals_;
   for (const auto& di : dis_) {
     s.min_dcd_violations += di->appliance().min_dcd_violations();
     s.service_gap_violations += di->stats().service_gap_violations;

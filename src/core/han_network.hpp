@@ -72,6 +72,12 @@ struct HanConfig {
   /// baseline, and none on coordinated premises that never receive a
   /// signal.
   bool dr_aware = false;
+  /// Premise-side tariff response: Type-2 requests arriving while the
+  /// signalled tier is kPeak are parked at the gateway and injected
+  /// the moment the premise leaves the peak tier (tariff broadcast or
+  /// migration adopt). Off by default — the tier is then purely
+  /// informational and recorded only.
+  bool tariff_defer = false;
   /// Feeder shard this premise hangs off (0 in single-feeder
   /// deployments). apply_grid_signal drops signals stamped with a
   /// different feeder id — the premise-side guard of sharded routing.
@@ -91,6 +97,9 @@ struct NetworkStats {
   /// routing bug upstream if it ever goes nonzero under the fleet
   /// engine).
   std::uint64_t grid_signals_misrouted = 0;
+  /// Requests parked at the gateway under HanConfig::tariff_defer
+  /// because they arrived during a peak tariff window.
+  std::uint64_t tariff_deferrals = 0;
   double cp_mean_coverage = 1.0;
   double mean_radio_duty = 0.0;   // 0 in abstract mode
   double total_radio_mah = 0.0;   // 0 in abstract mode
@@ -137,10 +146,10 @@ class HanNetwork {
   /// Adopts the serving feeder's tariff tier on migration: tariff
   /// changes are only broadcast at window boundaries, so without this
   /// a transferred premise would keep its old head end's tier (and
-  /// disagree with every neighbor) until the next boundary.
-  void set_tariff_tier(grid::TariffTier tier) noexcept {
-    tariff_tier_ = tier;
-  }
+  /// disagree with every neighbor) until the next boundary. Leaving
+  /// the peak tier (by broadcast or adoption) releases any requests
+  /// parked under HanConfig::tariff_defer.
+  void set_tariff_tier(grid::TariffTier tier);
   /// Demand-response pressure in force right now.
   [[nodiscard]] sched::GridPressure grid_pressure() const;
   /// Last tariff tier signalled to this premise.
@@ -206,6 +215,11 @@ class HanNetwork {
   std::vector<appliance::Type1Appliance> type1_;
   std::uint64_t requests_injected_ = 0;
   std::uint64_t grid_signals_misrouted_ = 0;
+
+  /// Requests parked during a peak window (tariff_defer only), in
+  /// arrival order; drained whenever the premise leaves the peak tier.
+  std::vector<std::pair<std::size_t, sim::Duration>> parked_requests_;
+  std::uint64_t tariff_deferrals_ = 0;
 
   // Grid / demand-response state (premise-wide; see apply_grid_signal).
   sim::Ticks shed_stretch_ = 1;

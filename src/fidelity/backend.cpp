@@ -1,0 +1,30 @@
+#include "fidelity/backend.hpp"
+
+#include "fidelity/device_backend.hpp"
+#include "fidelity/full_backend.hpp"
+#include "fidelity/statistical_backend.hpp"
+
+namespace han::fidelity {
+
+void PremiseBackend::migrate_to_feeder(std::size_t feeder,
+                                       grid::TariffTier /*tier*/) {
+  current_feeder_ = feeder;
+  filter_pending_for_feeder(feeder);
+}
+
+std::unique_ptr<PremiseBackend> make_backend(
+    FidelityTier tier, fleet::PremiseSpec spec,
+    const CalibrationTable& calibration) {
+  switch (tier) {
+    case FidelityTier::kFull:
+      return std::make_unique<FullBackend>(std::move(spec));
+    case FidelityTier::kDevice:
+      return std::make_unique<DeviceBackend>(std::move(spec));
+    case FidelityTier::kStatistical:
+      return std::make_unique<StatisticalBackend>(std::move(spec),
+                                                  calibration);
+  }
+  return std::make_unique<FullBackend>(std::move(spec));
+}
+
+}  // namespace han::fidelity

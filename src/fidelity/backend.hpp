@@ -1,0 +1,124 @@
+// han::fidelity — the premise backend interface the fleet engine drives.
+//
+// A PremiseBackend is one premise as the grid loop sees it, at any
+// fidelity tier: it absorbs grid signals at their delivery times,
+// advances to control barriers, reports its instantaneous contribution
+// to the feeder aggregate, migrates between feeders on tie transfers,
+// and finally yields the same PremiseResult a full simulation would.
+// Both barrier schedulers (polled and event-driven) drive every tier
+// through exactly this surface, which is what lets mixed-fidelity
+// fleets share the signal routing, transfer accounting and invariant
+// harness of the full engine unchanged.
+//
+// Signal-queue contract (mirrors the pre-fidelity engine exactly so
+// the full tier stays byte-identical): queued (deliver_at, signal)
+// pairs are FIFO by delivery time; advance_to(t) applies every pair
+// with deliver_at <= t at its exact delivery time; migrate_to_feeder
+// drops still-undelivered signals from the old head end (only entries
+// stamped with the NEW feeder survive) and adopts the new feeder's
+// tariff tier.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fidelity/fidelity.hpp"
+#include "fleet/engine.hpp"
+#include "grid/signal.hpp"
+
+namespace han::fidelity {
+
+class PremiseBackend {
+ public:
+  explicit PremiseBackend(fleet::PremiseSpec spec)
+      : spec_(std::move(spec)), current_feeder_(spec_.feeder) {}
+  virtual ~PremiseBackend() = default;
+
+  PremiseBackend(const PremiseBackend&) = delete;
+  PremiseBackend& operator=(const PremiseBackend&) = delete;
+
+  [[nodiscard]] virtual FidelityTier tier() const noexcept = 0;
+
+  /// The resolved premise inputs. spec().feeder stays the HOME feeder
+  /// for the whole run (PremiseResult reports home membership);
+  /// current_feeder() tracks tie transfers.
+  [[nodiscard]] const fleet::PremiseSpec& spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] std::size_t current_feeder() const noexcept {
+    return current_feeder_;
+  }
+
+  /// Enqueues a grid signal addressed to this premise for application
+  /// at `deliver_at` (>= the current barrier time by construction:
+  /// signals are emitted at barriers and latency is non-negative).
+  void queue_signal(sim::TimePoint deliver_at,
+                    const grid::GridSignal& signal) {
+    pending_.emplace_back(deliver_at, signal);
+  }
+
+  /// Advances the premise to barrier time `t`, applying queued signals
+  /// due inside the interval at their exact delivery times, and
+  /// refreshes inst_kw() to the contribution at `t` (Type-2 + diurnal
+  /// base).
+  virtual void advance_to(sim::TimePoint t) = 0;
+
+  /// Instantaneous feeder contribution at the last barrier (kW).
+  [[nodiscard]] double inst_kw() const noexcept { return inst_kw_; }
+
+  /// Re-homes the premise onto `feeder` (tie-switch transfer) and
+  /// adopts that head end's current tariff `tier`. Undelivered signals
+  /// from the old head end are dropped.
+  virtual void migrate_to_feeder(std::size_t feeder, grid::TariffTier tier);
+
+  /// Finishes the run: the sampled load series assembled into the same
+  /// PremiseResult shape a full simulation yields. Call once, after
+  /// the final advance_to().
+  [[nodiscard]] virtual fleet::PremiseResult finish() = 0;
+
+ protected:
+  /// Pops every queued signal due at or before `t`, in queue order.
+  /// Returns pairs ordered by delivery time (the engine queues them in
+  /// emission order; delivery times are non-decreasing per premise).
+  [[nodiscard]] std::vector<std::pair<sim::TimePoint, grid::GridSignal>>
+  take_due_signals(sim::TimePoint t) {
+    std::vector<std::pair<sim::TimePoint, grid::GridSignal>> due;
+    while (pending_next_ < pending_.size() &&
+           pending_[pending_next_].first <= t) {
+      due.push_back(pending_[pending_next_]);
+      ++pending_next_;
+    }
+    return due;
+  }
+
+  /// Drops still-undelivered signals not stamped with `feeder` (the
+  /// migration filter; matches the pre-fidelity engine verbatim).
+  void filter_pending_for_feeder(std::size_t feeder) {
+    std::size_t w = pending_next_;
+    for (std::size_t r = pending_next_; r < pending_.size(); ++r) {
+      if (pending_[r].second.feeder == feeder) {
+        pending_[w++] = pending_[r];
+      }
+    }
+    pending_.resize(w);
+  }
+
+  fleet::PremiseSpec spec_;
+  std::size_t current_feeder_ = 0;
+  double inst_kw_ = 0.0;
+
+ private:
+  /// Signals addressed to this premise, FIFO by delivery time.
+  std::vector<std::pair<sim::TimePoint, grid::GridSignal>> pending_;
+  std::size_t pending_next_ = 0;
+};
+
+/// Constructs the backend for `tier`. The spec must already carry the
+/// grid-run premise settings (dr_aware, tariff_defer) — backends do
+/// not flip those themselves.
+[[nodiscard]] std::unique_ptr<PremiseBackend> make_backend(
+    FidelityTier tier, fleet::PremiseSpec spec,
+    const CalibrationTable& calibration);
+
+}  // namespace han::fidelity

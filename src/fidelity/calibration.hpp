@@ -1,0 +1,91 @@
+// han::fidelity — versioned calibration tables for surrogate premises.
+//
+// The statistical premise tier predicts a premise's Type-2 load from
+// closed-form demand bookkeeping instead of simulating the HAN. The
+// prediction is anchored to the full model by a CalibrationTable fitted
+// offline from full-fidelity runs of the same PremiseSpec population:
+//
+//   predicted_kw(t) = rated_kw * active_devices(t) * duty_factor
+//                     * duty_gain * hourly_shape[hour(t)]
+//
+// plus a shed-response model (compliance fraction, rebound pool) and a
+// tariff-elasticity hook. Tables are versioned so a stored table from
+// an older fit format is rejected instead of silently misread.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+
+#include "metrics/timeseries.hpp"
+#include "sim/time.hpp"
+
+namespace han::fidelity {
+
+/// Fitted parameters of the statistical premise surrogate.
+struct CalibrationTable {
+  /// Format version; load() rejects tables from a different format.
+  static constexpr int kVersion = 1;
+  int version = kVersion;
+
+  /// Multiplicative hour-of-day correction on the duty-factor
+  /// prediction (what the CP boot, round latency and slot quantization
+  /// do to the naive estimate, resolved by hour). Unit (all-1.0) in an
+  /// unfitted table.
+  std::array<double, 24> hourly_shape{1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                                      1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                                      1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                                      1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  /// Global gain on the duty-factor prediction (hour-independent part
+  /// of the fit).
+  double duty_gain = 1.0;
+  /// Fraction of the stretch-implied reduction a complying premise
+  /// actually delivers during a DR shed.
+  double shed_compliance = 1.0;
+  /// Fraction of shed-suppressed energy that returns after the shed
+  /// (deferred duty cycles catching up), and the exponential release
+  /// time constant of that rebound pool.
+  double rebound_fraction = 0.6;
+  sim::Duration rebound_tau = sim::minutes(30);
+  /// Fraction of predicted load deferred out of peak-tariff windows
+  /// (released through the same rebound pool when the peak ends).
+  double tariff_elasticity = 0.25;
+
+  /// The table shipped with the repo: fitted from full-fidelity
+  /// scale_sweep runs (see tests/fidelity/test_calibration.cpp for the
+  /// workflow that reproduces it).
+  [[nodiscard]] static CalibrationTable defaults();
+
+  /// CSV persistence (key,value rows; hourly_shape as 24 rows). The
+  /// loader returns nullopt on a malformed table or a version mismatch.
+  void save_csv(std::ostream& out) const;
+  [[nodiscard]] static std::optional<CalibrationTable> load_csv(
+      std::istream& in);
+
+  bool operator==(const CalibrationTable&) const = default;
+};
+
+/// Offline fit of the hourly shape + duty gain: accumulate
+/// (observed full-fidelity series, raw surrogate prediction series)
+/// pairs — same sample grid — then fit(). Hours with no prediction
+/// energy keep shape 1.0.
+class Calibrator {
+ public:
+  void add(const metrics::TimeSeries& observed,
+           const metrics::TimeSeries& predicted);
+
+  /// Number of series pairs accumulated.
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  /// Fits a table from the accumulated sums; remaining fields (shed
+  /// response, tariff elasticity) are taken from `base`.
+  [[nodiscard]] CalibrationTable fit(
+      const CalibrationTable& base = CalibrationTable{}) const;
+
+ private:
+  std::array<double, 24> observed_{};
+  std::array<double, 24> predicted_{};
+  std::size_t samples_ = 0;
+};
+
+}  // namespace han::fidelity

@@ -1,0 +1,200 @@
+#include "fidelity/device_backend.hpp"
+
+#include <algorithm>
+
+#include "sched/coordinated.hpp"
+#include "sched/uncoordinated.hpp"
+
+namespace han::fidelity {
+
+DeviceBackend::DeviceBackend(fleet::PremiseSpec spec)
+    : PremiseBackend(std::move(spec)) {
+  const core::HanConfig& han = spec_.experiment.han;
+  coordinated_ = han.scheduler == core::SchedulerKind::kCoordinated;
+  dr_aware_ = han.dr_aware;
+  tariff_defer_ = han.tariff_defer;
+  min_dcd_ = han.constraints.min_dcd();
+  max_dcp_ = han.constraints.max_dcp();
+  rated_kw_ = han.rated_kw;
+  devs_.resize(han.device_count);
+  next_sample_ = sim::TimePoint::epoch() + spec_.experiment.cp_boot;
+  series_ = metrics::TimeSeries(next_sample_,
+                                spec_.experiment.sample_interval);
+}
+
+sched::GridPressure DeviceBackend::pressure_at(sim::TimePoint t) const {
+  sched::GridPressure p;
+  if (dr_aware_ && t < shed_until_ && shed_stretch_ > 1) {
+    p.shed_active = true;
+    p.period_stretch = shed_stretch_;
+  }
+  return p;
+}
+
+bool DeviceBackend::device_on(const Dev& d, sim::TimePoint t) const {
+  if (d.demand_until <= t) return false;
+  if (!coordinated_) {
+    return sched::UncoordinatedScheduler::free_running_on(
+        t, d.demand_since, min_dcd_, max_dcp_);
+  }
+  if (d.slot == sched::kNoSlot) return false;
+  const sim::Duration eff =
+      sched::effective_max_dcp(max_dcp_, pressure_at(t));
+  return sched::CoordinatedScheduler::slot_window_on(t, d.slot, min_dcd_,
+                                                     eff);
+}
+
+double DeviceBackend::type2_kw(sim::TimePoint t) const {
+  double kw = 0.0;
+  for (const Dev& d : devs_) {
+    if (device_on(d, t)) kw += rated_kw_;
+  }
+  return kw;
+}
+
+sched::GlobalView DeviceBackend::view_at(sim::TimePoint t) const {
+  sched::GlobalView view;
+  view.now = t;
+  view.grid = pressure_at(t);
+  view.devices.reserve(devs_.size());
+  for (std::size_t i = 0; i < devs_.size(); ++i) {
+    const Dev& d = devs_[i];
+    sched::DeviceStatus s;
+    s.id = static_cast<net::NodeId>(i);
+    s.has_demand = d.demand_until > t;
+    s.relay_on = device_on(d, t);
+    s.demand_since = d.demand_since;
+    s.demand_until = d.demand_until;
+    s.min_dcd = min_dcd_;
+    s.max_dcp = max_dcp_;
+    s.rated_kw = rated_kw_;
+    s.slot = d.slot;
+    view.devices.push_back(s);
+  }
+  return view;
+}
+
+void DeviceBackend::arrival(sim::TimePoint at,
+                            const appliance::Request& r) {
+  if (r.device >= devs_.size()) return;
+  if (tariff_defer_ && tariff_tier_ == grid::TariffTier::kPeak) {
+    // Discretionary demand waits out the peak window; it re-arrives
+    // when the tier drops (see set_tariff).
+    appliance::Request parked = r;
+    parked.at = at;
+    deferred_.push_back(parked);
+    ++tariff_deferrals_;
+    return;
+  }
+  Dev& d = devs_[r.device];
+  const bool fresh = d.demand_until <= at;
+  if (fresh) {
+    d.demand_since = at;
+    d.demand_until = at;
+    d.slot = sched::kNoSlot;
+  }
+  // Mirror Type2Appliance::add_demand: demand spans a whole number of
+  // maxDCP periods from its start.
+  const sim::TimePoint until = std::max(d.demand_until, at + r.service);
+  const sim::Duration span = until - d.demand_since;
+  const sim::Ticks periods =
+      std::max<sim::Ticks>(1, (span.us() + max_dcp_.us() - 1) / max_dcp_.us());
+  d.demand_until = d.demand_since + max_dcp_ * periods;
+  if (fresh && coordinated_) {
+    // The owning DI claims the least-occupied slot once per demand.
+    sched::DeviceStatus self;
+    self.id = static_cast<net::NodeId>(r.device);
+    self.has_demand = true;
+    self.demand_since = d.demand_since;
+    self.demand_until = d.demand_until;
+    self.min_dcd = min_dcd_;
+    self.max_dcp = max_dcp_;
+    self.rated_kw = rated_kw_;
+    const bool apply_grid = dr_aware_ && pressure_at(at).shed_active;
+    d.slot = sched::CoordinatedScheduler::pick_slot(view_at(at), self,
+                                                    apply_grid);
+  }
+}
+
+void DeviceBackend::set_tariff(sim::TimePoint at, grid::TariffTier tier) {
+  tariff_tier_ = tier;
+  if (!tariff_defer_ || tier == grid::TariffTier::kPeak) return;
+  // The peak window ended: parked requests re-arrive now, in order.
+  std::vector<appliance::Request> parked;
+  parked.swap(deferred_);
+  for (const appliance::Request& r : parked) arrival(at, r);
+}
+
+void DeviceBackend::apply_signal(sim::TimePoint at,
+                                 const grid::GridSignal& s) {
+  if (s.feeder != current_feeder_) {
+    ++signals_misrouted_;
+    return;
+  }
+  ++signals_applied_;
+  switch (s.kind) {
+    case grid::SignalKind::kDrShed:
+      shed_stretch_ = std::max<sim::Ticks>(s.period_stretch, 1);
+      shed_until_ = at + s.duration;
+      break;
+    case grid::SignalKind::kAllClear:
+      shed_until_ = at;
+      break;
+    case grid::SignalKind::kTariffChange:
+      set_tariff(at, s.tier);
+      break;
+  }
+}
+
+void DeviceBackend::process_until(sim::TimePoint t) {
+  // Merge trace arrivals and due signals in time order (arrivals first
+  // on ties, matching the full simulator's insertion order).
+  const std::vector<appliance::Request>& trace = spec_.trace;
+  while (true) {
+    const bool have_req =
+        trace_next_ < trace.size() && trace[trace_next_].at <= t;
+    const bool have_sig =
+        due_next_ < due_.size() && due_[due_next_].first <= t;
+    if (!have_req && !have_sig) break;
+    if (have_req &&
+        (!have_sig || trace[trace_next_].at <= due_[due_next_].first)) {
+      const appliance::Request& r = trace[trace_next_++];
+      arrival(r.at, r);
+    } else {
+      const auto& [at, sig] = due_[due_next_++];
+      apply_signal(at, sig);
+    }
+  }
+  now_ = t;
+}
+
+void DeviceBackend::advance_to(sim::TimePoint t) {
+  due_ = take_due_signals(t);
+  due_next_ = 0;
+  while (next_sample_ <= t) {
+    process_until(next_sample_);
+    series_.append(type2_kw(next_sample_));
+    next_sample_ = next_sample_ + series_.interval();
+  }
+  process_until(t);
+  inst_kw_ =
+      type2_kw(t) + fleet::FleetEngine::diurnal_base_kw(spec_, t);
+}
+
+void DeviceBackend::migrate_to_feeder(std::size_t feeder,
+                                      grid::TariffTier tier) {
+  PremiseBackend::migrate_to_feeder(feeder, tier);
+  set_tariff(now_, tier);
+}
+
+fleet::PremiseResult DeviceBackend::finish() {
+  core::NetworkStats stats;
+  stats.requests_injected = spec_.trace.size();
+  stats.grid_signals_applied = signals_applied_;
+  stats.grid_signals_misrouted = signals_misrouted_;
+  stats.tariff_deferrals = tariff_deferrals_;
+  stats.cp_mean_coverage = 1.0;
+  return fleet::FleetEngine::assemble_premise_result(spec_, series_, stats);
+}
+
+}  // namespace han::fidelity

@@ -1,0 +1,94 @@
+// han::fidelity — the device-tier premise backend.
+//
+// Duty-cycle state machines stepped directly: every Type-2 device keeps
+// the paper's (minDCD, maxDCP) envelope and the premise schedules with
+// the SAME policy code the full simulation runs (the coordinated slot
+// ledger via CoordinatedScheduler's static helpers, or the free-running
+// uncoordinated baseline) — but over a locally built, always-perfect
+// view instead of CP rounds. What is skipped: the radio medium, CSMA,
+// flood dissemination, per-round events. What is kept: demand
+// bookkeeping (whole-maxDCP rounding), slot claims at demand start, DR
+// shed stretch with auto-expiry, the misroute guard, and the
+// peak-tariff deferral stub.
+//
+// Cost: O(trace + samples * devices) per premise instead of O(CP
+// rounds * devices^2); deviation from the full tier comes from CP
+// latency effects (claims land a round late, relays switch at round
+// boundaries) and is pinned by the calibration harness.
+#pragma once
+
+#include <vector>
+
+#include "appliance/workload.hpp"
+#include "fidelity/backend.hpp"
+#include "metrics/timeseries.hpp"
+#include "sched/view.hpp"
+
+namespace han::fidelity {
+
+class DeviceBackend final : public PremiseBackend {
+ public:
+  explicit DeviceBackend(fleet::PremiseSpec spec);
+
+  [[nodiscard]] FidelityTier tier() const noexcept override {
+    return FidelityTier::kDevice;
+  }
+  void advance_to(sim::TimePoint t) override;
+  void migrate_to_feeder(std::size_t feeder, grid::TariffTier tier) override;
+  [[nodiscard]] fleet::PremiseResult finish() override;
+
+  /// Last tariff tier signalled to this premise (tests).
+  [[nodiscard]] grid::TariffTier tariff_tier() const noexcept {
+    return tariff_tier_;
+  }
+  /// Instantaneous Type-2 load at `t` given the current state (tests).
+  [[nodiscard]] double type2_kw(sim::TimePoint t) const;
+  /// Sampled Type-2 series so far (pre-diurnal; tests/divergence).
+  [[nodiscard]] const metrics::TimeSeries& type2_series() const noexcept {
+    return series_;
+  }
+
+ private:
+  struct Dev {
+    sim::TimePoint demand_since;
+    sim::TimePoint demand_until;  // <= now means idle
+    std::uint8_t slot = sched::kNoSlot;
+  };
+
+  void process_until(sim::TimePoint t);
+  void arrival(sim::TimePoint at, const appliance::Request& r);
+  void apply_signal(sim::TimePoint at, const grid::GridSignal& s);
+  void set_tariff(sim::TimePoint at, grid::TariffTier tier);
+  [[nodiscard]] sched::GridPressure pressure_at(sim::TimePoint t) const;
+  [[nodiscard]] bool device_on(const Dev& d, sim::TimePoint t) const;
+  [[nodiscard]] sched::GlobalView view_at(sim::TimePoint t) const;
+
+  bool coordinated_ = true;
+  bool dr_aware_ = false;
+  bool tariff_defer_ = false;
+  sim::Duration min_dcd_;
+  sim::Duration max_dcp_;
+  double rated_kw_ = 1.0;
+
+  std::vector<Dev> devs_;
+  std::size_t trace_next_ = 0;
+  /// Signals due in the current advance, drained by process_until.
+  std::vector<std::pair<sim::TimePoint, grid::GridSignal>> due_;
+  std::size_t due_next_ = 0;
+
+  sim::Ticks shed_stretch_ = 1;
+  sim::TimePoint shed_until_ = sim::TimePoint::epoch();
+  grid::TariffTier tariff_tier_ = grid::TariffTier::kStandard;
+  /// Requests parked during a peak-tariff window (tariff_defer only).
+  std::vector<appliance::Request> deferred_;
+
+  metrics::TimeSeries series_;
+  sim::TimePoint next_sample_;
+  sim::TimePoint now_ = sim::TimePoint::epoch();
+
+  std::uint64_t signals_applied_ = 0;
+  std::uint64_t signals_misrouted_ = 0;
+  std::uint64_t tariff_deferrals_ = 0;
+};
+
+}  // namespace han::fidelity

@@ -1,0 +1,112 @@
+#include "fidelity/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace han::fidelity {
+
+std::string_view to_string(FidelityTier t) noexcept {
+  switch (t) {
+    case FidelityTier::kFull:
+      return "full";
+    case FidelityTier::kDevice:
+      return "device";
+    case FidelityTier::kStatistical:
+      return "stat";
+  }
+  return "?";
+}
+
+std::vector<FidelityTier> assign_tiers(
+    const FidelityPolicy& policy, std::uint64_t seed,
+    const std::vector<std::size_t>& feeder_of_premise,
+    std::size_t feeder_count) {
+  std::vector<FidelityTier> tiers(feeder_of_premise.size(),
+                                  FidelityTier::kFull);
+  if (policy.all_full()) return tiers;
+
+  const double f = std::max(0.0, policy.full_fraction);
+  // Feeder membership in index order — the rank every premise samples
+  // its stratum position from.
+  std::vector<std::vector<std::size_t>> members(feeder_count);
+  for (std::size_t i = 0; i < feeder_of_premise.size(); ++i) {
+    members[feeder_of_premise[i]].push_back(i);
+  }
+  for (std::size_t k = 0; k < feeder_count; ++k) {
+    const std::vector<std::size_t>& m = members[k];
+    if (m.empty()) continue;
+    // Systematic sampling with a per-feeder random phase: hits the
+    // target fraction within one premise per feeder, spread evenly
+    // over the rank order (which is index order, i.e. uncorrelated
+    // with any premise draw).
+    const double phase =
+        sim::Rng(seed).stream("fidelity", k).uniform();
+    std::size_t full_count = 0;
+    for (std::size_t r = 0; r < m.size(); ++r) {
+      const bool full =
+          std::floor(static_cast<double>(r + 1) * f + phase) >
+          std::floor(static_cast<double>(r) * f + phase);
+      tiers[m[r]] = full ? FidelityTier::kFull : policy.surrogate;
+      if (full) ++full_count;
+    }
+    const std::size_t want =
+        std::min(policy.min_full_per_feeder, m.size());
+    for (std::size_t r = 0; r < m.size() && full_count < want; ++r) {
+      if (tiers[m[r]] != FidelityTier::kFull) {
+        tiers[m[r]] = FidelityTier::kFull;
+        ++full_count;
+      }
+    }
+  }
+  return tiers;
+}
+
+std::optional<FidelityPolicy> policy_from_flag(std::string_view value) {
+  FidelityPolicy p;
+  if (value == "full") {
+    p.full_fraction = 1.0;
+    return p;
+  }
+  if (value == "device") {
+    p.surrogate = FidelityTier::kDevice;
+    p.full_fraction = 0.0;
+    p.min_full_per_feeder = 0;
+    return p;
+  }
+  if (value == "stat") {
+    p.surrogate = FidelityTier::kStatistical;
+    p.full_fraction = 0.0;
+    p.min_full_per_feeder = 0;
+    return p;
+  }
+  constexpr std::string_view kMixed = "mixed:";
+  if (value.rfind(kMixed, 0) == 0) {
+    const std::string frac(value.substr(kMixed.size()));
+    char* end = nullptr;
+    const double f = std::strtod(frac.c_str(), &end);
+    if (end == frac.c_str() || *end != '\0' || !(f >= 0.0) || f > 1.0) {
+      return std::nullopt;
+    }
+    p.surrogate = FidelityTier::kStatistical;
+    p.full_fraction = f;
+    p.min_full_per_feeder = 1;
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const FidelityPolicy& policy) {
+  if (policy.all_full()) return "full";
+  if (policy.full_fraction <= 0.0 && policy.min_full_per_feeder == 0) {
+    return std::string(to_string(policy.surrogate));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "mixed:%.2f (full+%s)",
+                policy.full_fraction,
+                std::string(to_string(policy.surrogate)).c_str());
+  return buf;
+}
+
+}  // namespace han::fidelity

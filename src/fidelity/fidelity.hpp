@@ -1,0 +1,81 @@
+// han::fidelity — tiered premise fidelity for million-premise fleets.
+//
+// Every premise today is a full HAN simulation (radio medium, CSMA,
+// per-device events) — faithful at paper scale, physically impossible
+// at the ROADMAP's million-premise north star. This subsystem lets the
+// fleet engine run each premise at one of three fidelities behind one
+// PremiseBackend interface (see backend.hpp):
+//
+//   kFull        today's HAN network simulation, unchanged. A fleet
+//                whose every premise is full-fidelity is byte-identical
+//                to the pre-fidelity engine.
+//   kDevice      duty-cycle state machines stepped directly with
+//                perfect views — no radio, no CSMA, no CP rounds.
+//   kStatistical a calibrated closed-form surrogate (demand bookkeeping
+//                x duty factor x fitted calibration table + shed/
+//                rebound/tariff response). O(1) per sample.
+//
+// A FidelityPolicy assigns a tier to every premise deterministically
+// from the fleet seed, stratified per feeder so each feeder keeps a
+// full-fidelity stratum to trust (and to calibrate against).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fidelity/calibration.hpp"
+#include "sim/random.hpp"
+
+namespace han::fidelity {
+
+enum class FidelityTier : std::uint8_t { kFull, kDevice, kStatistical };
+
+[[nodiscard]] std::string_view to_string(FidelityTier t) noexcept;
+
+/// Per-premise tier assignment for one fleet run.
+struct FidelityPolicy {
+  /// Tier the non-full premises run at.
+  FidelityTier surrogate = FidelityTier::kStatistical;
+  /// Fraction of each feeder's premises kept at full fidelity.
+  /// 1.0 (the default) keeps every premise full — the pre-fidelity
+  /// engine exactly, with zero policy RNG drawn.
+  double full_fraction = 1.0;
+  /// Floor on full-fidelity premises per feeder (stratified sampling:
+  /// every feeder keeps a trustworthy stratum even under tiny
+  /// fractions). Ignored when full_fraction >= 1.
+  std::size_t min_full_per_feeder = 1;
+  /// Statistical-tier parameters (see calibration.hpp).
+  CalibrationTable calibration = CalibrationTable::defaults();
+
+  /// True when every premise runs full fidelity (the byte-identical
+  /// fast path: no tier table is built at all).
+  [[nodiscard]] bool all_full() const noexcept { return full_fraction >= 1.0; }
+};
+
+/// Builds the per-premise tier table for `policy`: premises of each
+/// feeder are ranked by index and every feeder's stratum is sampled
+/// systematically — member rank r is full iff
+/// floor((r+1)*f + phase_k) > floor(r*f + phase_k), with phase_k drawn
+/// from seed stream ("fidelity", k) — then the lowest ranks are
+/// promoted until min_full_per_feeder is met (capped at the feeder
+/// size). Deterministic in (seed, feeder assignment, policy); drawing
+/// the phase from its own named stream never perturbs premise draws.
+[[nodiscard]] std::vector<FidelityTier> assign_tiers(
+    const FidelityPolicy& policy, std::uint64_t seed,
+    const std::vector<std::size_t>& feeder_of_premise,
+    std::size_t feeder_count);
+
+/// Parses a --fidelity flag value: "full", "device", "stat" (every
+/// premise on that tier) or "mixed:P" (fraction P in [0,1] full, the
+/// rest statistical). Returns nullopt on anything else.
+[[nodiscard]] std::optional<FidelityPolicy> policy_from_flag(
+    std::string_view value);
+
+/// Human-readable policy summary for banners/logs (e.g. "full",
+/// "stat", "mixed:0.10 (full+stat)").
+[[nodiscard]] std::string to_string(const FidelityPolicy& policy);
+
+}  // namespace han::fidelity

@@ -1,0 +1,41 @@
+#include "fidelity/full_backend.hpp"
+
+namespace han::fidelity {
+
+FullBackend::FullBackend(fleet::PremiseSpec spec)
+    : PremiseBackend(std::move(spec)) {
+  net_ = std::make_unique<core::HanNetwork>(sim_, spec_.experiment.han);
+  net_->inject_requests(spec_.trace);
+  core::HanNetwork* net = net_.get();
+  monitor_ = std::make_unique<metrics::LoadMonitor>(
+      sim_, [net]() { return net->total_load_kw(); },
+      spec_.experiment.sample_interval);
+  net_->start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  monitor_->start(sim::TimePoint::epoch() + spec_.experiment.cp_boot);
+}
+
+void FullBackend::advance_to(sim::TimePoint t) {
+  for (const auto& [at, signal] : take_due_signals(t)) {
+    core::HanNetwork* net = net_.get();
+    const grid::GridSignal sig = signal;
+    sim_.schedule_at(at, [net, sig]() { net->apply_grid_signal(sig); });
+  }
+  sim_.run_until(t);
+  inst_kw_ =
+      net_->total_load_kw() + fleet::FleetEngine::diurnal_base_kw(spec_, t);
+}
+
+void FullBackend::migrate_to_feeder(std::size_t feeder,
+                                    grid::TariffTier tier) {
+  net_->set_feeder(static_cast<std::uint32_t>(feeder));
+  net_->set_tariff_tier(tier);
+  PremiseBackend::migrate_to_feeder(feeder, tier);
+}
+
+fleet::PremiseResult FullBackend::finish() {
+  monitor_->stop();
+  return fleet::FleetEngine::assemble_premise_result(
+      spec_, monitor_->series(), net_->stats());
+}
+
+}  // namespace han::fidelity

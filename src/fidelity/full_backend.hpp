@@ -1,0 +1,42 @@
+// han::fidelity — the full-fidelity premise backend.
+//
+// Today's HAN network simulation behind the PremiseBackend interface:
+// own Simulator, own topology/CP, a LoadMonitor sampling the premise on
+// the fleet grid. A fleet whose every premise runs this backend is
+// byte-identical to the pre-fidelity engine — the boot sequence, the
+// signal scheduling and the collection below are verbatim ports of the
+// grid loop's PremiseRuntime.
+#pragma once
+
+#include <memory>
+
+#include "core/han_network.hpp"
+#include "fidelity/backend.hpp"
+#include "metrics/load_monitor.hpp"
+#include "sim/simulator.hpp"
+
+namespace han::fidelity {
+
+class FullBackend final : public PremiseBackend {
+ public:
+  explicit FullBackend(fleet::PremiseSpec spec);
+
+  [[nodiscard]] FidelityTier tier() const noexcept override {
+    return FidelityTier::kFull;
+  }
+  void advance_to(sim::TimePoint t) override;
+  void migrate_to_feeder(std::size_t feeder, grid::TariffTier tier) override;
+  [[nodiscard]] fleet::PremiseResult finish() override;
+
+  /// The premise network (tests poke at DR/tariff state through it).
+  [[nodiscard]] const core::HanNetwork& network() const noexcept {
+    return *net_;
+  }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<core::HanNetwork> net_;
+  std::unique_ptr<metrics::LoadMonitor> monitor_;
+};
+
+}  // namespace han::fidelity

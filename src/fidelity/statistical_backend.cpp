@@ -1,0 +1,165 @@
+#include "fidelity/statistical_backend.hpp"
+
+#include <algorithm>
+
+namespace han::fidelity {
+
+StatisticalBackend::StatisticalBackend(fleet::PremiseSpec spec,
+                                       const CalibrationTable& calibration)
+    : PremiseBackend(std::move(spec)), cal_(calibration) {
+  const core::HanConfig& han = spec_.experiment.han;
+  coordinated_ = han.scheduler == core::SchedulerKind::kCoordinated;
+  dr_aware_ = han.dr_aware;
+  rated_kw_ = han.rated_kw;
+  duty_factor_ = han.constraints.duty_factor();
+  next_sample_ = sim::TimePoint::epoch() + spec_.experiment.cp_boot;
+  series_ = metrics::TimeSeries(next_sample_,
+                                spec_.experiment.sample_interval);
+
+  // Collapse the trace into per-device demand intervals (mirroring
+  // Type2Appliance::add_demand's whole-maxDCP rounding), then into one
+  // premise-wide step function of the active-device count. Demand
+  // timing is signal-independent, so this is precomputable.
+  const sim::Duration dcp = han.constraints.max_dcp();
+  std::vector<sim::TimePoint> since(han.device_count,
+                                    sim::TimePoint::epoch());
+  std::vector<sim::TimePoint> until(han.device_count,
+                                    sim::TimePoint::epoch());
+  std::vector<bool> open(han.device_count, false);
+  const auto close = [&](std::size_t d) {
+    demand_events_.emplace_back(since[d], +1);
+    demand_events_.emplace_back(until[d], -1);
+    open[d] = false;
+  };
+  for (const appliance::Request& r : spec_.trace) {
+    if (r.device >= han.device_count) continue;
+    const std::size_t d = r.device;
+    if (open[d] && until[d] <= r.at) close(d);
+    if (!open[d]) {
+      since[d] = r.at;
+      until[d] = r.at;
+      open[d] = true;
+    }
+    const sim::TimePoint want = std::max(until[d], r.at + r.service);
+    const sim::Duration span = want - since[d];
+    const sim::Ticks periods =
+        std::max<sim::Ticks>(1, (span.us() + dcp.us() - 1) / dcp.us());
+    until[d] = since[d] + dcp * periods;
+  }
+  for (std::size_t d = 0; d < han.device_count; ++d) {
+    if (open[d]) close(d);
+  }
+  std::sort(demand_events_.begin(), demand_events_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void StatisticalBackend::catch_up_demand(sim::TimePoint t) {
+  // A device is active while demand_until > t, so a -1 at time u takes
+  // effect when t reaches u (interval [since, until)).
+  while (demand_next_ < demand_events_.size() &&
+         demand_events_[demand_next_].first <= t) {
+    active_devices_ += demand_events_[demand_next_].second;
+    ++demand_next_;
+  }
+}
+
+bool StatisticalBackend::shed_active(sim::TimePoint t) const noexcept {
+  return dr_aware_ && coordinated_ && t < shed_until_ && shed_stretch_ > 1;
+}
+
+double StatisticalBackend::raw_prediction_kw(sim::TimePoint t) const {
+  const auto hour = static_cast<std::size_t>(t.since_epoch().hours_f());
+  return rated_kw_ * static_cast<double>(active_devices_) * duty_factor_ *
+         cal_.duty_gain * cal_.hourly_shape[hour % 24];
+}
+
+double StatisticalBackend::type2_kw(sim::TimePoint t, sim::Duration dt,
+                                    bool commit) {
+  const double pred = raw_prediction_kw(t);
+  const double dt_h = dt.hours_f();
+
+  double load = pred;
+  double deferred_kwh = 0.0;
+  if (shed_active(t)) {
+    const double cut =
+        pred * cal_.shed_compliance *
+        (1.0 - 1.0 / static_cast<double>(shed_stretch_));
+    load -= cut;
+    deferred_kwh += cut * dt_h * cal_.rebound_fraction;
+  }
+  if (tariff_tier_ == grid::TariffTier::kPeak) {
+    const double cut = load * cal_.tariff_elasticity;
+    load -= cut;
+    deferred_kwh += cut * dt_h;
+  } else if (!shed_active(t) && pool_kwh_ > 0.0) {
+    // Release the deferred pool exponentially once nothing is
+    // suppressing the premise.
+    const double tau_h = std::max(cal_.rebound_tau.hours_f(), 1e-9);
+    const double release_kw = pool_kwh_ / tau_h;
+    const double released_kwh = std::min(pool_kwh_, release_kw * dt_h);
+    load += release_kw;
+    if (commit) pool_kwh_ -= released_kwh;
+  }
+  if (commit) pool_kwh_ += deferred_kwh;
+  return std::max(load, 0.0);
+}
+
+void StatisticalBackend::apply_signal(sim::TimePoint at,
+                                      const grid::GridSignal& s) {
+  if (s.feeder != current_feeder_) {
+    ++signals_misrouted_;
+    return;
+  }
+  ++signals_applied_;
+  switch (s.kind) {
+    case grid::SignalKind::kDrShed:
+      shed_stretch_ = std::max<sim::Ticks>(s.period_stretch, 1);
+      shed_until_ = at + s.duration;
+      break;
+    case grid::SignalKind::kAllClear:
+      shed_until_ = at;
+      break;
+    case grid::SignalKind::kTariffChange:
+      tariff_tier_ = s.tier;
+      break;
+  }
+}
+
+void StatisticalBackend::advance_to(sim::TimePoint t) {
+  const auto due = take_due_signals(t);
+  std::size_t next = 0;
+  const sim::Duration dt = series_.interval();
+  while (next_sample_ <= t) {
+    while (next < due.size() && due[next].first <= next_sample_) {
+      apply_signal(due[next].first, due[next].second);
+      ++next;
+    }
+    catch_up_demand(next_sample_);
+    series_.append(type2_kw(next_sample_, dt, /*commit=*/true));
+    next_sample_ = next_sample_ + dt;
+  }
+  while (next < due.size()) {
+    apply_signal(due[next].first, due[next].second);
+    ++next;
+  }
+  catch_up_demand(t);
+  inst_kw_ = type2_kw(t, dt, /*commit=*/false) +
+             fleet::FleetEngine::diurnal_base_kw(spec_, t);
+}
+
+void StatisticalBackend::migrate_to_feeder(std::size_t feeder,
+                                           grid::TariffTier tier) {
+  PremiseBackend::migrate_to_feeder(feeder, tier);
+  tariff_tier_ = tier;
+}
+
+fleet::PremiseResult StatisticalBackend::finish() {
+  core::NetworkStats stats;
+  stats.requests_injected = spec_.trace.size();
+  stats.grid_signals_applied = signals_applied_;
+  stats.grid_signals_misrouted = signals_misrouted_;
+  stats.cp_mean_coverage = 1.0;
+  return fleet::FleetEngine::assemble_premise_result(spec_, series_, stats);
+}
+
+}  // namespace han::fidelity

@@ -1,0 +1,89 @@
+// han::fidelity — the statistical-tier premise backend.
+//
+// A calibrated closed-form surrogate, O(1) per sample: the premise's
+// Type-2 load is predicted from demand bookkeeping (how many devices
+// have unexpired demand, precomputed from the trace as a step function)
+// times the duty-cycle duty factor, corrected by a CalibrationTable
+// fitted offline from full-fidelity runs (see calibration.hpp). Grid
+// responses are modeled, not simulated:
+//
+//   * DR shed — a complying premise delivers shed_compliance of the
+//     stretch-implied reduction 1 - 1/stretch while the shed is
+//     active; rebound_fraction of the suppressed energy lands in a
+//     deferred pool released exponentially (rebound_tau) afterwards;
+//   * tariff — tariff_elasticity of the predicted load is deferred out
+//     of peak-tariff windows into the same pool (the elasticity hook
+//     the tariff_change signal drives);
+//   * misrouted signals are counted exactly like the full premise.
+//
+// This is the tier that makes 100k+ premise fleets tractable; its
+// feeder-level aggregate is pinned against full fidelity by the
+// calibration harness.
+#pragma once
+
+#include <vector>
+
+#include "fidelity/backend.hpp"
+#include "metrics/timeseries.hpp"
+
+namespace han::fidelity {
+
+class StatisticalBackend final : public PremiseBackend {
+ public:
+  StatisticalBackend(fleet::PremiseSpec spec,
+                     const CalibrationTable& calibration);
+
+  [[nodiscard]] FidelityTier tier() const noexcept override {
+    return FidelityTier::kStatistical;
+  }
+  void advance_to(sim::TimePoint t) override;
+  void migrate_to_feeder(std::size_t feeder, grid::TariffTier tier) override;
+  [[nodiscard]] fleet::PremiseResult finish() override;
+
+  /// Last tariff tier signalled to this premise (tests).
+  [[nodiscard]] grid::TariffTier tariff_tier() const noexcept {
+    return tariff_tier_;
+  }
+  /// Raw (pre-response) prediction at `t` given the current demand
+  /// pointer — exposed for the calibration fit, which needs the
+  /// uncorrected estimate.
+  [[nodiscard]] double raw_prediction_kw(sim::TimePoint t) const;
+  /// Sampled Type-2 series so far (pre-diurnal; the calibration fit
+  /// pairs this against a full run's Type-2 series).
+  [[nodiscard]] const metrics::TimeSeries& type2_series() const noexcept {
+    return series_;
+  }
+
+ private:
+  void apply_signal(sim::TimePoint at, const grid::GridSignal& s);
+  void catch_up_demand(sim::TimePoint t);
+  [[nodiscard]] bool shed_active(sim::TimePoint t) const noexcept;
+  /// Type-2 estimate at `t` with shed/tariff response applied;
+  /// `commit` updates the rebound pool over `dt` (sample steps only).
+  double type2_kw(sim::TimePoint t, sim::Duration dt, bool commit);
+
+  CalibrationTable cal_;
+  bool coordinated_ = true;
+  bool dr_aware_ = false;
+  double rated_kw_ = 1.0;
+  double duty_factor_ = 0.5;
+
+  /// Demand step function: (time, +1/-1) deltas, time order.
+  std::vector<std::pair<sim::TimePoint, int>> demand_events_;
+  std::size_t demand_next_ = 0;
+  int active_devices_ = 0;
+
+  sim::Ticks shed_stretch_ = 1;
+  sim::TimePoint shed_until_ = sim::TimePoint::epoch();
+  grid::TariffTier tariff_tier_ = grid::TariffTier::kStandard;
+  /// Deferred energy awaiting release (kWh).
+  double pool_kwh_ = 0.0;
+
+  metrics::TimeSeries series_;
+  sim::TimePoint next_sample_;
+
+  std::uint64_t signals_applied_ = 0;
+  std::uint64_t signals_misrouted_ = 0;
+};
+
+}  // namespace han::fidelity

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fidelity/backend.hpp"
+
 namespace han::fleet {
 
 namespace {
@@ -67,6 +69,19 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
         std::pow(1.0 + config_.feeder_skew, static_cast<double>(k)));
     feeder_weight_total_ += feeder_weights_.back();
   }
+  if (!config_.fidelity.all_full()) {
+    std::vector<std::size_t> feeder_of_premise(config_.premise_count);
+    for (std::size_t i = 0; i < config_.premise_count; ++i) {
+      feeder_of_premise[i] = feeder_of(i);
+    }
+    tiers_ = fidelity::assign_tiers(config_.fidelity, config_.seed,
+                                    feeder_of_premise,
+                                    config_.feeder_count);
+  }
+}
+
+fidelity::FidelityTier FleetEngine::tier_of(std::size_t index) const {
+  return tiers_.empty() ? fidelity::FidelityTier::kFull : tiers_.at(index);
 }
 
 std::size_t FleetEngine::feeder_of(std::size_t index) const {
@@ -190,6 +205,19 @@ PremiseResult FleetEngine::run_premise(const PremiseSpec& spec) {
   return assemble_premise_result(spec, r.load, r.network);
 }
 
+PremiseResult FleetEngine::run_premise_at_tier(std::size_t index) const {
+  const fidelity::FidelityTier tier = tier_of(index);
+  if (tier == fidelity::FidelityTier::kFull) {
+    return run_premise(make_spec(index));
+  }
+  // Open-loop surrogate: no signals ever arrive, so one advance to the
+  // horizon samples the whole series.
+  std::unique_ptr<fidelity::PremiseBackend> backend = fidelity::make_backend(
+      tier, make_spec(index), config_.fidelity.calibration);
+  backend->advance_to(sim::TimePoint::epoch() + config_.horizon);
+  return backend->finish();
+}
+
 double FleetEngine::resolved_capacity_kw() const {
   return config_.transformer_capacity_kw > 0.0
              ? config_.transformer_capacity_kw
@@ -243,7 +271,7 @@ FleetResult FleetEngine::run(Executor& executor) const {
   FleetResult out;
   out.premises.resize(config_.premise_count);
   executor.parallel_for(config_.premise_count, [this, &out](std::size_t i) {
-    out.premises[i] = run_premise(make_spec(i));
+    out.premises[i] = run_premise_at_tier(i);
   });
   finish_aggregate(out);
   return out;

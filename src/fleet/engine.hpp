@@ -25,6 +25,7 @@
 
 #include "appliance/workload.hpp"
 #include "core/experiment.hpp"
+#include "fidelity/fidelity.hpp"
 #include "fleet/aggregate.hpp"
 #include "fleet/executor.hpp"
 #include "grid/bus.hpp"
@@ -138,6 +139,12 @@ struct GridOptions {
   /// disabled ties leave every output byte-identical to the
   /// transfer-free engine.
   grid::TieConfig tie;
+  /// Premise-side tariff response: premises defer discretionary
+  /// requests out of peak-tariff windows (full and device tiers; the
+  /// statistical tier's elasticity hook responds regardless). Off by
+  /// default — the tariff signal stays informational, preserving the
+  /// pre-fidelity outputs byte-for-byte.
+  bool premise_tariff_defer = false;
 };
 
 /// One neighborhood run.
@@ -170,6 +177,10 @@ struct FleetConfig {
   PremiseProfile profile;
   /// Closed-loop grid layer (run_grid only; run() ignores it).
   GridOptions grid;
+  /// Per-premise fidelity tiers (see fidelity/fidelity.hpp). The
+  /// default policy keeps every premise at full fidelity — the
+  /// pre-fidelity engine byte-for-byte.
+  fidelity::FidelityPolicy fidelity;
 };
 
 /// Fully resolved inputs of one premise: pure function of (seed, index).
@@ -330,9 +341,22 @@ class FleetEngine {
   /// == 1 (the K=1 equivalence guarantee depends on it).
   [[nodiscard]] double feeder_capacity_share(std::size_t k) const;
 
+  /// Fidelity tier premise `index` runs at under config().fidelity —
+  /// kFull for every premise under the default (all-full) policy. The
+  /// tier table is stratified per feeder and deterministic in the
+  /// fleet seed (see fidelity::assign_tiers).
+  [[nodiscard]] fidelity::FidelityTier tier_of(std::size_t index) const;
+
   /// Simulates one premise. Creates the Simulator/HanNetwork in the
   /// calling thread; specs are value types, so this is thread-confined.
   [[nodiscard]] static PremiseResult run_premise(const PremiseSpec& spec);
+
+  /// Builds a PremiseResult from a sampled Type-2 series: overlays the
+  /// diurnal base and fills the summary fields (shared by run_premise,
+  /// the grid loop and every fidelity backend).
+  [[nodiscard]] static PremiseResult assemble_premise_result(
+      const PremiseSpec& spec, const metrics::TimeSeries& type2_load,
+      const core::NetworkStats& network);
 
   /// Runs the whole fleet on `executor`.
   [[nodiscard]] FleetResult run(Executor& executor) const;
@@ -362,12 +386,8 @@ class FleetEngine {
                                               sim::TimePoint t);
 
  private:
-  /// Builds a PremiseResult from a sampled Type-2 series: overlays the
-  /// diurnal base and fills the summary fields (shared by run_premise
-  /// and the grid loop).
-  [[nodiscard]] static PremiseResult assemble_premise_result(
-      const PremiseSpec& spec, const metrics::TimeSeries& type2_load,
-      const core::NetworkStats& network);
+  /// Runs premise `index` open-loop at its assigned tier (run() path).
+  [[nodiscard]] PremiseResult run_premise_at_tier(std::size_t index) const;
   /// Sequential, index-ordered feeder aggregation over out.premises.
   void finish_aggregate(FleetResult& out) const;
   [[nodiscard]] double resolved_capacity_kw() const;
@@ -378,6 +398,9 @@ class FleetEngine {
   /// recompute the geometric series.
   std::vector<double> feeder_weights_;
   double feeder_weight_total_ = 0.0;
+  /// Per-premise tier table; empty under the default all-full policy
+  /// (no fidelity RNG is drawn at all on that path).
+  std::vector<fidelity::FidelityTier> tiers_;
 };
 
 }  // namespace han::fleet

@@ -47,37 +47,29 @@
 // the committed aggregates AFTER the controllers ran. Every tie step
 // is a no-op with transfers disabled, which is what keeps the
 // transfer-free outputs byte-identical to the pre-tie engine.
+//
+// Premises live behind the fidelity::PremiseBackend interface
+// (FleetConfig::fidelity picks each premise's tier): the loop below
+// only ever queues signals, advances to barriers, reads inst_kw() and
+// migrates/finishes through that surface, so full-fidelity HAN sims
+// and the cheap device/statistical surrogates are interchangeable
+// premise-by-premise. With the default all-full policy every backend
+// is the verbatim PremiseRuntime port and the outputs stay
+// byte-identical to the pre-fidelity engine.
 #include <algorithm>
 #include <memory>
 #include <sstream>
 #include <utility>
 #include <vector>
 
-#include "core/han_network.hpp"
+#include "fidelity/backend.hpp"
 #include "fleet/engine.hpp"
-#include "metrics/load_monitor.hpp"
 #include "metrics/stream_aggregate.hpp"
 #include "sim/event_queue.hpp"
 
 namespace han::fleet {
 
 namespace {
-
-/// Everything one premise needs between barriers. Thread-confined: a
-/// runtime is only ever touched inside its own parallel_for task (or on
-/// the submitter thread between barriers).
-struct PremiseRuntime {
-  PremiseSpec spec;
-  sim::Simulator sim;
-  std::unique_ptr<core::HanNetwork> net;
-  std::unique_ptr<metrics::LoadMonitor> monitor;
-  /// Instantaneous contribution (Type-2 + diurnal base) at the last
-  /// barrier, read by the controller.
-  double inst_kw = 0.0;
-  /// Signals addressed to this premise, FIFO by delivery time.
-  std::vector<std::pair<sim::TimePoint, grid::GridSignal>> pending;
-  std::size_t pending_next = 0;
-};
 
 /// Rounds `t` up to the next multiple of `interval` past the epoch, so
 /// adaptive barriers stay on the polled observation grid.
@@ -111,26 +103,19 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   };
 
   // --- Boot every premise (parallel; construction is the pricey part).
-  std::vector<std::unique_ptr<PremiseRuntime>> runtimes(
+  // Each index gets the backend its fidelity tier dictates; the spec is
+  // finalized BEFORE construction so every tier sees identical inputs.
+  std::vector<std::unique_ptr<fidelity::PremiseBackend>> backends(
       config_.premise_count);
   executor.parallel_for(
-      config_.premise_count, [this, &runtimes](std::size_t i) {
-        auto rt = std::make_unique<PremiseRuntime>();
-        rt->spec = make_spec(i);
+      config_.premise_count, [this, &g, &backends](std::size_t i) {
+        PremiseSpec spec = make_spec(i);
         // DR enrollment is a no-op until a signal is actually applied,
         // so flipping it here cannot perturb the signal-free baseline.
-        rt->spec.experiment.han.dr_aware = true;
-        rt->net = std::make_unique<core::HanNetwork>(
-            rt->sim, rt->spec.experiment.han);
-        rt->net->inject_requests(rt->spec.trace);
-        core::HanNetwork* net = rt->net.get();
-        rt->monitor = std::make_unique<metrics::LoadMonitor>(
-            rt->sim, [net]() { return net->total_load_kw(); },
-            rt->spec.experiment.sample_interval);
-        rt->net->start(sim::TimePoint::epoch() + sim::milliseconds(10));
-        rt->monitor->start(sim::TimePoint::epoch() +
-                           rt->spec.experiment.cp_boot);
-        runtimes[i] = std::move(rt);
+        spec.experiment.han.dr_aware = true;
+        spec.experiment.han.tariff_defer = g.premise_tariff_defer;
+        backends[i] = fidelity::make_backend(tier_of(i), std::move(spec),
+                                             config_.fidelity.calibration);
       });
 
   // --- Shard the fleet and raise the substation control plane.
@@ -144,8 +129,8 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     plans[k].dr = dr_for(k);
     plans[k].bus = g.bus;
   }
-  for (std::size_t i = 0; i < runtimes.size(); ++i) {
-    plans[runtimes[i]->spec.feeder].premises.push_back(i);
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    plans[backends[i]->spec().feeder].premises.push_back(i);
   }
 
   grid::SubstationConfig bank = g.substation;
@@ -166,7 +151,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     const std::vector<std::size_t>& members = substation.premises(k);
     for (std::size_t pos = 0; pos < members.size(); ++pos) {
       substation.bus(k).set_can_comply(
-          pos, runtimes[members[pos]]->spec.experiment.han.scheduler ==
+          pos, backends[members[pos]]->spec().experiment.han.scheduler ==
                    core::SchedulerKind::kCoordinated);
     }
   }
@@ -199,7 +184,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         const bool applies =
             s.kind == grid::SignalKind::kTariffChange || d.complied;
         if (applies) {
-          runtimes[d.premise]->pending.emplace_back(d.deliver_at, s);
+          backends[d.premise]->queue_signal(d.deliver_at, s);
         }
       }
     }
@@ -218,26 +203,20 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     return agg.commit(at);
   };
 
-  // Advances every premise to the barrier at `t`, landing any signals
-  // due inside the interval as simulation events at their exact
-  // delivery times (deliver_at >= rt.sim.now() because signals are
-  // emitted at barrier times and latency is non-negative).
+  // Advances every premise to the barrier at `t`; each backend lands
+  // its queued signals at their exact delivery times inside the
+  // interval (deliver_at >= the backend's clock because signals are
+  // emitted at barrier times and latency is non-negative). Chunked
+  // dispatch: at cheap-tier fleet scale the per-index task overhead
+  // would dominate the (tiny) per-premise step.
+  const std::size_t grain = executor.suggested_grain(config_.premise_count);
   const auto advance_premises = [&](sim::TimePoint t) {
-    executor.parallel_for(
-        config_.premise_count, [&runtimes, t](std::size_t i) {
-          PremiseRuntime& rt = *runtimes[i];
-          while (rt.pending_next < rt.pending.size() &&
-                 rt.pending[rt.pending_next].first <= t) {
-            const auto& [at, signal] = rt.pending[rt.pending_next];
-            ++rt.pending_next;
-            core::HanNetwork* net = rt.net.get();
-            const grid::GridSignal sig = signal;
-            rt.sim.schedule_at(
-                at, [net, sig]() { net->apply_grid_signal(sig); });
+    executor.parallel_for_ranges(
+        config_.premise_count, grain,
+        [&backends, t](std::size_t begin, std::size_t end_i) {
+          for (std::size_t i = begin; i < end_i; ++i) {
+            backends[i]->advance_to(t);
           }
-          rt.sim.run_until(t);
-          rt.inst_kw = rt.net->total_load_kw() +
-                       diurnal_base_kw(rt.spec, t);
         });
   };
 
@@ -253,7 +232,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     if (!tie_enabled || dt <= sim::Duration::zero()) return;
     for (const grid::ActiveTransfer& a : substation.active_transfers()) {
       double kw = 0.0;
-      for (const std::size_t p : a.premises) kw += runtimes[p]->inst_kw;
+      for (const std::size_t p : a.premises) kw += backends[p]->inst_kw();
       const double kwh = kw * dt.hours_f();
       energy_lent_kwh[a.from] += kwh;
       energy_borrowed_kwh[a.to] += kwh;
@@ -273,20 +252,11 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     std::vector<grid::TieEvent> events = substation.apply_due_transfers(t);
     for (const grid::TieEvent& ev : events) {
       for (const std::size_t p : ev.premises) {
-        PremiseRuntime& rt = *runtimes[p];
-        rt.net->set_feeder(static_cast<std::uint32_t>(ev.to));
         // Tariff tiers travel with the feeder, not the premise: the
         // new head end only broadcasts at window boundaries, so the
-        // migrated premise adopts its current tier here (informational
-        // — nothing premise-side acts on the tier yet).
-        rt.net->set_tariff_tier(substation.controller(ev.to).tier_at(t));
-        std::size_t w = rt.pending_next;
-        for (std::size_t r = rt.pending_next; r < rt.pending.size(); ++r) {
-          if (rt.pending[r].second.feeder == ev.to) {
-            rt.pending[w++] = rt.pending[r];
-          }
-        }
-        rt.pending.resize(w);
+        // migrated premise adopts its current tier on the way in.
+        backends[p]->migrate_to_feeder(
+            ev.to, substation.controller(ev.to).tier_at(t));
       }
       substation.controller(ev.from).on_membership_change(t);
       substation.controller(ev.to).on_membership_change(t);
@@ -339,8 +309,8 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     // feeder's overload/thermal accounting cover the whole
     // (0, horizon] span. It also emits the initial tariff tier at t=0
     // when a window covers midnight.
-    control_step(t, [&runtimes, t](std::size_t i) {
-      return diurnal_base_kw(runtimes[i]->spec, t);
+    control_step(t, [&backends, t](std::size_t i) {
+      return diurnal_base_kw(backends[i]->spec(), t);
     });
     while (t < end) {
       const sim::TimePoint prev = t;
@@ -349,8 +319,8 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       // Sequential from here: the whole control plane in feeder order.
       account_transfers(t - prev);
       apply_tie_ops(t);
-      control_step(t, [&runtimes](std::size_t i) {
-        return runtimes[i]->inst_kw;
+      control_step(t, [&backends](std::size_t i) {
+        return backends[i]->inst_kw();
       });
     }
   } else {
@@ -403,8 +373,8 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     // state, and the first deadlines are armed.
     sim::TimePoint t = sim::TimePoint::epoch();
     {
-      const auto prime_load = [&runtimes, t](std::size_t i) {
-        return diurnal_base_kw(runtimes[i]->spec, t);
+      const auto prime_load = [&backends, t](std::size_t i) {
+        return diurnal_base_kw(backends[i]->spec(), t);
       };
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
@@ -456,8 +426,8 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       // its next deadline past the horizon would otherwise never
       // account the tail of its last wake into the DR time integrals.
       const bool final_barrier = t == end;
-      const auto inst_load = [&runtimes](std::size_t i) {
-        return runtimes[i]->inst_kw;
+      const auto inst_load = [&backends](std::size_t i) {
+        return backends[i]->inst_kw();
       };
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
@@ -491,11 +461,8 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   GridFleetResult out;
   out.fleet.premises.resize(config_.premise_count);
   executor.parallel_for(
-      config_.premise_count, [&runtimes, &out](std::size_t i) {
-        PremiseRuntime& rt = *runtimes[i];
-        rt.monitor->stop();
-        out.fleet.premises[i] = assemble_premise_result(
-            rt.spec, rt.monitor->series(), rt.net->stats());
+      config_.premise_count, [&backends, &out](std::size_t i) {
+        out.fleet.premises[i] = backends[i]->finish();
       });
   finish_aggregate(out.fleet);
 

@@ -165,4 +165,21 @@ void Executor::parallel_for(std::size_t n,
   if (j->error) std::rethrow_exception(j->error);
 }
 
+void Executor::parallel_for_ranges(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t blocks = (n + grain - 1) / grain;
+  parallel_for(blocks, [n, grain, &fn](std::size_t b) {
+    const std::size_t begin = b * grain;
+    fn(begin, std::min(n, begin + grain));
+  });
+}
+
+std::size_t Executor::suggested_grain(std::size_t n) const noexcept {
+  const std::size_t workers = std::max<std::size_t>(1, thread_count());
+  return std::clamp<std::size_t>(n / (workers * 8), 1, 1024);
+}
+
 }  // namespace han::fleet

@@ -35,7 +35,8 @@ const std::vector<ScenarioInfo>& scenarios() {
       {ScenarioKind::kMixedAdoption, "mixed_adoption",
        "evening peak with 50% coordinated / 50% uncoordinated homes"},
       {ScenarioKind::kScaleSweep, "scale_sweep",
-       "small premises, short horizon; thread-scaling benchmark diet"},
+       "small premises, short horizon; scaling diet (pairs with "
+       "--fidelity=stat for 100k+ fleets)"},
       {ScenarioKind::kDrHeatWave, "dr_heat_wave",
        "heat wave with closed-loop demand-response sheds (run_grid)"},
       {ScenarioKind::kTariffEvening, "tariff_evening",

@@ -27,8 +27,9 @@ enum class SignalKind : std::uint8_t {
   kDrShed,
   /// The shed ended early: restore the normal duty-cycle envelope.
   kAllClear,
-  /// Time-of-use tariff tier changed (informational in this PR; a
-  /// price-elastic workload response is a ROADMAP open item).
+  /// Time-of-use tariff tier changed. Premises respond: a tariff_defer
+  /// HAN parks discretionary requests until the peak window ends, and
+  /// the statistical tier applies its calibrated price elasticity.
   kTariffChange,
 };
 

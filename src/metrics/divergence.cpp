@@ -1,0 +1,47 @@
+#include "metrics/divergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace han::metrics {
+
+namespace {
+
+double series_energy(const TimeSeries& s) {
+  double sum = 0.0;
+  for (const double v : s.values()) sum += v;
+  return sum;
+}
+
+double rel_err(double candidate, double reference) {
+  if (reference == 0.0) return candidate == 0.0 ? 0.0 : 1.0;
+  return std::abs(candidate - reference) / std::abs(reference);
+}
+
+}  // namespace
+
+Divergence divergence(const TimeSeries& reference,
+                      const TimeSeries& candidate) {
+  Divergence d;
+  d.energy_rel_err =
+      rel_err(series_energy(candidate), series_energy(reference));
+  d.peak_rel_err = rel_err(candidate.empty() ? 0.0 : candidate.peak(),
+                           reference.empty() ? 0.0 : reference.peak());
+  d.samples = std::min(reference.size(), candidate.size());
+  if (d.samples == 0) return d;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double ref_sum = 0.0;
+  for (std::size_t i = 0; i < d.samples; ++i) {
+    const double e = candidate.at(i) - reference.at(i);
+    abs_sum += std::abs(e);
+    sq_sum += e * e;
+    ref_sum += std::abs(reference.at(i));
+  }
+  const double n = static_cast<double>(d.samples);
+  d.mape = ref_sum > 0.0 ? abs_sum / ref_sum : 0.0;
+  d.rmse = std::sqrt(sq_sum / n);
+  return d;
+}
+
+}  // namespace han::metrics

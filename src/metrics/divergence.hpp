@@ -1,0 +1,33 @@
+// han::metrics — divergence accounting between two load series.
+//
+// The fidelity subsystem trades per-premise exactness for scale; what
+// it must NOT trade silently is the feeder-level aggregate. These
+// helpers quantify how far a surrogate run's series sits from the
+// full-fidelity reference — the numbers the calibration harness pins
+// per preset and EXPERIMENTS.md records.
+#pragma once
+
+#include "metrics/timeseries.hpp"
+
+namespace han::metrics {
+
+/// How far `candidate` diverges from `reference` (compared sample-wise
+/// over the overlapping prefix; energies over each full series).
+struct Divergence {
+  /// |energy(candidate) - energy(reference)| / energy(reference).
+  double energy_rel_err = 0.0;
+  /// |peak(candidate) - peak(reference)| / peak(reference).
+  double peak_rel_err = 0.0;
+  /// Mean absolute sample error over the mean reference level
+  /// (a scale-free MAPE that tolerates near-zero samples).
+  double mape = 0.0;
+  /// Root-mean-square sample error (kW).
+  double rmse = 0.0;
+  /// Samples compared.
+  std::size_t samples = 0;
+};
+
+[[nodiscard]] Divergence divergence(const TimeSeries& reference,
+                                    const TimeSeries& candidate);
+
+}  // namespace han::metrics

@@ -1,0 +1,185 @@
+// PremiseBackend contract tests.
+//
+// The load-bearing guarantee: FullBackend is a verbatim port of the
+// grid loop's per-premise runtime, so driving one open-loop must equal
+// FleetEngine::run_premise byte-for-byte. The rest pins the policy
+// layer — deterministic stratified tier assignment and flag parsing —
+// which decides WHICH premises get the cheap tiers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "fidelity/backend.hpp"
+#include "fidelity/device_backend.hpp"
+#include "fidelity/full_backend.hpp"
+#include "fidelity/statistical_backend.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/scenario.hpp"
+
+namespace han::fidelity {
+namespace {
+
+fleet::PremiseSpec grid_spec(fleet::ScenarioKind kind, std::size_t premises,
+                             std::uint64_t seed, std::size_t index) {
+  const fleet::FleetConfig cfg = fleet::make_scenario(kind, premises, seed);
+  const fleet::FleetEngine engine(cfg);
+  fleet::PremiseSpec spec = engine.make_spec(index);
+  spec.experiment.han.dr_aware = true;  // what the grid loop sets
+  return spec;
+}
+
+TEST(FullBackend, OpenLoopMatchesRunPremiseByteForByte) {
+  for (const std::size_t index : {std::size_t{0}, std::size_t{3}}) {
+    const fleet::PremiseSpec spec =
+        grid_spec(fleet::ScenarioKind::kEveningPeak, 8, 7, index);
+    const sim::TimePoint end =
+        sim::TimePoint::epoch() + spec.experiment.workload.horizon;
+
+    FullBackend backend{fleet::PremiseSpec(spec)};
+    backend.advance_to(end);
+    const fleet::PremiseResult via_backend = backend.finish();
+    const fleet::PremiseResult direct = fleet::FleetEngine::run_premise(spec);
+
+    ASSERT_EQ(via_backend.load.values().size(), direct.load.values().size());
+    for (std::size_t s = 0; s < direct.load.values().size(); ++s) {
+      EXPECT_EQ(via_backend.load.values()[s], direct.load.values()[s])
+          << "premise " << index << " sample " << s;
+    }
+    EXPECT_EQ(via_backend.network.requests_injected,
+              direct.network.requests_injected);
+    EXPECT_EQ(via_backend.mean_kw, direct.mean_kw);
+    EXPECT_EQ(via_backend.peak_kw, direct.peak_kw);
+  }
+}
+
+TEST(MakeBackend, ConstructsRequestedTier) {
+  const fleet::PremiseSpec spec =
+      grid_spec(fleet::ScenarioKind::kScaleSweep, 4, 1, 0);
+  const CalibrationTable cal = CalibrationTable::defaults();
+  EXPECT_EQ(make_backend(FidelityTier::kFull, spec, cal)->tier(),
+            FidelityTier::kFull);
+  EXPECT_EQ(make_backend(FidelityTier::kDevice, spec, cal)->tier(),
+            FidelityTier::kDevice);
+  EXPECT_EQ(make_backend(FidelityTier::kStatistical, spec, cal)->tier(),
+            FidelityTier::kStatistical);
+}
+
+TEST(Backend, MigrationDropsOldFeederSignalsAndAdoptsTariff) {
+  fleet::PremiseSpec spec =
+      grid_spec(fleet::ScenarioKind::kScaleSweep, 4, 1, 0);
+  spec.feeder = 0;
+  StatisticalBackend b{std::move(spec), CalibrationTable::defaults()};
+  ASSERT_EQ(b.current_feeder(), 0u);
+
+  grid::GridSignal shed;
+  shed.kind = grid::SignalKind::kDrShed;
+  shed.feeder = 0;  // old head end — must be dropped by the migration
+  shed.period_stretch = 4;
+  shed.duration = sim::hours(2);
+  b.queue_signal(sim::TimePoint::epoch() + sim::minutes(10), shed);
+
+  b.migrate_to_feeder(1, grid::TariffTier::kPeak);
+  EXPECT_EQ(b.current_feeder(), 1u);
+  EXPECT_EQ(b.spec().feeder, 0u) << "home feeder must not change";
+  EXPECT_EQ(b.tariff_tier(), grid::TariffTier::kPeak);
+
+  b.advance_to(sim::TimePoint::epoch() + sim::minutes(30));
+  const fleet::PremiseResult r = b.finish();
+  EXPECT_EQ(r.network.grid_signals_applied, 0u);
+  EXPECT_EQ(r.network.grid_signals_misrouted, 0u)
+      << "dropped, not misrouted: the old head end no longer owns us";
+}
+
+TEST(AssignTiers, AllFullFastPathDrawsNoRng) {
+  const FidelityPolicy policy;  // full_fraction = 1.0
+  const std::vector<std::size_t> feeders = {0, 1, 0, 1, 0};
+  const auto tiers = assign_tiers(policy, 42, feeders, 2);
+  EXPECT_TRUE(std::all_of(tiers.begin(), tiers.end(), [](FidelityTier t) {
+    return t == FidelityTier::kFull;
+  }));
+}
+
+TEST(AssignTiers, SystematicSamplingHitsFractionPerFeeder) {
+  FidelityPolicy policy;
+  policy.full_fraction = 0.25;
+  policy.min_full_per_feeder = 0;
+  policy.surrogate = FidelityTier::kDevice;
+  const std::size_t kPremises = 400, kFeeders = 4;
+  std::vector<std::size_t> feeders(kPremises);
+  for (std::size_t i = 0; i < kPremises; ++i) feeders[i] = i % kFeeders;
+
+  const auto tiers = assign_tiers(policy, 9, feeders, kFeeders);
+  ASSERT_EQ(tiers.size(), kPremises);
+  for (std::size_t k = 0; k < kFeeders; ++k) {
+    std::size_t full = 0, members = 0;
+    for (std::size_t i = 0; i < kPremises; ++i) {
+      if (feeders[i] != k) continue;
+      ++members;
+      if (tiers[i] == FidelityTier::kFull) ++full;
+    }
+    // Systematic sampling is exact to within one premise per feeder.
+    const double want = policy.full_fraction * static_cast<double>(members);
+    EXPECT_NEAR(static_cast<double>(full), want, 1.0) << "feeder " << k;
+  }
+  // Deterministic in (seed, feeders, policy).
+  EXPECT_EQ(assign_tiers(policy, 9, feeders, kFeeders), tiers);
+}
+
+TEST(AssignTiers, MinFullPerFeederPromotesLowestRanks) {
+  FidelityPolicy policy;
+  policy.full_fraction = 0.0;
+  policy.min_full_per_feeder = 2;
+  const std::vector<std::size_t> feeders = {0, 0, 0, 0, 1, 1, 1, 2};
+  const auto tiers = assign_tiers(policy, 5, feeders, 3);
+  // Feeder 0: first two members full; feeder 1: first two; feeder 2 has
+  // one member — the floor is capped at the feeder size.
+  const std::vector<FidelityTier> want = {
+      FidelityTier::kFull,        FidelityTier::kFull,
+      FidelityTier::kStatistical, FidelityTier::kStatistical,
+      FidelityTier::kFull,        FidelityTier::kFull,
+      FidelityTier::kStatistical, FidelityTier::kFull};
+  EXPECT_EQ(tiers, want);
+}
+
+TEST(PolicyFromFlag, ParsesTheFourShapes) {
+  const auto full = policy_from_flag("full");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_TRUE(full->all_full());
+
+  const auto device = policy_from_flag("device");
+  ASSERT_TRUE(device.has_value());
+  EXPECT_EQ(device->surrogate, FidelityTier::kDevice);
+  EXPECT_DOUBLE_EQ(device->full_fraction, 0.0);
+  EXPECT_EQ(device->min_full_per_feeder, 0u);
+
+  const auto stat = policy_from_flag("stat");
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->surrogate, FidelityTier::kStatistical);
+  EXPECT_FALSE(stat->all_full());
+
+  const auto mixed = policy_from_flag("mixed:0.25");
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_DOUBLE_EQ(mixed->full_fraction, 0.25);
+  EXPECT_EQ(mixed->surrogate, FidelityTier::kStatistical);
+  EXPECT_EQ(mixed->min_full_per_feeder, 1u);
+
+  EXPECT_FALSE(policy_from_flag("").has_value());
+  EXPECT_FALSE(policy_from_flag("fulll").has_value());
+  EXPECT_FALSE(policy_from_flag("mixed:").has_value());
+  EXPECT_FALSE(policy_from_flag("mixed:1.5").has_value());
+  EXPECT_FALSE(policy_from_flag("mixed:-0.1").has_value());
+  EXPECT_FALSE(policy_from_flag("mixed:abc").has_value());
+  EXPECT_FALSE(policy_from_flag("mixed:0.5x").has_value());
+}
+
+TEST(PolicyToString, SummarizesForBanners) {
+  EXPECT_EQ(to_string(FidelityPolicy{}), "full");
+  EXPECT_EQ(to_string(*policy_from_flag("device")), "device");
+  EXPECT_EQ(to_string(*policy_from_flag("stat")), "stat");
+  EXPECT_EQ(to_string(*policy_from_flag("mixed:0.1")),
+            "mixed:0.10 (full+stat)");
+}
+
+}  // namespace
+}  // namespace han::fidelity

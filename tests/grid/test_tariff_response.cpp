@@ -1,0 +1,199 @@
+// tariff_change is no longer a silent no-op at the premise.
+//
+// Two response paths, one per fidelity family:
+//   * full/device tier — a tariff_defer HAN parks discretionary
+//     requests that arrive during a peak-tariff window and releases
+//     them, in arrival order, when the tier drops;
+//   * statistical tier — the calibrated elasticity defers a fraction of
+//     predicted load out of the peak window into the rebound pool.
+// Plus the guarantee that old behaviour is the default: with
+// tariff_defer off, a peak tier changes nothing.
+#include <gtest/gtest.h>
+
+#include "core/han_network.hpp"
+#include "fidelity/statistical_backend.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/scenario.hpp"
+
+namespace han {
+namespace {
+
+core::HanConfig defer_config(bool defer) {
+  core::HanConfig c;
+  c.device_count = 4;
+  c.topology_kind = core::TopologyKind::kLine;
+  c.fidelity = core::CpFidelity::kAbstract;
+  c.dr_aware = true;
+  c.tariff_defer = defer;
+  return c;
+}
+
+grid::GridSignal tariff_signal(grid::TariffTier tier) {
+  grid::GridSignal s;
+  s.kind = grid::SignalKind::kTariffChange;
+  s.tier = tier;
+  return s;
+}
+
+TEST(TariffResponse, PeakWindowParksRequestsUntilTierDrops) {
+  sim::Simulator sim;
+  core::HanNetwork net(sim, defer_config(true));
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+
+  net.apply_grid_signal(tariff_signal(grid::TariffTier::kPeak));
+
+  appliance::Request r;
+  r.at = sim::TimePoint::epoch() + sim::minutes(1);
+  r.device = 2;
+  r.service = sim::minutes(30);
+  net.inject_request(r);
+
+  // Well past the request's arrival: with the deferral the appliance
+  // must not have seen any demand.
+  sim.run_until(sim::TimePoint::epoch() + sim::minutes(5));
+  EXPECT_FALSE(net.di(2).appliance().active(sim.now()));
+  EXPECT_DOUBLE_EQ(net.total_load_kw(), 0.0);
+  EXPECT_EQ(net.stats().requests_injected, 1u);
+  EXPECT_EQ(net.stats().tariff_deferrals, 1u);
+
+  // Tier drops: the parked request lands immediately.
+  net.apply_grid_signal(tariff_signal(grid::TariffTier::kStandard));
+  sim.run_until(sim::TimePoint::epoch() + sim::minutes(6));
+  EXPECT_TRUE(net.di(2).appliance().active(sim.now()));
+}
+
+TEST(TariffResponse, DeferOffIsTheOldBehaviour) {
+  sim::Simulator sim;
+  core::HanNetwork net(sim, defer_config(false));
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+
+  net.apply_grid_signal(tariff_signal(grid::TariffTier::kPeak));
+
+  appliance::Request r;
+  r.at = sim::TimePoint::epoch() + sim::minutes(1);
+  r.device = 1;
+  r.service = sim::minutes(30);
+  net.inject_request(r);
+  sim.run_until(sim::TimePoint::epoch() + sim::minutes(5));
+  EXPECT_TRUE(net.di(1).appliance().active(sim.now()));
+  EXPECT_EQ(net.stats().tariff_deferrals, 0u);
+}
+
+TEST(TariffResponse, ReleasePreservesArrivalOrder) {
+  sim::Simulator sim;
+  core::HanNetwork net(sim, defer_config(true));
+  net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
+  net.apply_grid_signal(tariff_signal(grid::TariffTier::kPeak));
+
+  for (std::size_t d : {std::size_t{3}, std::size_t{0}}) {
+    appliance::Request r;
+    r.at = sim::TimePoint::epoch() + sim::minutes(1);
+    r.device = d;
+    r.service = sim::minutes(20);
+    net.inject_request(r);
+  }
+  sim.run_until(sim::TimePoint::epoch() + sim::minutes(2));
+  EXPECT_EQ(net.stats().tariff_deferrals, 2u);
+
+  net.apply_grid_signal(tariff_signal(grid::TariffTier::kOffPeak));
+  sim.run_until(sim::TimePoint::epoch() + sim::minutes(3));
+  EXPECT_TRUE(net.di(3).appliance().active(sim.now()));
+  EXPECT_TRUE(net.di(0).appliance().active(sim.now()));
+  // A second (re-entrant) off-peak signal must not double-release.
+  net.apply_grid_signal(tariff_signal(grid::TariffTier::kOffPeak));
+  EXPECT_EQ(net.stats().requests_injected, 2u);
+}
+
+TEST(TariffResponse, StatisticalTierAppliesElasticityDuringPeak) {
+  const fleet::FleetConfig cfg =
+      fleet::make_scenario(fleet::ScenarioKind::kScaleSweep, 4, 1);
+  const fleet::FleetEngine engine(cfg);
+  fleet::PremiseSpec spec = engine.make_spec(0);
+  spec.experiment.han.dr_aware = true;
+
+  fidelity::CalibrationTable cal = fidelity::CalibrationTable::defaults();
+  cal.tariff_elasticity = 0.4;
+
+  // Twin backends over the same spec: one sees a peak window, the
+  // other does not. During the window the elastic premise must predict
+  // strictly less whenever the baseline is non-zero.
+  fidelity::StatisticalBackend peak{fleet::PremiseSpec(spec), cal};
+  fidelity::StatisticalBackend base{fleet::PremiseSpec(spec), cal};
+
+  const sim::TimePoint t0 = sim::TimePoint::epoch() + sim::hours(1);
+  grid::GridSignal s = tariff_signal(grid::TariffTier::kPeak);
+  s.feeder = static_cast<std::uint32_t>(spec.feeder);
+  peak.queue_signal(t0, s);
+
+  const sim::TimePoint end = sim::TimePoint::epoch() + sim::hours(3);
+  peak.advance_to(end);
+  base.advance_to(end);
+  EXPECT_EQ(peak.tariff_tier(), grid::TariffTier::kPeak);
+
+  const auto& pv = peak.type2_series().values();
+  const auto& bv = base.type2_series().values();
+  ASSERT_EQ(pv.size(), bv.size());
+  ASSERT_FALSE(bv.empty());
+  bool saw_cut = false;
+  double peak_kwh = 0.0, base_kwh = 0.0;
+  const double dt_h = peak.type2_series().interval().seconds_f() / 3600.0;
+  for (std::size_t i = 0; i < bv.size(); ++i) {
+    peak_kwh += pv[i] * dt_h;
+    base_kwh += bv[i] * dt_h;
+    if (pv[i] < bv[i]) saw_cut = true;
+  }
+  EXPECT_TRUE(saw_cut) << "elasticity never reduced predicted load";
+  ASSERT_GT(base_kwh, 0.0);
+  EXPECT_LT(peak_kwh, base_kwh);
+  // The cut is bounded by the elasticity itself: never more than 40%
+  // of baseline energy leaves the window.
+  EXPECT_GE(peak_kwh, base_kwh * (1.0 - cal.tariff_elasticity) - 1e-9);
+}
+
+TEST(TariffResponse, StatisticalPoolReleasesAfterPeakEnds) {
+  const fleet::FleetConfig cfg =
+      fleet::make_scenario(fleet::ScenarioKind::kScaleSweep, 4, 1);
+  const fleet::FleetEngine engine(cfg);
+  fleet::PremiseSpec spec = engine.make_spec(0);
+  spec.experiment.han.dr_aware = true;
+
+  fidelity::CalibrationTable cal = fidelity::CalibrationTable::defaults();
+  cal.tariff_elasticity = 0.4;
+
+  fidelity::StatisticalBackend windowed{fleet::PremiseSpec(spec), cal};
+  fidelity::StatisticalBackend base{fleet::PremiseSpec(spec), cal};
+
+  grid::GridSignal on = tariff_signal(grid::TariffTier::kPeak);
+  on.feeder = static_cast<std::uint32_t>(spec.feeder);
+  grid::GridSignal off = tariff_signal(grid::TariffTier::kStandard);
+  off.feeder = on.feeder;
+  windowed.queue_signal(sim::TimePoint::epoch() + sim::hours(1), on);
+  windowed.queue_signal(sim::TimePoint::epoch() + sim::hours(2), off);
+
+  const sim::TimePoint end = sim::TimePoint::epoch() + sim::hours(5);
+  windowed.advance_to(end);
+  base.advance_to(end);
+
+  // After the window the deferred energy re-enters the series: some
+  // post-window sample must exceed the baseline (the release), and the
+  // run-total energies must be close (deferred, not destroyed).
+  const auto& wv = windowed.type2_series().values();
+  const auto& bv = base.type2_series().values();
+  ASSERT_EQ(wv.size(), bv.size());
+  const double dt_h = base.type2_series().interval().seconds_f() / 3600.0;
+  bool saw_release = false;
+  double w_kwh = 0.0, b_kwh = 0.0;
+  for (std::size_t i = 0; i < bv.size(); ++i) {
+    w_kwh += wv[i] * dt_h;
+    b_kwh += bv[i] * dt_h;
+    if (wv[i] > bv[i]) saw_release = true;
+  }
+  EXPECT_TRUE(saw_release) << "deferred energy never re-entered";
+  ASSERT_GT(b_kwh, 0.0);
+  // rebound pool drains exponentially; most energy must be recovered
+  // by 3 h after the window.
+  EXPECT_NEAR(w_kwh, b_kwh, 0.15 * b_kwh);
+}
+
+}  // namespace
+}  // namespace han

@@ -24,12 +24,18 @@
 // (the PR 4 follow-up): the shed-active and unserved-shed integrals
 // are coarser under event barriers, and the pinned tolerance is the
 // contract that transfer work cannot silently widen the gap.
+// A third group sweeps the fidelity-policy axis (PR 6): every premise
+// tier mix — all-full, all-device, all-statistical and a stratified
+// 50/50 — must uphold the exact same conservation/routing/accounting
+// invariants in every (K, mode) cell, and a mixed-fidelity fleet must
+// stay byte-identical across executor widths.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "fidelity/fidelity.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/scenario.hpp"
 
@@ -167,6 +173,58 @@ TEST(Invariants, HoldAcrossSeedsShardsModesAndTransfers) {
           }
         }
       }
+    }
+  }
+}
+
+TEST(Invariants, HoldAcrossFidelityTiers) {
+  // Same invariants, fidelity axis: each tier mix through both control
+  // modes and shard counts, transfers on (the harshest routing case).
+  for (const char* flag : {"full", "device", "stat", "mixed:0.5"}) {
+    for (const std::size_t feeders : {1u, 4u}) {
+      for (const ControlMode mode :
+           {ControlMode::kPolled, ControlMode::kEventDriven}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "fidelity=" << flag << " K=" << feeders << " mode="
+                     << (mode == ControlMode::kPolled ? "polled" : "event"));
+        FleetConfig cfg = harness_config(1, feeders, mode, true);
+        const auto policy = fidelity::policy_from_flag(flag);
+        ASSERT_TRUE(policy.has_value());
+        cfg.fidelity = *policy;
+        const FleetEngine engine(cfg);
+        const GridFleetResult r = engine.run_grid(2);
+
+        check_energy_conservation(r);
+        check_exclusive_service(engine, r);
+        check_routing_integrity(r);
+        check_dr_integrals(r, cfg.horizon);
+      }
+    }
+  }
+}
+
+TEST(Invariants, MixedFidelityByteIdenticalAcrossThreads) {
+  // A stratified full+statistical fleet must produce bit-equal output
+  // for any executor width, exactly like the all-full engine does.
+  for (const ControlMode mode :
+       {ControlMode::kPolled, ControlMode::kEventDriven}) {
+    SCOPED_TRACE(mode == ControlMode::kPolled ? "polled" : "event");
+    FleetConfig cfg = harness_config(1, 4, mode, true);
+    cfg.fidelity = *fidelity::policy_from_flag("mixed:0.5");
+    const FleetEngine engine(cfg);
+    const GridFleetResult a = engine.run_grid(1);
+    const GridFleetResult b = engine.run_grid(4);
+
+    EXPECT_EQ(a.signal_log_csv, b.signal_log_csv);
+    ASSERT_EQ(a.fleet.feeder_load.size(), b.fleet.feeder_load.size());
+    for (std::size_t i = 0; i < a.fleet.feeder_load.size(); ++i) {
+      ASSERT_EQ(a.fleet.feeder_load.at(i), b.fleet.feeder_load.at(i)) << i;
+    }
+    ASSERT_EQ(a.fleet.premises.size(), b.fleet.premises.size());
+    for (std::size_t p = 0; p < a.fleet.premises.size(); ++p) {
+      ASSERT_EQ(a.fleet.premises[p].load.values(),
+                b.fleet.premises[p].load.values())
+          << "premise " << p;
     }
   }
 }
