@@ -8,7 +8,10 @@
 //     thread axis degenerates to speedup 1x.
 // Then runs google-benchmark timings over a small fleet.
 //
-// Pass `--json out.json` to also write the headline metrics as JSON.
+// Pass `--json out.json` to also write the headline metrics as JSON
+// (CI archives BENCH_fleet.json and diffs fresh runs against it with
+// ci/check_bench.py). Pass `--telemetry out.json` to write the
+// telemetry manifest of the size table's full-size run.
 //
 // Environment knobs (CI smoke runs use tiny values):
 //   HAN_FLEET_PREMISES   fleet size for the thread table and the
@@ -19,9 +22,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -59,13 +65,20 @@ void print_scaling_table(bench::JsonReport& report) {
                    metrics::fmt(result.feeder.coincident_peak_kw)});
     report.set("thread_scaling",
                "wall_s_t" + std::to_string(threads), seconds);
+    if (threads == 1) {
+      // Deterministic behavior pin: every row recomputes this value,
+      // and the committed snapshot fails the CI gate if it moves.
+      report.set("thread_scaling", "peak_kw",
+                 result.feeder.coincident_peak_kw);
+    }
   }
   report.set("thread_scaling", "premises", static_cast<double>(premises));
   table.print(std::cout);
   std::printf("\n(identical peak on every row = thread-count independence)\n");
 }
 
-void print_premise_sweep_table(bench::JsonReport& report) {
+void print_premise_sweep_table(bench::JsonReport& report,
+                               telemetry::Collector* tel) {
   const std::size_t max_premises = env_size("HAN_FLEET_PREMISES", 200);
   const std::size_t threads = env_size("HAN_FLEET_SWEEP_THREADS", 1);
 
@@ -85,8 +98,18 @@ void print_premise_sweep_table(bench::JsonReport& report) {
     const fleet::FleetEngine engine(fleet::make_scenario(
         fleet::ScenarioKind::kScaleSweep, premises, /*seed=*/1));
     fleet::Executor executor(threads);
+    // The full-size row carries the telemetry manifest (when asked).
+    telemetry::Collector* const row_tel = divisor == 1 ? tel : nullptr;
+    if (row_tel != nullptr) {
+      row_tel->set_meta("binary", "bench_fleet");
+      row_tel->set_meta("scenario", "scale_sweep");
+      row_tel->set_meta_num("premises", static_cast<double>(premises));
+      row_tel->set_meta_num("seed", 1);
+      row_tel->set_meta_num("threads", static_cast<double>(threads));
+      row_tel->set_meta("git", telemetry::git_describe());
+    }
     const auto t0 = std::chrono::steady_clock::now();
-    const fleet::FleetResult result = engine.run(executor);
+    const fleet::FleetResult result = engine.run(executor, row_tel);
     const auto t1 = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     table.add_row(
@@ -95,6 +118,9 @@ void print_premise_sweep_table(bench::JsonReport& report) {
          metrics::fmt(result.feeder.coincident_peak_kw)});
     report.set("premise_scaling",
                "wall_s_p" + std::to_string(premises), seconds);
+    report.set("premise_scaling",
+               "peak_kw_p" + std::to_string(premises),
+               result.feeder.coincident_peak_kw);
   }
   table.print(std::cout);
 }
@@ -119,10 +145,22 @@ BENCHMARK(BM_FleetScaleSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
 
 int main(int argc, char** argv) {
   const std::string json_path = han::bench::take_json_flag(argc, argv);
+  const std::string telemetry_path =
+      han::bench::take_path_flag(argc, argv, "--telemetry");
+  han::telemetry::Collector collector;
   han::bench::JsonReport report;
   print_scaling_table(report);
-  print_premise_sweep_table(report);
+  print_premise_sweep_table(report,
+                            telemetry_path.empty() ? nullptr : &collector);
   if (!json_path.empty() && !report.write(json_path)) return 1;
+  if (!telemetry_path.empty()) {
+    std::ofstream manifest(telemetry_path);
+    if (!manifest) {
+      std::fprintf(stderr, "cannot write %s\n", telemetry_path.c_str());
+      return 1;
+    }
+    han::telemetry::write_manifest(collector, manifest);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,7 +14,9 @@
 // energy divergence from full — the numbers EXPERIMENTS.md records).
 //
 // Pass `--json out.json` to also write the headline metrics as JSON
-// (CI archives BENCH_grid.json).
+// (CI archives BENCH_grid.json and diffs fresh runs against it with
+// ci/check_bench.py). Pass `--telemetry out.json` to write the closed
+// dr_heat_wave run's telemetry manifest (phase profile + counters).
 //
 // Environment knobs (CI smoke runs use tiny values):
 //   HAN_GRID_PREMISES   fleet size for the efficacy table (default 100)
@@ -22,11 +24,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -38,7 +43,8 @@ double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
-void print_efficacy_table(bench::JsonReport& report) {
+void print_efficacy_table(bench::JsonReport& report,
+                          telemetry::Collector* tel) {
   const std::size_t premises = env_size("HAN_GRID_PREMISES", 100);
   const std::size_t threads = env_size("HAN_GRID_THREADS", 0);
 
@@ -57,13 +63,24 @@ void print_efficacy_table(bench::JsonReport& report) {
   open.grid.enabled = false;
   fleet::Executor executor(threads);
 
+  if (tel != nullptr) {
+    tel->set_meta("binary", "bench_grid");
+    tel->set_meta("scenario", "dr_heat_wave");
+    tel->set_meta_num("premises", static_cast<double>(premises));
+    tel->set_meta_num("seed", 1);
+    tel->set_meta_num("threads",
+                      static_cast<double>(executor.thread_count()));
+    tel->set_meta("control_mode", "polled");
+    tel->set_meta("git", telemetry::git_describe());
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   const fleet::GridFleetResult off =
       fleet::FleetEngine(open).run_grid(executor);
   const double off_s = wall_seconds(t0);
   const auto t1 = std::chrono::steady_clock::now();
   const fleet::GridFleetResult on =
-      fleet::FleetEngine(closed).run_grid(executor);
+      fleet::FleetEngine(closed).run_grid(executor, tel);
   const double on_s = wall_seconds(t1);
 
   metrics::TextTable table({"metric", "open loop", "closed loop"});
@@ -97,6 +114,12 @@ void print_efficacy_table(bench::JsonReport& report) {
              on.fleet.feeder.overload_minutes);
   report.set("dr_heat_wave", "shed_signals",
              static_cast<double>(on.dr.shed_signals));
+  report.set("dr_heat_wave", "control_barriers",
+             static_cast<double>(on.control_barriers));
+  report.set("dr_heat_wave", "controller_wakes",
+             static_cast<double>(on.controller_wakes));
+  report.set("dr_heat_wave", "signals_delivered",
+             static_cast<double>(on.deliveries.size()));
   report.set("dr_heat_wave", "open_wall_s", off_s);
   report.set("dr_heat_wave", "closed_wall_s", on_s);
 }
@@ -151,7 +174,7 @@ void print_fidelity_sweep(bench::JsonReport& report) {
       "aggregate stays pinned by tests/fidelity/test_calibration.cpp.\n");
 }
 
-void print_shard_sweep() {
+void print_shard_sweep(bench::JsonReport& report) {
   const std::size_t premises = env_size("HAN_GRID_PREMISES", 100);
   const std::size_t threads = env_size("HAN_GRID_THREADS", 0);
 
@@ -201,6 +224,17 @@ void print_shard_sweep() {
     };
     const auto [feeder_overload, sheds] = shard_totals(r);
     const auto [tie_overload, tie_sheds] = shard_totals(rt);
+    const std::string section = "shard_sweep_k" + std::to_string(k);
+    report.set(section, "peak_kw", r.fleet.substation.coincident_peak_kw);
+    report.set(section, "feeder_overload_min", feeder_overload);
+    report.set(section, "tie_overload_min", tie_overload);
+    report.set(section, "tie_switch_operations",
+               static_cast<double>(
+                   rt.fleet.substation.tie_switch_operations));
+    report.set(section, "sheds", static_cast<double>(sheds));
+    report.set(section, "tie_sheds", static_cast<double>(tie_sheds));
+    report.set(section, "wall_s", secs);
+    report.set(section, "tie_wall_s", tie_secs);
     table.add_row({std::to_string(k),
                    metrics::fmt(r.fleet.substation.coincident_peak_kw, 1),
                    metrics::fmt(r.fleet.substation.inter_feeder_diversity, 4),
@@ -222,7 +256,7 @@ void print_shard_sweep() {
       "with headroom.\n");
 }
 
-void print_event_sweep() {
+void print_event_sweep(bench::JsonReport& report) {
   const std::size_t premises = env_size("HAN_GRID_PREMISES", 100);
   const std::size_t threads = env_size("HAN_GRID_THREADS", 0);
 
@@ -266,6 +300,22 @@ void print_event_sweep() {
               ? static_cast<double>(rp.control_barriers) /
                     static_cast<double>(re.control_barriers)
               : 0.0;
+      const std::string section =
+          "event_sweep_p" + std::to_string(p) + "_k" + std::to_string(k);
+      report.set(section, "barriers_polled",
+                 static_cast<double>(rp.control_barriers));
+      report.set(section, "barriers_event",
+                 static_cast<double>(re.control_barriers));
+      report.set(section, "wakes_polled",
+                 static_cast<double>(rp.controller_wakes));
+      report.set(section, "wakes_event",
+                 static_cast<double>(re.controller_wakes));
+      report.set(section, "sheds_polled",
+                 static_cast<double>(rp.dr.shed_signals));
+      report.set(section, "sheds_event",
+                 static_cast<double>(re.dr.shed_signals));
+      report.set(section, "wall_polled_s", polled_s);
+      report.set(section, "wall_event_s", event_s);
       table.add_row({std::to_string(p), std::to_string(k),
                      std::to_string(rp.control_barriers),
                      std::to_string(re.control_barriers),
@@ -345,12 +395,25 @@ BENCHMARK(BM_ControllerObserve)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   const std::string json_path = han::bench::take_json_flag(argc, argv);
+  const std::string telemetry_path =
+      han::bench::take_path_flag(argc, argv, "--telemetry");
+  han::telemetry::Collector collector;
+  han::telemetry::Collector* const tel =
+      telemetry_path.empty() ? nullptr : &collector;
   han::bench::JsonReport report;
-  print_efficacy_table(report);
-  print_shard_sweep();
-  print_event_sweep();
+  print_efficacy_table(report, tel);
+  print_shard_sweep(report);
+  print_event_sweep(report);
   print_fidelity_sweep(report);
   if (!json_path.empty() && !report.write(json_path)) return 1;
+  if (tel != nullptr) {
+    std::ofstream manifest(telemetry_path);
+    if (!manifest) {
+      std::fprintf(stderr, "cannot write %s\n", telemetry_path.c_str());
+      return 1;
+    }
+    han::telemetry::write_manifest(collector, manifest);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

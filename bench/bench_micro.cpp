@@ -1,5 +1,7 @@
 // Microbenchmarks of the library's hot paths: event queue, RNG,
-// channel model, codec, scheduler, and record store.
+// channel model, codec, scheduler, record store, and the telemetry
+// span (the disabled null-sink path must stay ~free — the engine
+// leaves spans in place permanently).
 #include <benchmark/benchmark.h>
 
 #include "core/status_codec.hpp"
@@ -10,6 +12,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "st/record.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -126,6 +129,48 @@ void BM_RecordStoreMergeSelect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecordStoreMergeSelect);
+
+// Baseline for the telemetry span comparisons: the cheapest thing a
+// span could possibly do is nothing at all.
+void BM_TelemetrySpanBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    int sink = 0;
+    benchmark::DoNotOptimize(&sink);
+  }
+}
+BENCHMARK(BM_TelemetrySpanBaseline);
+
+// Disabled path: a null collector must cost one branch, no clock read.
+// The engine constructs these spans unconditionally on the barrier hot
+// path, so this number is the permanent per-phase tax of telemetry.
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    telemetry::Span span(nullptr, telemetry::Phase::kBarrierCommit);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+// Enabled path: two clock reads plus relaxed atomic accumulation.
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  telemetry::Collector collector;
+  for (auto _ : state) {
+    telemetry::Span span(&collector, telemetry::Phase::kBarrierCommit);
+    benchmark::DoNotOptimize(&span);
+  }
+  benchmark::DoNotOptimize(
+      collector.phase(telemetry::Phase::kBarrierCommit).calls);
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+// Named-counter bump, the other per-event telemetry primitive used on
+// the control plane (event-mode wake accounting).
+void BM_TelemetryCount(benchmark::State& state) {
+  telemetry::Collector collector;
+  for (auto _ : state) collector.count("wakes_timer");
+  benchmark::DoNotOptimize(collector.counter("wakes_timer"));
+}
+BENCHMARK(BM_TelemetryCount);
 
 }  // namespace
 

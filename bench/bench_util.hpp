@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/han.hpp"
+#include "telemetry/flags.hpp"
 
 namespace han::bench {
 
@@ -69,23 +70,26 @@ class JsonReport {
       sections_;
 };
 
-/// Peels "--json out.json" / "--json=out.json" from argv — before
-/// benchmark::Initialize, which rejects flags it does not know —
-/// and returns the path ("" when absent).
-inline std::string take_json_flag(int& argc, char** argv) {
-  std::string path;
-  int w = 1;
-  for (int r = 1; r < argc; ++r) {
-    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
-      path = argv[++r];
-    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
-      path = argv[r] + 7;
-    } else {
-      argv[w++] = argv[r];
-    }
+/// Peels one "--<name> path" / "--<name>=path" flag from argv — before
+/// benchmark::Initialize, which rejects flags it does not know — and
+/// returns the path ("" when absent). A dangling flag with no value
+/// exits loudly: the old parser left a trailing `--json` in argv for
+/// benchmark::Initialize to reject with an unrelated error.
+inline std::string take_path_flag(int& argc, char** argv,
+                                  const char* name) {
+  const telemetry::FlagParse parsed =
+      telemetry::take_value_flag(argc, argv, name);
+  if (parsed.error) {
+    std::fprintf(stderr, "%s requires a filename (%s out.json or %s=out.json)\n",
+                 name, name, name);
+    std::exit(2);
   }
-  argc = w;
-  return path;
+  return parsed.value;
+}
+
+/// Peels "--json out.json" / "--json=out.json" from argv.
+inline std::string take_json_flag(int& argc, char** argv) {
+  return take_path_flag(argc, argv, "--json");
 }
 
 /// True when HAN_BENCH_FAST=1: use the abstract CP for reproductions.

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the committed bench/telemetry snapshots.
+
+Two modes:
+
+  check_bench.py SNAPSHOT FRESH
+      Compare a bench JSON report (bench_grid --json / bench_fleet
+      --json) against the committed snapshot. The report is a flat
+      {section: {key: number}} object. Sections and keys must match
+      exactly. Deterministic keys (simulation counters: barriers,
+      sheds, peaks, transfer counts, ...) FAIL on any drift beyond
+      floating-point noise -- a change there is a behavior change that
+      must be re-pinned deliberately by regenerating the snapshot.
+      Timing keys (substring "wall" or "per_sec") only WARN beyond
+      +/-25%: wall clock is advisory, but a big swing deserves a look.
+
+  check_bench.py --manifest A B
+      Compare two telemetry run manifests (--telemetry=out.json): the
+      "counters" sections must be byte-equal -- the determinism
+      contract across executor widths and control-plane refactors.
+      Everything else in the manifest (run metadata, phase timings,
+      executor activity) is machine-dependent and ignored.
+
+Exit status: 0 clean (warnings allowed), 1 on any failure.
+"""
+
+import json
+import sys
+
+REL_TOL = 1e-6        # deterministic keys: fp formatting noise only
+TIMING_REL_TOL = 0.25  # timing keys: warn-only band
+
+
+def is_timing_key(key):
+    return "wall" in key or "per_sec" in key
+
+
+def rel_delta(a, b):
+    denom = max(abs(a), abs(b))
+    if denom == 0.0:
+        return 0.0
+    return abs(a - b) / denom
+
+
+def check_bench(snapshot_path, fresh_path):
+    with open(snapshot_path) as f:
+        snapshot = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    failures = []
+    warnings = []
+
+    missing = sorted(set(snapshot) - set(fresh))
+    added = sorted(set(fresh) - set(snapshot))
+    if missing:
+        failures.append("sections missing from fresh report: %s" % missing)
+    if added:
+        failures.append(
+            "new sections not in snapshot (regenerate it): %s" % added)
+
+    for section in sorted(set(snapshot) & set(fresh)):
+        snap_keys, fresh_keys = set(snapshot[section]), set(fresh[section])
+        if snap_keys != fresh_keys:
+            failures.append(
+                "section %r keys differ: missing %s, new %s"
+                % (section, sorted(snap_keys - fresh_keys),
+                   sorted(fresh_keys - snap_keys)))
+            continue
+        for key in sorted(snap_keys):
+            want, got = snapshot[section][key], fresh[section][key]
+            delta = rel_delta(float(want), float(got))
+            where = "%s.%s: snapshot %s, fresh %s (rel %.3g)" % (
+                section, key, want, got, delta)
+            if is_timing_key(key):
+                if delta > TIMING_REL_TOL:
+                    warnings.append(where)
+            elif delta > REL_TOL:
+                failures.append(where)
+
+    for w in warnings:
+        print("WARN (timing drift): %s" % w)
+    for f in failures:
+        print("FAIL: %s" % f)
+    if failures:
+        print("\n%d failure(s) against %s -- deterministic metrics moved."
+              % (len(failures), snapshot_path))
+        print("If the change is intentional, regenerate the snapshot "
+              "(see ci/README or the workflow's gate step) and commit it.")
+        return 1
+    print("OK: %s matches %s (%d warning(s))"
+          % (fresh_path, snapshot_path, len(warnings)))
+    return 0
+
+
+def check_manifest(a_path, b_path):
+    with open(a_path) as f:
+        a = json.load(f)
+    with open(b_path) as f:
+        b = json.load(f)
+    for path, manifest in ((a_path, a), (b_path, b)):
+        if manifest.get("telemetry_version") != 1:
+            print("FAIL: %s: unsupported telemetry_version %r"
+                  % (path, manifest.get("telemetry_version")))
+            return 1
+        if "counters" not in manifest:
+            print("FAIL: %s: no counters section" % path)
+            return 1
+
+    ca, cb = a["counters"], b["counters"]
+    failures = []
+    if list(ca) != list(cb):
+        failures.append("counter key order differs: %s vs %s"
+                        % (list(ca), list(cb)))
+    for key in ca:
+        if key in cb and ca[key] != cb[key]:
+            failures.append("counter %r: %s vs %s" % (key, ca[key], cb[key]))
+    for f in failures:
+        print("FAIL: %s" % f)
+    if failures:
+        print("\ndeterministic counters differ between %s and %s"
+              % (a_path, b_path))
+        return 1
+    print("OK: deterministic counters identical (%d counters)" % len(ca))
+    return 0
+
+
+def main(argv):
+    if len(argv) == 4 and argv[1] == "--manifest":
+        return check_manifest(argv[2], argv[3])
+    if len(argv) == 3:
+        return check_bench(argv[1], argv[2])
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

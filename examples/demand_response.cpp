@@ -30,6 +30,10 @@
 // full signal/compliance log is written as CSV. Deterministic: the
 // same scenario/premises/seed yields byte-identical output (including
 // the log) for any thread count.
+// `--telemetry=manifest.json` profiles the closed-loop run (phase
+// wall-clock breakdown, deterministic counters, run metadata) into a
+// versioned JSON manifest; `--trace=trace.json` additionally records a
+// Chrome trace-event timeline loadable in chrome://tracing or Perfetto.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +43,9 @@
 
 #include "core/han.hpp"
 #include "example_util.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/flags.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace han;
@@ -48,6 +55,20 @@ int main(int argc, char** argv) {
   if (examples::wants_scenario_list(argc, argv)) {
     print_scenarios(stdout);
     return 0;
+  }
+
+  // Valued flags first (they consume a following argument), then the
+  // boolean/inline flags, leaving the positionals where arg_count
+  // expects them.
+  const telemetry::FlagParse manifest_flag =
+      telemetry::take_value_flag(argc, argv, "--telemetry");
+  const telemetry::FlagParse trace_flag =
+      telemetry::take_value_flag(argc, argv, "--trace");
+  if (manifest_flag.error || trace_flag.error) {
+    std::fprintf(stderr, "%s requires a filename (e.g. %s=out.json)\n",
+                 manifest_flag.error ? "--telemetry" : "--trace",
+                 manifest_flag.error ? "--telemetry" : "--trace");
+    return 1;
   }
 
   // Peel the --transfers/--fidelity flags off wherever they sit,
@@ -135,10 +156,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed), mode.c_str(),
               fidelity::to_string(fidelity_policy).c_str());
 
+  // Telemetry profiles the closed-loop run (the open-loop leg is the
+  // untimed counterfactual).
+  telemetry::Collector collector;
+  telemetry::Collector* const tel =
+      manifest_flag.present || trace_flag.present ? &collector : nullptr;
+  if (trace_flag.present) collector.enable_tracing();
+  if (tel != nullptr) {
+    collector.set_meta("binary", "demand_response");
+    collector.set_meta("scenario", scenario_name);
+    collector.set_meta_num("premises", static_cast<double>(premises));
+    collector.set_meta_num("seed", static_cast<double>(seed));
+    collector.set_meta_num("feeders",
+                           static_cast<double>(closed.feeder_count));
+    collector.set_meta_num("threads",
+                           static_cast<double>(executor.thread_count()));
+    collector.set_meta("control_mode", mode);
+    collector.set_meta("fidelity", fidelity::to_string(fidelity_policy));
+    collector.set_meta("transfers",
+                       closed.grid.tie.enabled ? "on" : "off");
+    collector.set_meta_num("horizon_h", closed.horizon.hours_f());
+    collector.set_meta("git", telemetry::git_describe());
+  }
+
   const fleet::GridFleetResult off =
       fleet::FleetEngine(open).run_grid(executor);
   const fleet::GridFleetResult on =
-      fleet::FleetEngine(closed).run_grid(executor);
+      fleet::FleetEngine(closed).run_grid(executor, tel);
 
   metrics::TextTable table({"metric", "open loop", "closed loop"});
   const auto row = [&table](const std::string& label, double a, double b,
@@ -236,5 +280,26 @@ int main(int argc, char** argv) {
   log << on.signal_log_csv;
   std::printf("\nsignal/compliance log (%zu deliveries) -> %s\n",
               on.deliveries.size(), log_path.c_str());
+
+  if (manifest_flag.present) {
+    std::ofstream manifest(manifest_flag.value);
+    if (!manifest) {
+      std::fprintf(stderr, "cannot write %s\n", manifest_flag.value.c_str());
+      return 1;
+    }
+    telemetry::write_manifest(collector, manifest);
+    std::printf("telemetry manifest -> %s\n", manifest_flag.value.c_str());
+  }
+  if (trace_flag.present) {
+    std::ofstream trace(trace_flag.value);
+    if (!trace) {
+      std::fprintf(stderr, "cannot write %s\n", trace_flag.value.c_str());
+      return 1;
+    }
+    telemetry::write_chrome_trace(collector, trace);
+    std::printf("chrome trace (load in chrome://tracing or "
+                "https://ui.perfetto.dev) -> %s\n",
+                trace_flag.value.c_str());
+  }
   return 0;
 }

@@ -14,6 +14,11 @@
 // the premise backend tier (default full; see src/fidelity/).
 // Deterministic: the same scenario/premises/seed/fidelity yields a
 // byte-identical CSV for any thread count.
+//
+// `--telemetry=manifest.json` profiles the run into a versioned JSON
+// manifest (phase breakdown, deterministic counters, run metadata);
+// `--trace=trace.json` additionally records a Chrome trace-event
+// timeline (chrome://tracing / Perfetto).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +28,9 @@
 
 #include "core/han.hpp"
 #include "example_util.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/flags.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace han;
@@ -32,6 +40,17 @@ int main(int argc, char** argv) {
   if (examples::wants_scenario_list(argc, argv)) {
     print_scenarios(stdout);
     return 0;
+  }
+
+  const telemetry::FlagParse manifest_flag =
+      telemetry::take_value_flag(argc, argv, "--telemetry");
+  const telemetry::FlagParse trace_flag =
+      telemetry::take_value_flag(argc, argv, "--trace");
+  if (manifest_flag.error || trace_flag.error) {
+    std::fprintf(stderr, "%s requires a filename (e.g. %s=out.json)\n",
+                 manifest_flag.error ? "--telemetry" : "--trace",
+                 manifest_flag.error ? "--telemetry" : "--trace");
+    return 1;
   }
 
   // Peel --fidelity off wherever it sits; positionals stay in place.
@@ -92,8 +111,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed),
               fidelity::to_string(fidelity_policy).c_str());
 
+  telemetry::Collector collector;
+  telemetry::Collector* const tel =
+      manifest_flag.present || trace_flag.present ? &collector : nullptr;
+  if (trace_flag.present) collector.enable_tracing();
+  if (tel != nullptr) {
+    collector.set_meta("binary", "neighborhood");
+    collector.set_meta("scenario", scenario_name);
+    collector.set_meta_num("premises", static_cast<double>(premises));
+    collector.set_meta_num("seed", static_cast<double>(seed));
+    collector.set_meta_num("threads",
+                           static_cast<double>(executor.thread_count()));
+    collector.set_meta("fidelity", fidelity::to_string(fidelity_policy));
+    collector.set_meta_num("horizon_h", cfg.horizon.hours_f());
+    collector.set_meta("git", telemetry::git_describe());
+  }
+
   const fleet::FleetEngine engine(cfg);
-  const fleet::FleetResult result = engine.run(executor);
+  const fleet::FleetResult result = engine.run(executor, tel);
   const fleet::FeederMetrics& f = result.feeder;
 
   metrics::TextTable table({"feeder metric", "value"});
@@ -121,5 +156,24 @@ int main(int argc, char** argv) {
   metrics::write_csv(csv, {"feeder_kw"}, {&result.feeder_load});
   std::printf("\nfeeder series (%zu samples) -> %s\n",
               result.feeder_load.size(), csv_path.c_str());
+
+  if (manifest_flag.present) {
+    std::ofstream manifest(manifest_flag.value);
+    if (!manifest) {
+      std::fprintf(stderr, "cannot write %s\n", manifest_flag.value.c_str());
+      return 1;
+    }
+    telemetry::write_manifest(collector, manifest);
+    std::printf("telemetry manifest -> %s\n", manifest_flag.value.c_str());
+  }
+  if (trace_flag.present) {
+    std::ofstream trace(trace_flag.value);
+    if (!trace) {
+      std::fprintf(stderr, "cannot write %s\n", trace_flag.value.c_str());
+      return 1;
+    }
+    telemetry::write_chrome_trace(collector, trace);
+    std::printf("chrome trace -> %s\n", trace_flag.value.c_str());
+  }
   return 0;
 }

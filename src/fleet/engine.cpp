@@ -5,12 +5,26 @@
 #include <stdexcept>
 
 #include "fidelity/backend.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace han::fleet {
 
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
+
+/// Telemetry phase charged for a premise advancing at `tier`.
+telemetry::Phase tier_phase(fidelity::FidelityTier tier) noexcept {
+  switch (tier) {
+    case fidelity::FidelityTier::kFull:
+      return telemetry::Phase::kTierFullAdvance;
+    case fidelity::FidelityTier::kDevice:
+      return telemetry::Phase::kTierDeviceAdvance;
+    case fidelity::FidelityTier::kStatistical:
+      break;
+  }
+  return telemetry::Phase::kTierStatAdvance;
+}
 
 /// Diurnal Type-1 base-load factor at simulated time `t`: peaks at
 /// 19:00, troughs at 07:00, unit daily mean.
@@ -268,12 +282,66 @@ void FleetEngine::finish_aggregate(FleetResult& out) const {
 }
 
 FleetResult FleetEngine::run(Executor& executor) const {
+  return run(executor, nullptr);
+}
+
+FleetResult FleetEngine::run(Executor& executor,
+                             telemetry::Collector* tel) const {
+  telemetry::Span total(tel, telemetry::Phase::kRunTotal);
+  if (tel != nullptr) {
+    tel->set_trace_epoch_ns(telemetry::Collector::now_ns());
+  }
+  const ExecutorTelemetryScope executor_scope(executor, tel);
+
   FleetResult out;
   out.premises.resize(config_.premise_count);
-  executor.parallel_for(config_.premise_count, [this, &out](std::size_t i) {
-    out.premises[i] = run_premise_at_tier(i);
-  });
-  finish_aggregate(out);
+  {
+    // Open loop has a single "advance to the horizon" barrier; the
+    // disabled path is the exact pre-telemetry loop.
+    telemetry::Span advance(tel, telemetry::Phase::kBarrierAdvance,
+                            telemetry::Span::Emit::kTrace);
+    if (tel == nullptr) {
+      executor.parallel_for(config_.premise_count,
+                            [this, &out](std::size_t i) {
+                              out.premises[i] = run_premise_at_tier(i);
+                            });
+    } else {
+      executor.parallel_for(
+          config_.premise_count, [this, &out, tel](std::size_t i) {
+            const std::uint64_t t0 = telemetry::Collector::now_ns();
+            out.premises[i] = run_premise_at_tier(i);
+            tel->record_span(tier_phase(tier_of(i)),
+                             telemetry::Collector::now_ns() - t0);
+          });
+    }
+  }
+  {
+    telemetry::Span aggregate(tel, telemetry::Phase::kAggregate,
+                              telemetry::Span::Emit::kTrace);
+    finish_aggregate(out);
+  }
+
+  if (tel != nullptr) {
+    std::size_t full = 0;
+    std::size_t device = 0;
+    std::size_t stat = 0;
+    for (std::size_t i = 0; i < config_.premise_count; ++i) {
+      switch (tier_of(i)) {
+        case fidelity::FidelityTier::kFull: ++full; break;
+        case fidelity::FidelityTier::kDevice: ++device; break;
+        case fidelity::FidelityTier::kStatistical: ++stat; break;
+      }
+    }
+    tel->set_counter("premises", config_.premise_count);
+    tel->set_counter("feeders", config_.feeder_count);
+    tel->set_counter("premises_full", full);
+    tel->set_counter("premises_device", device);
+    tel->set_counter("premises_stat", stat);
+    tel->set_counter("coordinated_premises", out.coordinated_premises);
+    tel->set_counter("total_requests", out.total_requests);
+    tel->set_counter("min_dcd_violations", out.min_dcd_violations);
+    tel->set_counter("service_gap_violations", out.service_gap_violations);
+  }
   return out;
 }
 

@@ -32,6 +32,10 @@
 #include "grid/controller.hpp"
 #include "grid/substation.hpp"
 
+namespace han::telemetry {
+class Collector;
+}  // namespace han::telemetry
+
 namespace han::fleet {
 
 /// Default premise topology pool: every generator-backed kind except
@@ -358,7 +362,12 @@ class FleetEngine {
       const PremiseSpec& spec, const metrics::TimeSeries& type2_load,
       const core::NetworkStats& network);
 
-  /// Runs the whole fleet on `executor`.
+  /// Runs the whole fleet on `executor`. With a non-null `telemetry`
+  /// sink the run is profiled into it (phase spans, deterministic
+  /// counters, optional trace events — see telemetry/telemetry.hpp);
+  /// the simulation outputs are byte-identical either way.
+  [[nodiscard]] FleetResult run(Executor& executor,
+                                telemetry::Collector* telemetry) const;
   [[nodiscard]] FleetResult run(Executor& executor) const;
   /// Convenience: runs on a temporary executor with `threads` workers
   /// (0 = hardware concurrency).
@@ -376,7 +385,13 @@ class FleetEngine {
   /// thread-confined between barriers either way, so the result —
   /// including the signal/compliance log — is byte-identical for any
   /// executor width. With config.grid.enabled == false this reproduces
-  /// run() exactly (plus thermal metrics).
+  /// run() exactly (plus thermal metrics). A non-null `telemetry` sink
+  /// profiles the run (boot/barrier-sub-phase spans, per-tier advance
+  /// time, deterministic counters mirroring this result, optional
+  /// trace) without perturbing any output byte.
+  [[nodiscard]] GridFleetResult run_grid(Executor& executor,
+                                         telemetry::Collector* telemetry)
+      const;
   [[nodiscard]] GridFleetResult run_grid(Executor& executor) const;
   [[nodiscard]] GridFleetResult run_grid(std::size_t threads = 0) const;
 

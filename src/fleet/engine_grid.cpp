@@ -59,6 +59,7 @@
 #include <algorithm>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -66,6 +67,7 @@
 #include "fleet/engine.hpp"
 #include "metrics/stream_aggregate.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace han::fleet {
 
@@ -78,9 +80,41 @@ sim::TimePoint snap_up(sim::TimePoint t, sim::Duration interval) {
   return rem == 0 ? t : sim::TimePoint{t.us() + (interval.us() - rem)};
 }
 
+/// Telemetry phase charged for a premise advancing at `tier`.
+telemetry::Phase tier_phase(fidelity::FidelityTier tier) noexcept {
+  switch (tier) {
+    case fidelity::FidelityTier::kFull:
+      return telemetry::Phase::kTierFullAdvance;
+    case fidelity::FidelityTier::kDevice:
+      return telemetry::Phase::kTierDeviceAdvance;
+    case fidelity::FidelityTier::kStatistical:
+      break;
+  }
+  return telemetry::Phase::kTierStatAdvance;
+}
+
+/// Trace-lane series name "sim/<event>/f<K>" (simulated-time instants).
+std::string sim_series(const char* event, std::size_t feeder) {
+  std::string name("sim/");
+  name += event;
+  name += "/f";
+  name += std::to_string(feeder);
+  return name;
+}
+
 }  // namespace
 
 GridFleetResult FleetEngine::run_grid(Executor& executor) const {
+  return run_grid(executor, nullptr);
+}
+
+GridFleetResult FleetEngine::run_grid(Executor& executor,
+                                      telemetry::Collector* tel) const {
+  telemetry::Span run_total(tel, telemetry::Phase::kRunTotal);
+  if (tel != nullptr) {
+    tel->set_trace_epoch_ns(telemetry::Collector::now_ns());
+  }
+  const ExecutorTelemetryScope executor_scope(executor, tel);
   const GridOptions& g = config_.grid;
   const std::size_t feeders = config_.feeder_count;
   const bool event_driven = g.control_mode == ControlMode::kEventDriven;
@@ -107,16 +141,39 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   // finalized BEFORE construction so every tier sees identical inputs.
   std::vector<std::unique_ptr<fidelity::PremiseBackend>> backends(
       config_.premise_count);
-  executor.parallel_for(
-      config_.premise_count, [this, &g, &backends](std::size_t i) {
-        PremiseSpec spec = make_spec(i);
-        // DR enrollment is a no-op until a signal is actually applied,
-        // so flipping it here cannot perturb the signal-free baseline.
-        spec.experiment.han.dr_aware = true;
-        spec.experiment.han.tariff_defer = g.premise_tariff_defer;
-        backends[i] = fidelity::make_backend(tier_of(i), std::move(spec),
-                                             config_.fidelity.calibration);
-      });
+  {
+    telemetry::Span boot(tel, telemetry::Phase::kBoot,
+                         telemetry::Span::Emit::kTrace);
+    if (tel == nullptr) {
+      executor.parallel_for(
+          config_.premise_count, [this, &g, &backends](std::size_t i) {
+            PremiseSpec spec = make_spec(i);
+            // DR enrollment is a no-op until a signal is actually
+            // applied, so flipping it here cannot perturb the
+            // signal-free baseline.
+            spec.experiment.han.dr_aware = true;
+            spec.experiment.han.tariff_defer = g.premise_tariff_defer;
+            backends[i] = fidelity::make_backend(
+                tier_of(i), std::move(spec), config_.fidelity.calibration);
+          });
+    } else {
+      // Instrumented twin of the loop above: splits boot into the
+      // spec/trace draw and the backend construction per premise.
+      executor.parallel_for(
+          config_.premise_count, [this, &g, &backends, tel](std::size_t i) {
+            const std::uint64_t t0 = telemetry::Collector::now_ns();
+            PremiseSpec spec = make_spec(i);
+            spec.experiment.han.dr_aware = true;
+            spec.experiment.han.tariff_defer = g.premise_tariff_defer;
+            const std::uint64_t t1 = telemetry::Collector::now_ns();
+            backends[i] = fidelity::make_backend(
+                tier_of(i), std::move(spec), config_.fidelity.calibration);
+            tel->record_span(telemetry::Phase::kBootSpec, t1 - t0);
+            tel->record_span(telemetry::Phase::kBootBackend,
+                             telemetry::Collector::now_ns() - t1);
+          });
+    }
+  }
 
   // --- Shard the fleet and raise the substation control plane.
   // Membership is rebuilt in index order from the (deterministic) spec
@@ -144,6 +201,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   grid::Substation substation(bank, std::move(plans),
                               sim::Rng(config_.seed).stream("grid-bus"),
                               std::move(tie));
+  substation.set_telemetry(tel);
 
   // Only coordinated premises can act on a shed; the uncoordinated
   // baseline ignores signals by design.
@@ -211,11 +269,27 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   // would dominate the (tiny) per-premise step.
   const std::size_t grain = executor.suggested_grain(config_.premise_count);
   const auto advance_premises = [&](sim::TimePoint t) {
+    if (tel == nullptr) {
+      executor.parallel_for_ranges(
+          config_.premise_count, grain,
+          [&backends, t](std::size_t begin, std::size_t end_i) {
+            for (std::size_t i = begin; i < end_i; ++i) {
+              backends[i]->advance_to(t);
+            }
+          });
+      return;
+    }
+    // Instrumented twin: charges each premise's step to its tier's
+    // nested phase (who is eating the barrier — the full sims or the
+    // surrogates?).
     executor.parallel_for_ranges(
         config_.premise_count, grain,
-        [&backends, t](std::size_t begin, std::size_t end_i) {
+        [&backends, t, tel](std::size_t begin, std::size_t end_i) {
           for (std::size_t i = begin; i < end_i; ++i) {
+            const std::uint64_t t0 = telemetry::Collector::now_ns();
             backends[i]->advance_to(t);
+            tel->record_span(tier_phase(backends[i]->tier()),
+                             telemetry::Collector::now_ns() - t0);
           }
         });
   };
@@ -250,6 +324,13 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   const auto apply_tie_ops = [&](sim::TimePoint t) -> std::vector<grid::TieEvent> {
     if (!tie_enabled) return {};
     std::vector<grid::TieEvent> events = substation.apply_due_transfers(t);
+    if (tel != nullptr && tel->tracing()) {
+      for (const grid::TieEvent& ev : events) {
+        tel->trace_instant(
+            sim_series(ev.give_back ? "give_back" : "transfer", ev.to), t,
+            static_cast<double>(ev.premises.size()));
+      }
+    }
     for (const grid::TieEvent& ev : events) {
       for (const std::size_t p : ev.premises) {
         // Tariff tiers travel with the feeder, not the premise: the
@@ -291,13 +372,25 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     const auto control_step = [&](sim::TimePoint at, const auto& load_of) {
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
+        // Per-feeder spans keep the call order byte-identical to the
+        // uninstrumented loop while still splitting commit from
+        // observe/fan-out in the aggregate profile.
+        telemetry::Span commit_span(tel, telemetry::Phase::kBarrierCommit);
         commit_feeder(k, at, load_of);
         const double aggregate_kw = monitors[k].total_kw();
+        commit_span.finish();
+        telemetry::Span observe_span(tel, telemetry::Phase::kBarrierObserve);
         fan_out(k, substation.observe_feeder(k, at, aggregate_kw));
         total_kw += aggregate_kw;
       }
-      substation.observe_total(at, total_kw);
-      plan_tie(at, load_of);
+      {
+        telemetry::Span observe_span(tel, telemetry::Phase::kBarrierObserve);
+        substation.observe_total(at, total_kw);
+      }
+      {
+        telemetry::Span plan_span(tel, telemetry::Phase::kBarrierPlan);
+        plan_tie(at, load_of);
+      }
       ++barriers;
     };
 
@@ -315,10 +408,20 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
     while (t < end) {
       const sim::TimePoint prev = t;
       t = std::min(t + g.control_interval, end);
-      advance_premises(t);
+      {
+        telemetry::Span advance_span(tel, telemetry::Phase::kBarrierAdvance,
+                                     telemetry::Span::Emit::kTrace);
+        advance_premises(t);
+      }
       // Sequential from here: the whole control plane in feeder order.
-      account_transfers(t - prev);
-      apply_tie_ops(t);
+      {
+        telemetry::Span account_span(tel, telemetry::Phase::kBarrierAccount);
+        account_transfers(t - prev);
+      }
+      {
+        telemetry::Span apply_span(tel, telemetry::Phase::kBarrierApply);
+        apply_tie_ops(t);
+      }
       control_step(t, [&backends](std::size_t i) {
         return backends[i]->inst_kw();
       });
@@ -381,6 +484,7 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         commit_feeder(k, t, prime_load);
         const grid::Observation obs{t, monitors[k].total_kw(),
                                     monitors[k].temperature_pu()};
+        if (tel != nullptr) tel->count("wakes_timer");
         fan_out(k, substation.on_timer(k, obs));
         total_kw += obs.load_kw;
         rearm_deadline(k);
@@ -412,14 +516,23 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       next = std::min(next, end);
       const sim::TimePoint prev = t;
       t = next;
-      advance_premises(t);
+      {
+        telemetry::Span advance_span(tel, telemetry::Phase::kBarrierAdvance,
+                                     telemetry::Span::Emit::kTrace);
+        advance_premises(t);
+      }
       ++barriers;
       // Fire everything due: callbacks mark which feeders' deadlines
       // came due at (or before) this barrier.
       while (!timers.empty() && timers.next_time() <= t) timers.pop().fn();
 
-      account_transfers(t - prev);
+      {
+        telemetry::Span account_span(tel, telemetry::Phase::kBarrierAccount);
+        account_transfers(t - prev);
+      }
+      telemetry::Span apply_span(tel, telemetry::Phase::kBarrierApply);
       const std::vector<grid::TieEvent> tie_events = apply_tie_ops(t);
+      apply_span.finish();
 
       // The horizon-end barrier wakes every controller, mirroring the
       // polled loop's final control step: a controller mid-shed with
@@ -431,15 +544,30 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
       };
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
+        telemetry::Span commit_span(tel, telemetry::Phase::kBarrierCommit);
         const std::vector<metrics::Crossing>& crossings =
             commit_feeder(k, t, inst_load);
         total_kw += monitors[k].total_kw();
         const grid::Observation obs{t, monitors[k].total_kw(),
                                     monitors[k].temperature_pu()};
+        commit_span.finish();
+        telemetry::Span observe_span(tel, telemetry::Phase::kBarrierObserve);
         const bool crossed = !crossings.empty();
         if (crossed) {
+          if (tel != nullptr) {
+            tel->count("wakes_crossing");
+            if (tel->tracing()) {
+              tel->trace_instant(sim_series("crossing", k), t, obs.load_kw);
+            }
+          }
           fan_out(k, substation.on_crossing(k, obs));
         } else if (deadline_due[k] || final_barrier) {
+          if (tel != nullptr) {
+            tel->count("wakes_timer");
+            if (tel->tracing()) {
+              tel->trace_instant(sim_series("wake", k), t, obs.load_kw);
+            }
+          }
           fan_out(k, substation.on_timer(k, obs));
         }
         if (crossed || deadline_due[k]) rearm_deadline(k);
@@ -452,19 +580,31 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
         rearm_deadline(ev.from);
         rearm_deadline(ev.to);
       }
-      substation.observe_total(t, total_kw);
+      {
+        telemetry::Span observe_span(tel, telemetry::Phase::kBarrierObserve);
+        substation.observe_total(t, total_kw);
+      }
+      telemetry::Span plan_span(tel, telemetry::Phase::kBarrierPlan);
       plan_tie(t, inst_load);
+      plan_span.finish();
     }
   }
 
   // --- Collect premise results (parallel) and aggregate (sequential).
   GridFleetResult out;
   out.fleet.premises.resize(config_.premise_count);
-  executor.parallel_for(
-      config_.premise_count, [&backends, &out](std::size_t i) {
-        out.fleet.premises[i] = backends[i]->finish();
-      });
+  {
+    telemetry::Span collect_span(tel, telemetry::Phase::kCollect,
+                                 telemetry::Span::Emit::kTrace);
+    executor.parallel_for(
+        config_.premise_count, [&backends, &out](std::size_t i) {
+          out.fleet.premises[i] = backends[i]->finish();
+        });
+  }
+  telemetry::Span aggregate_span(tel, telemetry::Phase::kAggregate,
+                                 telemetry::Span::Emit::kTrace);
   finish_aggregate(out.fleet);
+  aggregate_span.finish();
 
   out.control_barriers = barriers;
   out.feeders.resize(feeders);
@@ -548,6 +688,51 @@ GridFleetResult FleetEngine::run_grid(Executor& executor) const {
   substation.write_log_csv(log);
   out.signal_log_csv = log.str();
   out.comfort_gap_violations = out.fleet.service_gap_violations;
+
+  if (tel != nullptr) {
+    // Mirror the result into the deterministic counter registry: every
+    // value below is a simulation fact (byte-identical across executor
+    // widths), so the manifest's "counters" section doubles as a
+    // machine-checkable behavior snapshot.
+    std::uint64_t misrouted = 0;
+    std::uint64_t deferrals = 0;
+    for (const PremiseResult& p : out.fleet.premises) {
+      misrouted += p.network.grid_signals_misrouted;
+      deferrals += p.network.tariff_deferrals;
+    }
+    std::size_t full = 0;
+    std::size_t device = 0;
+    std::size_t stat = 0;
+    for (std::size_t i = 0; i < config_.premise_count; ++i) {
+      switch (tier_of(i)) {
+        case fidelity::FidelityTier::kFull: ++full; break;
+        case fidelity::FidelityTier::kDevice: ++device; break;
+        case fidelity::FidelityTier::kStatistical: ++stat; break;
+      }
+    }
+    tel->set_counter("premises", config_.premise_count);
+    tel->set_counter("feeders", feeders);
+    tel->set_counter("premises_full", full);
+    tel->set_counter("premises_device", device);
+    tel->set_counter("premises_stat", stat);
+    tel->set_counter("control_barriers", out.control_barriers);
+    tel->set_counter("controller_wakes", out.controller_wakes);
+    tel->set_counter("signals_emitted", out.signals.size());
+    tel->set_counter("shed_signals", out.dr.shed_signals);
+    tel->set_counter("all_clear_signals", out.dr.all_clear_signals);
+    tel->set_counter("tariff_signals", out.dr.tariff_signals);
+    tel->set_counter("signals_delivered", out.deliveries.size());
+    tel->set_counter("signals_misrouted", misrouted);
+    tel->set_counter("tariff_deferrals", deferrals);
+    tel->set_counter("opted_in_premises", out.opted_in_premises);
+    tel->set_counter("complying_premises", out.complying_premises);
+    tel->set_counter("tie_switch_operations", ties.switch_operations);
+    tel->set_counter("tie_transfers", ties.transfers);
+    tel->set_counter("tie_give_backs", ties.give_backs);
+    tel->set_counter("premises_transferred", ties.premise_moves);
+    tel->set_counter("total_requests", out.fleet.total_requests);
+    tel->set_counter("comfort_gap_violations", out.comfort_gap_violations);
+  }
   return out;
 }
 

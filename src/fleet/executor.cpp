@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace han::fleet {
 
 struct Executor::Impl {
@@ -68,6 +70,10 @@ struct Executor::Impl {
 
   void run_tasks(Job& j, std::size_t wid) {
     const std::size_t w = j.shards.size();
+    telemetry::Collector* const tel =
+        telemetry.load(std::memory_order_relaxed);
+    std::uint64_t tasks_run = 0;
+    std::uint64_t steals = 0;
     for (;;) {
       std::size_t index = 0;
       bool found = false;
@@ -90,8 +96,17 @@ struct Executor::Impl {
             found = true;
           }
         }
+        if (found) ++steals;
       }
-      if (!found) return;
+      if (!found) {
+        // One flush per worker per job keeps the hot loop free of
+        // shared-counter contention.
+        if (tel != nullptr && tasks_run != 0) {
+          tel->add_executor_activity(tasks_run, steals);
+        }
+        return;
+      }
+      ++tasks_run;
 
       try {
         (*j.fn)(index);
@@ -118,6 +133,10 @@ struct Executor::Impl {
   std::mutex submit_mutex;           // serializes parallel_for callers
   std::shared_ptr<Job> job;
   bool shutdown = false;
+  /// Atomic so workers mid-steal-scan may read it while a submitter
+  /// swaps sinks between jobs; set_telemetry's contract (call between
+  /// jobs) keeps the value stable for the span of any one job.
+  std::atomic<telemetry::Collector*> telemetry{nullptr};
 };
 
 namespace {
@@ -144,9 +163,17 @@ std::size_t Executor::thread_count() const noexcept {
   return impl_->workers.size();
 }
 
+void Executor::set_telemetry(telemetry::Collector* collector) noexcept {
+  impl_->telemetry.store(collector, std::memory_order_relaxed);
+}
+
 void Executor::parallel_for(std::size_t n,
                             const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  telemetry::Collector* const tel =
+      impl_->telemetry.load(std::memory_order_relaxed);
+  if (tel != nullptr) tel->count_parallel_for();
+  telemetry::Span dispatch(tel, telemetry::Phase::kExecutorDispatch);
   const std::lock_guard<std::mutex> submit(impl_->submit_mutex);
 
   auto j = std::make_shared<Impl::Job>(impl_->workers.size());

@@ -17,6 +17,10 @@
 #include <functional>
 #include <memory>
 
+namespace han::telemetry {
+class Collector;
+}  // namespace han::telemetry
+
 namespace han::fleet {
 
 /// Fixed-size worker pool with per-worker deques and work stealing.
@@ -54,9 +58,34 @@ class Executor {
   /// granularity: ~8 blocks per worker, capped at 1024 indices.
   [[nodiscard]] std::size_t suggested_grain(std::size_t n) const noexcept;
 
+  /// Attaches (or, with nullptr, detaches) a telemetry sink. While
+  /// attached, every parallel_for records a kExecutorDispatch span plus
+  /// per-job task/steal activity. Call only between jobs — typically
+  /// via ExecutorTelemetryScope for the duration of one engine run.
+  void set_telemetry(telemetry::Collector* collector) noexcept;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+};
+
+/// RAII attach/detach of a telemetry sink to an Executor for the
+/// duration of one engine run (detaches even on exception so a dead
+/// Collector is never left wired into a long-lived executor).
+class ExecutorTelemetryScope {
+ public:
+  ExecutorTelemetryScope(Executor& executor,
+                         telemetry::Collector* collector) noexcept
+      : executor_(executor) {
+    executor_.set_telemetry(collector);
+  }
+  ~ExecutorTelemetryScope() { executor_.set_telemetry(nullptr); }
+
+  ExecutorTelemetryScope(const ExecutorTelemetryScope&) = delete;
+  ExecutorTelemetryScope& operator=(const ExecutorTelemetryScope&) = delete;
+
+ private:
+  Executor& executor_;
 };
 
 }  // namespace han::fleet

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace han::grid {
 
 namespace {
@@ -121,6 +123,8 @@ void Substation::plan_transfers(
     sim::TimePoint t, const std::vector<double>& feeder_load_kw,
     const std::function<double(std::size_t)>& premise_load_kw) {
   if (!tie_.enabled || shards_.size() < 2) return;
+  const telemetry::Span plan_span(telemetry_,
+                                  telemetry::Phase::kTransferPlanning);
   if (feeder_load_kw.size() != shards_.size()) {
     throw std::invalid_argument(
         "Substation::plan_transfers: one load per feeder");

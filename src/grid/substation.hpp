@@ -41,6 +41,10 @@
 #include "grid/feeder.hpp"
 #include "sim/random.hpp"
 
+namespace han::telemetry {
+class Collector;
+}  // namespace han::telemetry
+
 namespace han::grid {
 
 /// Substation-bank parameters. Unset fields inherit from the feeders:
@@ -252,6 +256,14 @@ class Substation {
   [[nodiscard]] sim::TimePoint next_tie_deadline(
       sim::TimePoint after) const noexcept;
 
+  /// Attaches (nullptr detaches) a telemetry sink: plan_transfers then
+  /// charges its decision time to Phase::kTransferPlanning. The sink is
+  /// only touched from the control-plane thread, like everything else
+  /// in this class.
+  void set_telemetry(telemetry::Collector* collector) noexcept {
+    telemetry_ = collector;
+  }
+
  private:
   struct Shard {
     DemandResponseController controller;
@@ -280,6 +292,7 @@ class Substation {
   /// iterated, so the unordered container cannot perturb determinism).
   std::unordered_map<std::size_t, std::size_t> home_;
   std::unordered_map<std::size_t, std::size_t> serving_;
+  telemetry::Collector* telemetry_ = nullptr;
 };
 
 }  // namespace han::grid

@@ -1,0 +1,348 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace han::telemetry {
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters —
+/// ample for the identifier-shaped keys telemetry uses).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_counters_object(const Collector& c, std::ostream& out,
+                           std::string_view indent) {
+  const auto& counters = c.counters();
+  out << "{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << indent << "  \""
+        << escape(counters[i].first) << "\": " << counters[i].second;
+  }
+  if (!counters.empty()) out << "\n" << indent;
+  out << "}";
+}
+
+void write_phase_group(const Collector& c, std::ostream& out, bool exclusive) {
+  bool first = true;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (p == Phase::kRunTotal) continue;
+    if (phase_is_exclusive(p) != exclusive) continue;
+    const PhaseStats s = c.phase(p);
+    if (s.calls == 0) continue;
+    out << (first ? "\n" : ",\n") << "    \"" << phase_name(p)
+        << "\": {\"calls\": " << s.calls
+        << ", \"total_ms\": " << num(static_cast<double>(s.total_ns) / 1e6)
+        << ", \"max_ms\": " << num(static_cast<double>(s.max_ns) / 1e6)
+        << "}";
+    first = false;
+  }
+  if (!first) out << "\n  ";
+}
+
+}  // namespace
+
+std::string counters_json(const Collector& collector) {
+  std::ostringstream out;
+  write_counters_object(collector, out, "  ");
+  return out.str();
+}
+
+std::ostream& write_manifest(const Collector& collector, std::ostream& out) {
+  out << "{\n  \"telemetry_version\": " << kManifestVersion << ",\n";
+
+  out << "  \"run\": {";
+  const auto& meta = collector.meta();
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << escape(meta[i].first)
+        << "\": ";
+    if (collector.meta_is_numeric(meta[i].first)) {
+      out << meta[i].second;
+    } else {
+      out << "\"" << escape(meta[i].second) << "\"";
+    }
+  }
+  if (!meta.empty()) out << "\n  ";
+  out << "},\n";
+
+  out << "  \"counters\": ";
+  write_counters_object(collector, out, "  ");
+  out << ",\n";
+
+  out << "  \"phases\": {";
+  write_phase_group(collector, out, /*exclusive=*/true);
+  out << "},\n";
+  out << "  \"nested_phases\": {";
+  write_phase_group(collector, out, /*exclusive=*/false);
+  out << "},\n";
+
+  const PhaseStats total = collector.phase(Phase::kRunTotal);
+  out << "  \"run_total\": {\"calls\": " << total.calls << ", \"total_ms\": "
+      << num(static_cast<double>(total.total_ns) / 1e6) << "},\n";
+
+  const ExecutorActivity act = collector.executor_activity();
+  out << "  \"executor\": {\"parallel_for_calls\": " << act.parallel_for_calls
+      << ", \"tasks\": " << act.tasks << ", \"steals\": " << act.steals
+      << "}\n";
+  out << "}\n";
+  return out;
+}
+
+std::ostream& write_chrome_trace(const Collector& collector,
+                                 std::ostream& out) {
+  struct Event {
+    sim::Ticks ts = 0;
+    std::size_t seq = 0;  // tie-break: deterministic series order
+    std::string json;
+  };
+  std::vector<Event> events;
+
+  std::vector<std::string> names = collector.trace().series_names();
+  std::sort(names.begin(), names.end());
+  std::size_t seq = 0;
+  for (const std::string& name : names) {
+    // "<cat>/<event>/f<K>" → category, event name, thread lane K;
+    // "phase/<name>" → wall-lane duration event.
+    const std::size_t slash = name.find('/');
+    const std::string cat = name.substr(0, slash);
+    std::string rest =
+        slash == std::string::npos ? name : name.substr(slash + 1);
+    long tid = 0;
+    const std::size_t lane = rest.rfind("/f");
+    if (lane != std::string::npos) {
+      char* end = nullptr;
+      const long parsed = std::strtol(rest.c_str() + lane + 2, &end, 10);
+      if (end != nullptr && *end == '\0') {
+        tid = parsed;
+        rest.resize(lane);
+      }
+    }
+    const bool is_phase = cat == "phase";
+    for (const sim::TraceSample& s : collector.trace().series(name)) {
+      Event ev;
+      ev.ts = s.time.us();
+      ev.seq = seq++;
+      std::ostringstream j;
+      if (is_phase) {
+        j << "{\"name\": \"" << escape(rest) << "\", \"cat\": \"phase\", "
+          << "\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"ts\": " << ev.ts
+          << ", \"dur\": " << num(s.value) << "}";
+      } else {
+        j << "{\"name\": \"" << escape(rest) << "\", \"cat\": \""
+          << escape(cat) << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, "
+          << "\"tid\": " << tid << ", \"ts\": " << ev.ts
+          << ", \"args\": {\"value\": " << num(s.value) << "}}";
+      }
+      ev.json = j.str();
+      events.push_back(std::move(ev));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.seq < b.seq;
+                   });
+
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  // Process-name metadata first (no timestamps of their own).
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+         "\"args\": {\"name\": \"engine wall clock (us)\"}},\n";
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"simulated time (us, lanes = feeders)\"}}";
+  for (const Event& ev : events) {
+    out << ",\n" << ev.json;
+  }
+  out << "\n]}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON checker.
+struct JsonChecker {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        const char e = text[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos;
+    if (eat('-')) {
+    }
+    if (!eat('0')) {
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return false;
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (eat('.')) {
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return false;
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return false;
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    return pos > start;
+  }
+  bool value() {
+    if (++depth > 256) return false;
+    skip_ws();
+    bool ok = false;
+    if (pos >= text.size()) {
+      ok = false;
+    } else if (text[pos] == '{') {
+      ++pos;
+      skip_ws();
+      if (eat('}')) {
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          if (!string()) break;
+          skip_ws();
+          if (!eat(':')) break;
+          if (!value()) break;
+          skip_ws();
+          if (eat('}')) {
+            ok = true;
+            break;
+          }
+          if (!eat(',')) break;
+        }
+      }
+    } else if (text[pos] == '[') {
+      ++pos;
+      skip_ws();
+      if (eat(']')) {
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) break;
+          skip_ws();
+          if (eat(']')) {
+            ok = true;
+            break;
+          }
+          if (!eat(',')) break;
+        }
+      }
+    } else if (text[pos] == '"') {
+      ok = string();
+    } else if (text[pos] == 't') {
+      ok = literal("true");
+    } else if (text[pos] == 'f') {
+      ok = literal("false");
+    } else if (text[pos] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_is_valid(std::string_view text) noexcept {
+  JsonChecker checker{text};
+  if (!checker.value()) return false;
+  checker.skip_ws();
+  return checker.pos == text.size();
+}
+
+}  // namespace han::telemetry

@@ -1,0 +1,55 @@
+// han::telemetry — serialization of a Collector: the versioned run
+// manifest and the Chrome trace-event timeline.
+//
+// Manifest layout (schema kManifestVersion; field order is fixed so
+// deterministic sections diff byte-for-byte):
+//
+//   {
+//     "telemetry_version": 1,
+//     "run":      { ... metadata: preset, seed, threads, git, ... },
+//     "counters": { ... DETERMINISTIC simulation counters ... },
+//     "phases":        { "<phase>": {"calls","total_ms","max_ms"}, ... },
+//     "nested_phases": { ... phases overlapping the ones above ... },
+//     "executor": { "parallel_for_calls", "tasks", "steals" }
+//   }
+//
+// "counters" (and everything in it) is byte-identical across executor
+// widths and is the section the CI perf gate (ci/check_bench.py
+// --manifest) pins; "run" carries width/host facts, and "phases"/
+// "executor" are wall-clock/scheduling measurements — advisory only.
+//
+// The trace exporter renders the Collector's sim::TraceRecorder
+// samples as a Chrome trace-event file loadable in chrome://tracing or
+// https://ui.perfetto.dev: "phase/<name>" series become duration ("X")
+// events on the wall-clock process lane, every other series becomes
+// instant ("i") events on the simulated-time process lane (series
+// named "<cat>/<name>/f<K>" land on thread lane K). Events are emitted
+// strictly ordered by timestamp.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.hpp"
+
+namespace han::telemetry {
+
+/// Writes the run manifest JSON. Returns the stream.
+std::ostream& write_manifest(const Collector& collector, std::ostream& out);
+
+/// The manifest's "counters" object alone (the deterministic section),
+/// exactly as write_manifest renders it — what determinism tests and
+/// the CI gate compare.
+[[nodiscard]] std::string counters_json(const Collector& collector);
+
+/// Writes the Chrome trace-event file. Returns the stream.
+std::ostream& write_chrome_trace(const Collector& collector,
+                                 std::ostream& out);
+
+/// Minimal JSON well-formedness check (objects, arrays, strings,
+/// numbers, booleans, null; rejects trailing garbage). Exists so tests
+/// can validate manifests and traces without an external parser.
+[[nodiscard]] bool json_is_valid(std::string_view text) noexcept;
+
+}  // namespace han::telemetry

@@ -1,0 +1,56 @@
+// han::telemetry — tiny argv helper for valued command-line flags.
+//
+// The examples and bench binaries all peel their own flags off argv
+// before handing the rest to positional parsing (or to
+// benchmark::Initialize, which rejects flags it does not know). This
+// helper centralizes the one pattern they share — `--flag value` and
+// `--flag=value` — and, unlike the ad-hoc loops it replaces, makes a
+// dangling `--flag` with no value an explicit error instead of
+// silently leaving the flag behind.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace han::telemetry {
+
+/// Result of peeling one valued flag out of argv.
+struct FlagParse {
+  std::string value;     ///< The flag's value ("" when absent/error).
+  bool present = false;  ///< The flag appeared (possibly malformed).
+  bool error = false;    ///< Dangling `--flag` (no value) or `--flag=`.
+};
+
+/// Removes every occurrence of `--<name> value` / `--<name>=value` from
+/// argv (compacting it in place and shrinking argc) and returns the
+/// LAST occurrence's value. A trailing `--<name>` with no value, or an
+/// empty `--<name>=`, is removed too but flags the parse as an error —
+/// callers should reject the command line rather than guess.
+inline FlagParse take_value_flag(int& argc, char** argv,
+                                 std::string_view name) {
+  FlagParse out;
+  const std::string eq_form = std::string(name) + "=";
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (name == argv[r]) {
+      out.present = true;
+      if (r + 1 < argc) {
+        out.value = argv[++r];
+        out.error = out.value.empty();
+      } else {
+        out.error = true;  // dangling flag: nothing left to consume
+      }
+    } else if (std::strncmp(argv[r], eq_form.c_str(), eq_form.size()) == 0) {
+      out.present = true;
+      out.value = argv[r] + eq_form.size();
+      out.error = out.value.empty();
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return out;
+}
+
+}  // namespace han::telemetry

@@ -1,0 +1,111 @@
+// telemetry::take_value_flag — the shared argv peeler behind
+// --json/--telemetry/--trace. The old ad-hoc loop in bench_util.hpp
+// left a dangling `--json` behind for benchmark::Initialize to choke
+// on; these tests pin the repaired contract for both spellings.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "telemetry/flags.hpp"
+
+namespace han::telemetry {
+namespace {
+
+/// argv builder: owns the strings, hands out mutable char* like main().
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+    argc_ = static_cast<int>(ptrs_.size());
+  }
+  int& argc() { return argc_; }
+  char** argv() { return ptrs_.data(); }
+  /// Remaining args after peeling (skipping argv[0]).
+  std::vector<std::string> rest() const {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc_; ++i) out.emplace_back(ptrs_[i]);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+  int argc_ = 0;
+};
+
+TEST(Flags, SeparateValueForm) {
+  Argv a({"prog", "--json", "out.json", "pos"});
+  const FlagParse p = take_value_flag(a.argc(), a.argv(), "--json");
+  EXPECT_TRUE(p.present);
+  EXPECT_FALSE(p.error);
+  EXPECT_EQ(p.value, "out.json");
+  EXPECT_EQ(a.rest(), std::vector<std::string>({"pos"}));
+}
+
+TEST(Flags, EqualsValueForm) {
+  Argv a({"prog", "pos1", "--json=out.json", "pos2"});
+  const FlagParse p = take_value_flag(a.argc(), a.argv(), "--json");
+  EXPECT_TRUE(p.present);
+  EXPECT_FALSE(p.error);
+  EXPECT_EQ(p.value, "out.json");
+  EXPECT_EQ(a.rest(), std::vector<std::string>({"pos1", "pos2"}));
+}
+
+TEST(Flags, AbsentFlag) {
+  Argv a({"prog", "pos1", "pos2"});
+  const FlagParse p = take_value_flag(a.argc(), a.argv(), "--json");
+  EXPECT_FALSE(p.present);
+  EXPECT_FALSE(p.error);
+  EXPECT_EQ(p.value, "");
+  EXPECT_EQ(a.rest(), std::vector<std::string>({"pos1", "pos2"}));
+}
+
+TEST(Flags, DanglingFlagIsErrorAndRemoved) {
+  // The regression this helper exists for: a trailing `--json` with no
+  // value must be reported as an error AND removed from argv (the old
+  // bench_util loop left it in place for benchmark::Initialize).
+  Argv a({"prog", "pos", "--json"});
+  const FlagParse p = take_value_flag(a.argc(), a.argv(), "--json");
+  EXPECT_TRUE(p.present);
+  EXPECT_TRUE(p.error);
+  EXPECT_EQ(a.rest(), std::vector<std::string>({"pos"}));
+}
+
+TEST(Flags, EmptyEqualsValueIsError) {
+  Argv a({"prog", "--json="});
+  const FlagParse p = take_value_flag(a.argc(), a.argv(), "--json");
+  EXPECT_TRUE(p.present);
+  EXPECT_TRUE(p.error);
+  EXPECT_TRUE(a.rest().empty());
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  Argv a({"prog", "--json", "first.json", "--json=second.json"});
+  const FlagParse p = take_value_flag(a.argc(), a.argv(), "--json");
+  EXPECT_TRUE(p.present);
+  EXPECT_FALSE(p.error);
+  EXPECT_EQ(p.value, "second.json");
+  EXPECT_TRUE(a.rest().empty());
+}
+
+TEST(Flags, DistinctFlagsPeelIndependently) {
+  Argv a({"prog", "--telemetry=m.json", "--trace", "t.json", "pos"});
+  const FlagParse tel = take_value_flag(a.argc(), a.argv(), "--telemetry");
+  const FlagParse trace = take_value_flag(a.argc(), a.argv(), "--trace");
+  EXPECT_EQ(tel.value, "m.json");
+  EXPECT_EQ(trace.value, "t.json");
+  EXPECT_EQ(a.rest(), std::vector<std::string>({"pos"}));
+}
+
+TEST(Flags, PrefixDoesNotMatchOtherFlags) {
+  // `--jsonx` must not be consumed by `--json` (strncmp pitfall).
+  Argv a({"prog", "--jsonx=keep", "pos"});
+  const FlagParse p = take_value_flag(a.argc(), a.argv(), "--json");
+  EXPECT_FALSE(p.present);
+  EXPECT_EQ(a.rest(), std::vector<std::string>({"--jsonx=keep", "pos"}));
+}
+
+}  // namespace
+}  // namespace han::telemetry
