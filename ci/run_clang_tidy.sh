@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit using the
+# compile_commands.json CMake exports.
+#
+#   ci/run_clang_tidy.sh [BUILD_DIR]      (default: build)
+#
+# The rule set lives in .clang-tidy at the repo root; every warning is
+# an error there, so this script's exit status is the gate. Exits 3
+# with a hint when clang-tidy is not installed (the container image may
+# not carry it — the CI clang-tidy job installs it on the runner).
+set -eu
+
+BUILD_DIR=${1:-build}
+cd "$(dirname "$0")/.."
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: $TIDY not found on PATH." >&2
+  echo "       install clang-tidy (apt-get install clang-tidy) or set" >&2
+  echo "       CLANG_TIDY to a versioned binary (e.g. clang-tidy-18)." >&2
+  exit 3
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing — configure" >&2
+  echo "       first: cmake -B $BUILD_DIR -S ." >&2
+  exit 3
+fi
+
+# Tidy only TUs that are in the compilation database: bench/ targets are
+# skipped when google-benchmark was absent at configure time.
+mapfile -t FILES < <(
+  find src bench examples -name '*.cpp' |
+    while read -r f; do
+      grep -q "\"$(pwd)/$f\"" "$BUILD_DIR/compile_commands.json" && echo "$f"
+    done
+)
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "error: no translation units matched the compilation database" >&2
+  exit 3
+fi
+
+echo "clang-tidy ($("$TIDY" --version | head -n1)) over ${#FILES[@]} TUs"
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet
+echo "clang-tidy: clean"

@@ -289,8 +289,11 @@ class Substation {
   std::vector<TieEvent> pending_;
   std::vector<ActiveTransfer> active_;
   /// Global premise id -> home / current feeder (lookup only — never
-  /// iterated, so the unordered container cannot perturb determinism).
+  /// iterated, so the unordered container cannot perturb determinism;
+  /// transfer planning walks the deterministic shard member lists).
+  // lint:allow(unordered-container): lookup-only id->feeder index, never iterated
   std::unordered_map<std::size_t, std::size_t> home_;
+  // lint:allow(unordered-container): lookup-only id->feeder index, never iterated
   std::unordered_map<std::size_t, std::size_t> serving_;
   telemetry::Collector* telemetry_ = nullptr;
 };

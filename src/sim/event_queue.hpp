@@ -92,7 +92,10 @@ class EventQueue {
   void remove_at(std::size_t i);
 
   std::vector<Node> heap_;
-  std::unordered_map<std::uint64_t, std::size_t> slot_of_;  // seq -> heap index
+  /// seq -> heap index. Hash order never escapes: accessed only via
+  /// find/erase/insert, firing order is decided by the heap alone.
+  // lint:allow(unordered-container): lookup-only cancellation index, never iterated
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_;
   std::uint64_t next_seq_ = 1;  // 0 is the invalid EventId
 };
 

@@ -5,7 +5,7 @@ namespace han::sim {
 const std::vector<TraceSample> TraceRecorder::kEmpty{};
 
 void TraceRecorder::record(std::string_view name, TimePoint at, double value) {
-  auto it = series_.find(std::string(name));
+  auto it = series_.find(name);
   if (it == series_.end()) {
     it = series_.emplace(std::string(name), std::vector<TraceSample>{}).first;
   }
@@ -14,12 +14,12 @@ void TraceRecorder::record(std::string_view name, TimePoint at, double value) {
 }
 
 bool TraceRecorder::has_series(std::string_view name) const {
-  return series_.contains(std::string(name));
+  return series_.find(name) != series_.end();
 }
 
 const std::vector<TraceSample>& TraceRecorder::series(
     std::string_view name) const {
-  auto it = series_.find(std::string(name));
+  auto it = series_.find(name);
   return it == series_.end() ? kEmpty : it->second;
 }
 

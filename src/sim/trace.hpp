@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -37,7 +37,8 @@ class TraceRecorder {
   [[nodiscard]] const std::vector<TraceSample>& series(
       std::string_view name) const;
 
-  /// All series names (unordered).
+  /// All series names, lexicographically sorted (the storage order, so
+  /// the list is deterministic and ready for serialization).
   [[nodiscard]] std::vector<std::string> series_names() const;
 
   /// Total number of samples across all series.
@@ -46,7 +47,11 @@ class TraceRecorder {
   void clear();
 
  private:
-  std::unordered_map<std::string, std::vector<TraceSample>> series_;
+  /// Ordered map: series iterate in name order, so anything serialized
+  /// from a full walk (trace export, name listings) is deterministic by
+  /// construction. std::less<> enables string_view lookups without
+  /// materializing a std::string per record() call.
+  std::map<std::string, std::vector<TraceSample>, std::less<>> series_;
   std::size_t total_ = 0;
   static const std::vector<TraceSample> kEmpty;
 };

@@ -130,8 +130,10 @@ std::ostream& write_chrome_trace(const Collector& collector,
   };
   std::vector<Event> events;
 
-  std::vector<std::string> names = collector.trace().series_names();
-  std::sort(names.begin(), names.end());
+  // series_names() is lexicographically sorted (TraceRecorder stores
+  // series in an ordered map), so the per-series seq tie-break below is
+  // deterministic without re-sorting here.
+  const std::vector<std::string> names = collector.trace().series_names();
   std::size_t seq = 0;
   for (const std::string& name : names) {
     // "<cat>/<event>/f<K>" → category, event name, thread lane K;

@@ -1,0 +1,187 @@
+// Executor stress suite — the ThreadSanitizer workload.
+//
+// The plain executor tests prove functional properties at friendly
+// sizes; this suite drives the concurrency machinery hard enough that
+// TSan can observe the interesting interleavings: steal storms (tasks
+// far cheaper than the dispatch path, so workers spend their time in
+// the victim-scan), nested fan-out (outer parallel_for workers
+// submitting parallel_for_ranges to an inner pool, exercising the
+// concurrent-submitter serialization), exception propagation racing
+// normal completion, and telemetry attach/flush from many workers.
+//
+// Run it under -fsanitize=thread (the tsan CI job does); it also runs
+// in the ordinary suites as a plain correctness test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fleet/executor.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace han::fleet {
+namespace {
+
+TEST(ExecutorStress, StealStormTinyTasks) {
+  // 20k near-empty tasks on 4 workers: the deal is round-robin, so
+  // every worker constantly exhausts its own deque and scans victims.
+  Executor ex(4);
+  constexpr std::size_t kN = 20000;
+  std::vector<std::atomic<std::uint8_t>> hits(kN);
+  for (int round = 0; round < 5; ++round) {
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    ex.parallel_for(kN, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ExecutorStress, StealStormSkewedCosts) {
+  // The first shard gets all the expensive tasks (indices are dealt
+  // round-robin, and cost here is keyed on index % workers), so the
+  // other workers must steal nearly everything they run.
+  Executor ex(4);
+  constexpr std::size_t kN = 4000;
+  std::atomic<std::uint64_t> sum{0};
+  ex.parallel_for(kN, [&sum](std::size_t i) {
+    if (i % 4 == 0) {
+      volatile std::uint64_t burn = 0;
+      for (int k = 0; k < 2000; ++k) burn += static_cast<std::uint64_t>(k);
+    }
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ExecutorStress, NestedRangesThroughInnerPool) {
+  // Outer workers concurrently submit parallel_for_ranges to a shared
+  // inner executor — the pattern a task-graph scheduler will lean on.
+  // The inner submit path must serialize cleanly (submit_mutex) and
+  // every (outer, inner) cell must be visited exactly once.
+  Executor outer(4);
+  Executor inner(3);
+  static constexpr std::size_t kOuter = 12;
+  static constexpr std::size_t kInner = 512;
+  std::vector<std::atomic<std::uint8_t>> cells(kOuter * kInner);
+  outer.parallel_for(kOuter, [&](std::size_t o) {
+    inner.parallel_for_ranges(
+        kInner, inner.suggested_grain(kInner),
+        [&cells, o](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            cells[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+  });
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    ASSERT_EQ(cells[c].load(), 1u) << "cell " << c;
+  }
+}
+
+TEST(ExecutorStress, ConcurrentSubmittersOneExecutor) {
+  // Raw std::threads racing to submit to one executor. The documented
+  // contract is that concurrent submissions are serialized internally;
+  // under TSan this is the test that would expose a submit-path race.
+  Executor ex(4);
+  constexpr std::size_t kSubmitters = 6;
+  constexpr std::size_t kPerSubmit = 1000;
+  std::vector<std::atomic<std::uint32_t>> counts(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&ex, &counts, s]() {
+      for (int round = 0; round < 3; ++round) {
+        ex.parallel_for_ranges(
+            kPerSubmit, 64, [&counts, s](std::size_t begin, std::size_t end) {
+              counts[s].fetch_add(static_cast<std::uint32_t>(end - begin),
+                                  std::memory_order_relaxed);
+            });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(counts[s].load(), 3u * kPerSubmit) << "submitter " << s;
+  }
+}
+
+TEST(ExecutorStress, ExceptionStormFirstWinsRestComplete) {
+  // Many tasks throw concurrently; exactly one exception propagates,
+  // every task still runs, and the pool survives for the next job.
+  Executor ex(4);
+  constexpr std::size_t kN = 2000;
+  std::atomic<std::uint32_t> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    ran.store(0);
+    EXPECT_THROW(
+        ex.parallel_for(kN,
+                        [&ran](std::size_t i) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          if (i % 7 == 0) {
+                            throw std::runtime_error("deliberate");
+                          }
+                        }),
+        std::runtime_error);
+    EXPECT_EQ(ran.load(), kN) << "round " << round;
+  }
+  ran.store(0);
+  ex.parallel_for(64, [&ran](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ExecutorStress, ExceptionInsideRangesBlock) {
+  Executor ex(3);
+  std::atomic<std::uint32_t> visited{0};
+  EXPECT_THROW(ex.parallel_for_ranges(
+                   1000, 32,
+                   [&visited](std::size_t begin, std::size_t end) {
+                     visited.fetch_add(
+                         static_cast<std::uint32_t>(end - begin),
+                         std::memory_order_relaxed);
+                     if (begin == 0) throw std::logic_error("block 0");
+                   }),
+               std::logic_error);
+  EXPECT_EQ(visited.load(), 1000u);
+}
+
+TEST(ExecutorStress, TelemetryFlushFromAllWorkers) {
+  // Every worker flushes its per-job activity into the shared Collector
+  // (relaxed atomics); totals must still be exact, and TSan must see no
+  // race between worker flushes and the submitter reading afterwards.
+  Executor ex(4);
+  telemetry::Collector collector;
+  constexpr std::size_t kN = 5000;
+  {
+    ExecutorTelemetryScope scope(ex, &collector);
+    for (int round = 0; round < 4; ++round) {
+      ex.parallel_for(kN, [](std::size_t) {});
+    }
+  }
+  const telemetry::ExecutorActivity activity = collector.executor_activity();
+  EXPECT_EQ(activity.parallel_for_calls, 4u);
+  EXPECT_EQ(activity.tasks, 4u * kN);
+}
+
+TEST(ExecutorStress, RapidJobTurnover) {
+  // Many minimal jobs back to back: exercises the retire/wake handshake
+  // (job pointer swap, done_cv/wake_cv) more than any single job does.
+  Executor ex(4);
+  std::atomic<std::uint32_t> ran{0};
+  for (int round = 0; round < 500; ++round) {
+    ex.parallel_for(4, [&ran](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(ran.load(), 2000u);
+}
+
+}  // namespace
+}  // namespace han::fleet

@@ -85,7 +85,7 @@ TEST(TariffResponse, ReleasePreservesArrivalOrder) {
   net.start(sim::TimePoint::epoch() + sim::milliseconds(10));
   net.apply_grid_signal(tariff_signal(grid::TariffTier::kPeak));
 
-  for (std::size_t d : {std::size_t{3}, std::size_t{0}}) {
+  for (net::NodeId d : {net::NodeId{3}, net::NodeId{0}}) {
     appliance::Request r;
     r.at = sim::TimePoint::epoch() + sim::minutes(1);
     r.device = d;

@@ -1,0 +1,436 @@
+#!/usr/bin/env python3
+"""Determinism & hygiene linter for the han codebase.
+
+The repo's core guarantee is byte-identical simulation results at any
+executor width. Runtime tests pin that after the fact; this linter stops
+the classes of change that break it from landing at all:
+
+  unseeded-random      rand()/srand(), <random> engines and distributions
+                       anywhere outside the designated seed plumbing
+                       (src/sim/random.*). All randomness must flow from
+                       sim::Rng named streams.
+  wall-clock           system_clock/steady_clock/time()/gettimeofday/...
+                       outside src/telemetry/ (profiling may read clocks;
+                       simulation results must never depend on one).
+  unordered-iteration  range-for over a std::unordered_map/unordered_set
+                       declared in the same file, anywhere in src/.
+                       Hash-order iteration is nondeterministic across
+                       libstdc++ versions and address-space layouts.
+  unordered-container  any unordered_map/unordered_set declaration inside
+                       the result-committing layers (src/fleet, src/grid,
+                       src/metrics, src/fidelity) and the serialization-
+                       adjacent src/sim. Requires a justified allow (the
+                       usual justification: lookup-only, never iterated).
+  pragma-once          every header under src/ must open with #pragma once.
+
+A fifth determinism check — every header must compile standalone — is
+build-level and lives in CMake (the han_header_selfcheck target generates
+one TU per header); see README "Static analysis & determinism rules".
+
+Escape hatch: a finding is suppressed by
+
+    // lint:allow(<rule>): <justification>
+
+either at the end of the offending line or on its own line directly above
+it (doc-comment lines in between are fine). The justification text is
+mandatory — an allow without one, or naming an unknown rule, is itself an
+error, so suppressions stay auditable.
+
+Usage:
+    determinism_lint.py [--root DIR] [PATH...]   lint PATHs (default src/)
+    determinism_lint.py --check-ci-artifacts     verify every ci/golden/*
+                                                 and ci/BENCH_*.json file
+                                                 referenced by the CI
+                                                 workflow + ci/README.md
+                                                 exists on disk
+    determinism_lint.py --list-rules             print the rule table
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Rule table. `dirs`/`exempt_dirs` are path prefixes relative to the repo
+# root using '/' separators; a rule only fires on files under one of
+# `dirs` and under none of `exempt_dirs`/`exempt_files`.
+# --------------------------------------------------------------------------
+
+CXX_SUFFIXES = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
+HEADER_SUFFIXES = (".hpp", ".hh", ".h")
+
+RESULT_COMMITTING_DIRS = ("src/fleet", "src/grid", "src/metrics",
+                          "src/fidelity")
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    description: str
+    dirs: tuple = ("src",)
+    exempt_dirs: tuple = ()
+    exempt_files: tuple = ()
+
+
+RULES = {
+    "unseeded-random": Rule(
+        name="unseeded-random",
+        description="unseeded randomness outside the seed plumbing "
+                    "(src/sim/random.*); draw from sim::Rng streams",
+        exempt_files=("src/sim/random.hpp", "src/sim/random.cpp"),
+    ),
+    "wall-clock": Rule(
+        name="wall-clock",
+        description="wall-clock read outside src/telemetry/; simulation "
+                    "results must never depend on real time",
+        exempt_dirs=("src/telemetry",),
+    ),
+    "unordered-iteration": Rule(
+        name="unordered-iteration",
+        description="range-for over an unordered container; hash order is "
+                    "nondeterministic — use an ordered/stable container",
+    ),
+    "unordered-container": Rule(
+        name="unordered-container",
+        description="unordered container declared in a result-committing "
+                    "layer; justify (lookup-only) or use ordered storage",
+        dirs=RESULT_COMMITTING_DIRS + ("src/sim",),
+    ),
+    "pragma-once": Rule(
+        name="pragma-once",
+        description="header missing #pragma once",
+    ),
+}
+
+UNSEEDED_RANDOM_PATTERNS = [
+    re.compile(r"(?<![\w:])s?rand\s*\("),
+    re.compile(r"(?<![\w:])random\s*\(\s*\)"),
+    re.compile(r"std::random_device"),
+    re.compile(r"std::(minstd_rand0?|mt19937(_64)?|ranlux\w+|knuth_b|"
+               r"default_random_engine)"),
+    re.compile(r"std::(uniform_int|uniform_real|bernoulli|binomial|poisson|"
+               r"exponential|normal|geometric|discrete)_distribution"),
+    re.compile(r"#\s*include\s*<random>"),
+]
+
+WALL_CLOCK_PATTERNS = [
+    re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
+    re.compile(r"(?<![\w:])time\s*\(\s*(nullptr|NULL|0)?\s*\)"),
+    re.compile(r"(?<![\w:])(gettimeofday|clock_gettime|localtime|gmtime)"
+               r"\s*\("),
+    re.compile(r"(?<![\w:])clock\s*\(\s*\)"),
+]
+
+# A (possibly qualified) unordered container declaration introducing a
+# named variable/member, e.g. `std::unordered_map<K, V> name_;`. The
+# template argument match is non-greedy across nested <>, good enough
+# for the declarations this codebase writes on one line.
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<.*>\s+(\w+)\s*(?:[;={(]|$)")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*\*?(\w+(?:[._]\w+|->\w+)*)\s*\)")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)(:?)\s*(.*)")
+
+COMMENT_LINE_RE = re.compile(r"^\s*(//|/\*|\*)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based; 0 = whole file
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Allow:
+    rule: str
+    line: int
+    justified: bool
+    used: bool = False
+
+
+def rel(path: str, root: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def in_scope(rule: Rule, relpath: str) -> bool:
+    if relpath in rule.exempt_files:
+        return False
+    if any(relpath == d or relpath.startswith(d + "/")
+           for d in rule.exempt_dirs):
+        return False
+    return any(relpath == d or relpath.startswith(d + "/")
+               for d in rule.dirs)
+
+
+def parse_allows(lines: list[str], relpath: str,
+                 findings: list[Finding]) -> list[Allow]:
+    """Collects lint:allow annotations, validating rule name and
+    justification. Returns one Allow per annotation."""
+    allows: list[Allow] = []
+    for i, line in enumerate(lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            # Prose may mention the mechanism; only the paren form claims
+            # to BE an annotation and must then parse fully.
+            if "lint:allow(" in line:
+                findings.append(Finding(
+                    relpath, i, "allow-syntax",
+                    "malformed lint:allow; use "
+                    "// lint:allow(<rule>): <justification>"))
+            continue
+        rule, colon, justification = m.group(1), m.group(2), m.group(3)
+        if rule not in RULES:
+            findings.append(Finding(
+                relpath, i, "allow-syntax",
+                f"lint:allow names unknown rule '{rule}'"))
+            continue
+        justified = bool(colon) and bool(justification.strip())
+        if not justified:
+            findings.append(Finding(
+                relpath, i, "allow-syntax",
+                f"lint:allow({rule}) requires a justification: "
+                "// lint:allow(<rule>): <why this is safe>"))
+        allows.append(Allow(rule=rule, line=i, justified=justified))
+    return allows
+
+
+def allowed(allows: list[Allow], lines: list[str], rule: str,
+            line_no: int) -> bool:
+    """True if a finding of `rule` at 1-based `line_no` is covered by a
+    justified allow: same line, or a standalone allow on a line above
+    with only comment/blank lines in between."""
+    for a in allows:
+        if a.rule != rule or not a.justified:
+            continue
+        if a.line == line_no:
+            a.used = True
+            return True
+        if a.line < line_no:
+            between = lines[a.line:line_no - 1]  # lines strictly between
+            if all(not s.strip() or COMMENT_LINE_RE.match(s)
+                   for s in between):
+                # The allow itself must be a standalone comment line.
+                if COMMENT_LINE_RE.match(lines[a.line - 1]):
+                    a.used = True
+                    return True
+    return False
+
+
+def strip_line_comment(line: str) -> str:
+    """Drops a trailing // comment (naive: ignores // inside strings,
+    which the patterns here never need to see anyway)."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+def lint_file(path: str, root: str) -> list[Finding]:
+    relpath = rel(path, root)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(relpath, 0, "io", str(e))]
+    lines = text.splitlines()
+
+    findings: list[Finding] = []
+    allows = parse_allows(lines, relpath, findings)
+
+    def check(rule_name: str, line_no: int, message: str) -> None:
+        if not in_scope(RULES[rule_name], relpath):
+            return
+        if allowed(allows, lines, rule_name, line_no):
+            return
+        findings.append(Finding(relpath, line_no, rule_name, message))
+
+    # pragma-once: headers only, must appear before any code line.
+    if relpath.endswith(HEADER_SUFFIXES) and in_scope(
+            RULES["pragma-once"], relpath):
+        seen = False
+        for line in lines:
+            s = line.strip()
+            if s == "#pragma once":
+                seen = True
+                break
+            if s and not COMMENT_LINE_RE.match(line):
+                break  # first code line reached without the pragma
+        if not seen:
+            findings.append(Finding(
+                relpath, 1, "pragma-once",
+                "header must start with #pragma once"))
+
+    unordered_names: set = set()
+    for i, raw in enumerate(lines, start=1):
+        line = strip_line_comment(raw)
+        if not line.strip():
+            continue
+
+        for pat in UNSEEDED_RANDOM_PATTERNS:
+            m = pat.search(line)
+            if m:
+                check("unseeded-random", i,
+                      f"'{m.group(0).strip()}' — derive randomness from a "
+                      "sim::Rng named stream instead")
+
+        for pat in WALL_CLOCK_PATTERNS:
+            m = pat.search(line)
+            if m:
+                check("wall-clock", i,
+                      f"'{m.group(0).strip()}' — wall-clock reads are "
+                      "allowed only in src/telemetry/")
+
+        m = UNORDERED_DECL_RE.search(line)
+        if m:
+            unordered_names.add(m.group(1))
+            check("unordered-container", i,
+                  f"unordered container '{m.group(1)}' in a "
+                  "result-committing layer; use ordered storage or "
+                  "justify with lint:allow")
+
+        fm = RANGE_FOR_RE.search(line)
+        if fm:
+            # `for (x : expr)` — flag when expr's last path component is
+            # a name declared as unordered in this file.
+            target = re.split(r"\.|->", fm.group(1))[-1]
+            if target in unordered_names:
+                check("unordered-iteration", i,
+                      f"range-for over unordered container '{target}' — "
+                      "iteration order is nondeterministic")
+
+    for a in allows:
+        if a.justified and not a.used:
+            findings.append(Finding(
+                relpath, a.line, "allow-syntax",
+                f"lint:allow({a.rule}) suppresses nothing (stale allow?)"))
+
+    return findings
+
+
+def collect_files(paths: list[str], root: str) -> list[str]:
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            if p.endswith(CXX_SUFFIXES):
+                out.append(p)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(p):
+            for name in sorted(filenames):
+                if name.endswith(CXX_SUFFIXES):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+# --------------------------------------------------------------------------
+# CI artifact existence: every ci/golden/* and ci/BENCH_*.json path named
+# in the workflow files or ci/README.md must exist, so a renamed snapshot
+# fails the lint job fast instead of silently skipping a cmp/gate step.
+# --------------------------------------------------------------------------
+
+ARTIFACT_REF_RE = re.compile(r"ci/(?:golden/[\w.\-]+|BENCH_[\w.\-]+\.json)")
+
+
+def check_ci_artifacts(root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    sources = []
+    wf_dir = os.path.join(root, ".github", "workflows")
+    if os.path.isdir(wf_dir):
+        sources += [os.path.join(wf_dir, n) for n in sorted(os.listdir(wf_dir))
+                    if n.endswith((".yml", ".yaml"))]
+    readme = os.path.join(root, "ci", "README.md")
+    if os.path.isfile(readme):
+        sources.append(readme)
+    if not sources:
+        return [Finding(".github/workflows", 0, "ci-artifacts",
+                        "no workflow files found to scan")]
+
+    refs: dict = {}
+    for src in sources:
+        with open(src, encoding="utf-8") as f:
+            for i, line in enumerate(f, start=1):
+                for m in ARTIFACT_REF_RE.finditer(line):
+                    refs.setdefault(m.group(0), (rel(src, root), i))
+    if not refs:
+        findings.append(Finding("ci", 0, "ci-artifacts",
+                                "no ci/golden or ci/BENCH_*.json references "
+                                "found in workflows — gate wiring missing?"))
+    for ref in sorted(refs):
+        src, line = refs[ref]
+        if not os.path.isfile(os.path.join(root, ref)):
+            findings.append(Finding(
+                src, line, "ci-artifacts",
+                f"referenced snapshot '{ref}' does not exist (renamed "
+                "without updating the workflow, or not committed?)"))
+    golden_dir = os.path.join(root, "ci", "golden")
+    if not os.path.isdir(golden_dir) or not os.listdir(golden_dir):
+        findings.append(Finding("ci/golden", 0, "ci-artifacts",
+                                "golden directory missing or empty"))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="determinism_lint.py",
+        description="determinism & hygiene linter (see module docstring)")
+    parser.add_argument("--root", default=".",
+                        help="repo root (scoping prefixes are relative "
+                             "to it; default: cwd)")
+    parser.add_argument("--check-ci-artifacts", action="store_true",
+                        help="verify referenced CI snapshots exist instead "
+                             "of linting sources")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="files/dirs to lint (default: <root>/src)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"error: --root {args.root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for r in RULES.values():
+            scope = ", ".join(r.dirs)
+            exempt = ", ".join(r.exempt_dirs + r.exempt_files)
+            line = f"{r.name:22} {r.description} [scope: {scope}"
+            line += f"; exempt: {exempt}]" if exempt else "]"
+            print(line)
+        return 0
+
+    if args.check_ci_artifacts:
+        findings = check_ci_artifacts(root)
+    else:
+        paths = args.paths or [os.path.join(root, "src")]
+        paths = [p if os.path.isabs(p) else os.path.join(root, p)
+                 for p in paths]
+        for p in paths:
+            if not os.path.exists(p):
+                print(f"error: no such path: {p}", file=sys.stderr)
+                return 2
+        findings = []
+        for f in collect_files(paths, root):
+            findings.extend(lint_file(f, root))
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

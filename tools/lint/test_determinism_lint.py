@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Unit tests for determinism_lint.py.
+
+Each lint rule is exercised three ways against the fixture tree in
+tests/fixtures/: a positive file that must be flagged, a negative file
+that must stay clean, and the lint:allow escape hatch (justified allows
+suppress; unjustified, unknown-rule and stale allows are themselves
+errors). Run directly or via CTest (`ctest -R lint`).
+"""
+
+import io
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "tests", "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+sys.path.insert(0, HERE)
+import determinism_lint  # noqa: E402
+
+
+def run_lint(*argv):
+    """Runs the linter in-process; returns (exit_code, stdout_lines)."""
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = determinism_lint.main(list(argv))
+    lines = [l for l in out.getvalue().splitlines() if l]
+    return code, lines
+
+
+def lint_fixture(relpath):
+    return run_lint("--root", FIXTURES, os.path.join(FIXTURES, relpath))
+
+
+class UnseededRandomTest(unittest.TestCase):
+    def test_positive_catches_every_pattern(self):
+        code, lines = lint_fixture("src/appliance/bad_rand.cpp")
+        self.assertEqual(code, 1)
+        findings = [l for l in lines if "[unseeded-random]" in l]
+        # <random> include, random_device, mt19937, distribution, srand, rand.
+        self.assertGreaterEqual(len(findings), 6)
+
+    def test_negative_rng_stream_idiom(self):
+        code, lines = lint_fixture("src/appliance/ok_rng.cpp")
+        self.assertEqual(code, 0, lines)
+
+    def test_seed_plumbing_exempt(self):
+        code, lines = lint_fixture("src/sim/random.cpp")
+        self.assertEqual(code, 0, lines)
+
+
+class WallClockTest(unittest.TestCase):
+    def test_positive(self):
+        code, lines = lint_fixture("src/sim/bad_time.cpp")
+        self.assertEqual(code, 1)
+        findings = [l for l in lines if "[wall-clock]" in l]
+        self.assertEqual(len(findings), 2)  # system_clock + time(nullptr)
+
+    def test_telemetry_dir_exempt(self):
+        code, lines = lint_fixture("src/telemetry/clock_ok.cpp")
+        self.assertEqual(code, 0, lines)
+
+    def test_justified_allow_suppresses_trailing_and_preceding(self):
+        code, lines = lint_fixture("src/sim/allowed_time.cpp")
+        self.assertEqual(code, 0, lines)
+
+
+class UnorderedTest(unittest.TestCase):
+    def test_iteration_flagged(self):
+        code, lines = lint_fixture("src/sim/iter_unordered.cpp")
+        self.assertEqual(code, 1)
+        self.assertTrue(any("[unordered-iteration]" in l for l in lines),
+                        lines)
+        # The declaration itself is excused by its justified allow.
+        self.assertFalse(any("[unordered-container]" in l for l in lines))
+
+    def test_declaration_flagged_in_result_committing_layer(self):
+        code, lines = lint_fixture("src/fleet/decl_unordered.cpp")
+        self.assertEqual(code, 1)
+        self.assertTrue(any("[unordered-container]" in l and "by_premise" in l
+                            for l in lines), lines)
+
+    def test_declaration_allow_with_doc_comment_between(self):
+        code, lines = lint_fixture("src/fleet/decl_allowed.cpp")
+        self.assertEqual(code, 0, lines)
+
+
+class PragmaOnceTest(unittest.TestCase):
+    def test_missing_pragma(self):
+        code, lines = lint_fixture("src/sim/bad_header.hpp")
+        self.assertEqual(code, 1)
+        self.assertTrue(any("[pragma-once]" in l for l in lines), lines)
+
+    def test_pragma_after_leading_comment_ok(self):
+        code, lines = lint_fixture("src/sim/good_header.hpp")
+        self.assertEqual(code, 0, lines)
+
+
+class AllowHygieneTest(unittest.TestCase):
+    def test_unjustified_allow_is_error_and_does_not_suppress(self):
+        code, lines = lint_fixture("src/sim/unjustified_allow.cpp")
+        self.assertEqual(code, 1)
+        self.assertTrue(any("[allow-syntax]" in l for l in lines), lines)
+        self.assertTrue(any("[wall-clock]" in l for l in lines), lines)
+
+    def test_unknown_rule_allow_is_error(self):
+        code, lines = lint_fixture("src/sim/unknown_rule_allow.cpp")
+        self.assertEqual(code, 1)
+        self.assertTrue(any("unknown rule" in l for l in lines), lines)
+
+    def test_stale_allow_is_error(self):
+        code, lines = lint_fixture("src/sim/stale_allow.cpp")
+        self.assertEqual(code, 1)
+        self.assertTrue(any("suppresses nothing" in l for l in lines), lines)
+
+
+class WholeTreeTest(unittest.TestCase):
+    def test_fixture_tree_totals(self):
+        """Linting the whole fixture tree finds exactly the seeded
+        positives — a drift check on scoping (a rule leaking into an
+        exempt directory would change the count)."""
+        code, lines = run_lint("--root", FIXTURES)
+        self.assertEqual(code, 1)
+        by_rule = {}
+        for l in lines:
+            if "[" in l:
+                rule = l.split("[", 1)[1].split("]", 1)[0]
+                by_rule[rule] = by_rule.get(rule, 0) + 1
+        self.assertGreaterEqual(by_rule.get("unseeded-random", 0), 6)
+        self.assertEqual(by_rule.get("wall-clock"), 3)  # bad_time x2 + unjustified x1
+        self.assertEqual(by_rule.get("unordered-iteration"), 1)
+        self.assertEqual(by_rule.get("unordered-container"), 1)
+        self.assertEqual(by_rule.get("pragma-once"), 1)
+        self.assertEqual(by_rule.get("allow-syntax"), 3)
+
+    def test_real_src_is_clean(self):
+        """The committed tree must lint clean — the same invocation CI
+        runs."""
+        code, lines = run_lint("--root", REPO_ROOT)
+        self.assertEqual(code, 0, lines)
+
+
+class CiArtifactsTest(unittest.TestCase):
+    def test_real_repo_artifacts_exist(self):
+        code, lines = run_lint("--root", REPO_ROOT, "--check-ci-artifacts")
+        self.assertEqual(code, 0, lines)
+
+    def test_missing_snapshot_fails_fast(self):
+        tmp = tempfile.mkdtemp(prefix="lint_art_")
+        try:
+            wf = os.path.join(tmp, ".github", "workflows")
+            os.makedirs(wf)
+            os.makedirs(os.path.join(tmp, "ci", "golden"))
+            with open(os.path.join(wf, "ci.yml"), "w") as f:
+                f.write("run: cmp out.csv ci/golden/renamed_golden.csv\n"
+                        "run: python3 ci/check_bench.py ci/BENCH_gone.json x\n")
+            # Present golden so only the renamed refs are missing.
+            with open(os.path.join(tmp, "ci", "golden", "other.csv"),
+                      "w") as f:
+                f.write("x\n")
+            code, lines = run_lint("--root", tmp, "--check-ci-artifacts")
+            self.assertEqual(code, 1)
+            self.assertTrue(
+                any("renamed_golden.csv" in l for l in lines), lines)
+            self.assertTrue(any("BENCH_gone.json" in l for l in lines), lines)
+        finally:
+            shutil.rmtree(tmp)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

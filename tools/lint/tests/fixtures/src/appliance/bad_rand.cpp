@@ -1,0 +1,11 @@
+// Fixture: every unseeded-randomness pattern the linter must catch.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::uniform_int_distribution<int> dist(0, 9);
+  srand(42);
+  return rand() + dist(gen);
+}

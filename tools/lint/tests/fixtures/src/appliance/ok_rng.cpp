@@ -1,0 +1,10 @@
+// Fixture: the blessed pattern — randomness from a named Rng stream.
+// Identifiers like operand() or branding must not trip the rand() regex.
+struct Rng {
+  unsigned long long next_u64();
+};
+
+int operand_count(Rng& rng) {
+  Rng workload = rng;  // derived stream stand-in
+  return static_cast<int>(workload.next_u64() % 7);
+}

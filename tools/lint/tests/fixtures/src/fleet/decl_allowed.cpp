@@ -1,0 +1,10 @@
+// Fixture: the same declaration, excused with a justified allow on the
+// line above (doc comments in between are permitted).
+#include <cstddef>
+#include <unordered_map>
+
+struct Index {
+  /// id -> slot.
+  // lint:allow(unordered-container): lookup-only index, never iterated
+  std::unordered_map<std::size_t, std::size_t> slot_of;
+};

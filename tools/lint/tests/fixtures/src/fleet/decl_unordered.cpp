@@ -1,0 +1,8 @@
+// Fixture: unordered container declared in a result-committing layer
+// with no justification.
+#include <cstddef>
+#include <unordered_map>
+
+struct Accumulator {
+  std::unordered_map<std::size_t, double> by_premise;
+};

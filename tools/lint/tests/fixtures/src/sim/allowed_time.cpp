@@ -1,0 +1,10 @@
+// Fixture: a justified allow suppresses a wall-clock finding, both as a
+// trailing comment and as a standalone line above the offending one.
+#include <chrono>
+
+long long boot_stamp() {
+  const auto a = std::chrono::system_clock::now();  // lint:allow(wall-clock): log header timestamp, never reaches results
+  // lint:allow(wall-clock): log header timestamp, never reaches results
+  const auto b = std::chrono::system_clock::now();
+  return a.time_since_epoch().count() + b.time_since_epoch().count();
+}

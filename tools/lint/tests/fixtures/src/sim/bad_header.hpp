@@ -1,0 +1,2 @@
+// Fixture: header without #pragma once.
+inline int bad_header_value() { return 3; }

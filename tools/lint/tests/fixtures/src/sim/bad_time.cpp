@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads in simulation code.
+#include <chrono>
+#include <ctime>
+
+long long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<long long>(time(nullptr));
+}

@@ -1,0 +1,4 @@
+// Fixture: a well-formed header — leading comment, then the pragma.
+#pragma once
+
+inline int good_header_value() { return 4; }

@@ -1,0 +1,17 @@
+// Fixture: range-iteration over an unordered container (the order the
+// loop body observes is hash order — nondeterministic).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// lint:allow(unordered-container): fixture exercises the iteration rule in isolation
+std::unordered_map<std::string, double> totals;
+
+std::vector<double> snapshot() {
+  std::vector<double> out;
+  for (const auto& [key, value] : totals) {
+    (void)key;
+    out.push_back(value);
+  }
+  return out;
+}

@@ -1,0 +1,8 @@
+// Fixture: the designated seed plumbing is exempt from unseeded-random
+// (this is where entropy would legitimately enter, were it ever needed).
+#include <random>
+
+unsigned seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}

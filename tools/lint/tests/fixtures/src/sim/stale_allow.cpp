@@ -1,0 +1,6 @@
+// Fixture: a justified allow that suppresses nothing is flagged so
+// suppressions cannot outlive the code they excused.
+int f() {
+  // lint:allow(wall-clock): this line reads no clock at all
+  return 1;
+}

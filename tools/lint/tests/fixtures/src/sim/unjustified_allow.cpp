@@ -1,0 +1,8 @@
+// Fixture: an allow without a justification is itself an error AND does
+// not suppress the underlying finding.
+#include <chrono>
+
+long long stamp() {
+  // lint:allow(wall-clock)
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

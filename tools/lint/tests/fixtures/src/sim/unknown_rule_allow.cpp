@@ -1,0 +1,5 @@
+// Fixture: lint:allow naming an unknown rule (typo) is an error.
+int f() {
+  // lint:allow(wall-clok): justified-looking text
+  return 0;
+}

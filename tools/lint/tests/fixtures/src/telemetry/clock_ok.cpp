@@ -1,0 +1,8 @@
+// Fixture: src/telemetry/ may read monotonic and wall clocks freely —
+// profiling is inherently wall-clock business.
+#include <chrono>
+
+unsigned long long now_ns() {
+  return static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
