@@ -206,9 +206,13 @@ void print_shard_sweep(bench::JsonReport& report) {
     cfg.feeder_count = k;
     fleet::FleetConfig tie_cfg = tied;
     tie_cfg.feeder_count = k;
+    // A local collector per untied run exposes the per-shard join-wait
+    // cost of the task-graph barrier (feeder k's control decision waits
+    // only on k's own join node) plus the deterministic graph counters.
+    telemetry::Collector join_tel;
     const auto t0 = std::chrono::steady_clock::now();
     const fleet::GridFleetResult r =
-        fleet::FleetEngine(cfg).run_grid(executor);
+        fleet::FleetEngine(cfg).run_grid(executor, &join_tel);
     const double secs = wall_seconds(t0);
     const auto t1 = std::chrono::steady_clock::now();
     const fleet::GridFleetResult rt =
@@ -235,6 +239,18 @@ void print_shard_sweep(bench::JsonReport& report) {
     report.set(section, "tie_sheds", static_cast<double>(tie_sheds));
     report.set(section, "wall_s", secs);
     report.set(section, "tie_wall_s", tie_secs);
+    // Counters are deterministic (control-plane facts); the span total
+    // is a timing key ("wall") so check_bench only warns on its drift.
+    const std::string join_section = "join_wait_k" + std::to_string(k);
+    report.set(join_section, "join_waits",
+               static_cast<double>(join_tel.counter("join_waits")));
+    report.set(join_section, "graph_submissions",
+               static_cast<double>(join_tel.counter("graph_submissions")));
+    report.set(join_section, "join_wait_wall_ms",
+               static_cast<double>(
+                   join_tel.phase(telemetry::Phase::kBarrierJoinWait)
+                       .total_ns) /
+                   1e6);
     table.add_row({std::to_string(k),
                    metrics::fmt(r.fleet.substation.coincident_peak_kw, 1),
                    metrics::fmt(r.fleet.substation.inter_feeder_diversity, 4),

@@ -3,7 +3,7 @@
 
 Two modes:
 
-  check_bench.py SNAPSHOT FRESH
+  check_bench.py SNAPSHOT FRESH [--require SECTION ...]
       Compare a bench JSON report (bench_grid --json / bench_fleet
       --json) against the committed snapshot. The report is a flat
       {section: {key: number}} object. Sections and keys must match
@@ -13,6 +13,10 @@ Two modes:
       must be re-pinned deliberately by regenerating the snapshot.
       Timing keys (substring "wall" or "per_sec") only WARN beyond
       +/-25%: wall clock is advisory, but a big swing deserves a look.
+      Each --require SECTION must be present in BOTH files (substring
+      match against section names), or the check fails: the gate's way
+      of proving a counter family (e.g. the per-shard join_wait
+      sections) didn't silently drop out of the report.
 
   check_bench.py --manifest A B
       Compare two telemetry run manifests (--telemetry=out.json): the
@@ -42,7 +46,7 @@ def rel_delta(a, b):
     return abs(a - b) / denom
 
 
-def check_bench(snapshot_path, fresh_path):
+def check_bench(snapshot_path, fresh_path, required_sections=()):
     with open(snapshot_path) as f:
         snapshot = json.load(f)
     with open(fresh_path) as f:
@@ -50,6 +54,12 @@ def check_bench(snapshot_path, fresh_path):
 
     failures = []
     warnings = []
+
+    for required in required_sections:
+        for path, report in ((snapshot_path, snapshot), (fresh_path, fresh)):
+            if not any(required in section for section in report):
+                failures.append(
+                    "%s: no section matching required %r" % (path, required))
 
     missing = sorted(set(snapshot) - set(fresh))
     added = sorted(set(fresh) - set(snapshot))
@@ -128,8 +138,17 @@ def check_manifest(a_path, b_path):
 def main(argv):
     if len(argv) == 4 and argv[1] == "--manifest":
         return check_manifest(argv[2], argv[3])
-    if len(argv) == 3:
-        return check_bench(argv[1], argv[2])
+    args = argv[1:]
+    required = []
+    while "--require" in args:
+        at = args.index("--require")
+        if at + 1 >= len(args):
+            print("--require needs a section name")
+            return 2
+        required.append(args[at + 1])
+        del args[at:at + 2]
+    if len(args) == 2:
+        return check_bench(args[0], args[1], required)
     print(__doc__)
     return 2
 

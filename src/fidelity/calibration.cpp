@@ -35,21 +35,63 @@ void CalibrationTable::save_csv(std::ostream& out) const {
 }
 
 std::optional<CalibrationTable> CalibrationTable::load_csv(std::istream& in) {
+  return load_csv(in, nullptr);
+}
+
+namespace {
+
+/// Records the rejection reason (prefixed with the 1-based CSV line
+/// number) and returns nullopt, so every bail-out site in the loader
+/// reads as one statement.
+std::optional<CalibrationTable> reject(std::string* error, std::size_t line_no,
+                                       const std::string& why) {
+  if (error != nullptr) {
+    *error = "calibration CSV line " + std::to_string(line_no) + ": " + why;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CalibrationTable> CalibrationTable::load_csv(
+    std::istream& in, std::string* error) {
   CalibrationTable t;
   bool saw_version = false;
   std::string line;
-  if (!std::getline(in, line)) return std::nullopt;  // header
+  std::size_t line_no = 1;
+  if (!std::getline(in, line)) {
+    return reject(error, line_no, "empty stream (missing header)");
+  }
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const std::size_t comma = line.find(',');
-    if (comma == std::string::npos) return std::nullopt;
+    if (comma == std::string::npos) {
+      return reject(error, line_no, "no comma in row '" + line + "'");
+    }
     const std::string key = line.substr(0, comma);
     const std::string value = line.substr(comma + 1);
     double v = 0.0;
+    std::size_t consumed = 0;
     try {
-      v = std::stod(value);
+      v = std::stod(value, &consumed);
     } catch (...) {
-      return std::nullopt;
+      return reject(error, line_no,
+                    "value '" + value + "' for key '" + key +
+                        "' is not a number");
+    }
+    // stod accepts a numeric prefix ("1.5abc") and the words nan/inf;
+    // a calibration parameter must be a complete, finite number or the
+    // surrogate silently computes garbage loads from it.
+    if (consumed != value.size()) {
+      return reject(error, line_no,
+                    "trailing garbage in value '" + value + "' for key '" +
+                        key + "'");
+    }
+    if (!std::isfinite(v)) {
+      return reject(error, line_no,
+                    "non-finite value '" + value + "' for key '" + key +
+                        "'");
     }
     if (key == "version") {
       t.version = static_cast<int>(v);
@@ -65,15 +107,37 @@ std::optional<CalibrationTable> CalibrationTable::load_csv(std::istream& in) {
     } else if (key == "tariff_elasticity") {
       t.tariff_elasticity = v;
     } else if (key.rfind("hourly_shape_", 0) == 0) {
-      const std::size_t h = std::stoul(key.substr(13));
-      if (h >= t.hourly_shape.size()) return std::nullopt;
+      std::size_t h = 0;
+      std::size_t digits = 0;
+      const std::string index = key.substr(13);
+      try {
+        h = std::stoul(index, &digits);
+      } catch (...) {
+        return reject(error, line_no,
+                      "bad hourly_shape index '" + index + "'");
+      }
+      if (digits != index.size()) {
+        return reject(error, line_no,
+                      "bad hourly_shape index '" + index + "'");
+      }
+      if (h >= t.hourly_shape.size()) {
+        return reject(error, line_no,
+                      "hourly_shape index " + index + " out of range (0-" +
+                          std::to_string(t.hourly_shape.size() - 1) + ")");
+      }
       t.hourly_shape[h] = v;
     } else {
-      return std::nullopt;
+      return reject(error, line_no, "unknown key '" + key + "'");
     }
   }
-  if (!saw_version || t.version != CalibrationTable::kVersion) {
-    return std::nullopt;
+  if (!saw_version) {
+    return reject(error, line_no, "table has no version row");
+  }
+  if (t.version != CalibrationTable::kVersion) {
+    return reject(error, line_no,
+                  "version " + std::to_string(t.version) +
+                      " does not match expected " +
+                      std::to_string(CalibrationTable::kVersion));
   }
   return t;
 }

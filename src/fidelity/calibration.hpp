@@ -16,6 +16,7 @@
 #include <array>
 #include <iosfwd>
 #include <optional>
+#include <string>
 
 #include "metrics/timeseries.hpp"
 #include "sim/time.hpp"
@@ -57,10 +58,17 @@ struct CalibrationTable {
   [[nodiscard]] static CalibrationTable defaults();
 
   /// CSV persistence (key,value rows; hourly_shape as 24 rows). The
-  /// loader returns nullopt on a malformed table or a version mismatch.
+  /// loader returns nullopt on a malformed table — a row without a
+  /// comma, a value that is not a (complete) finite number, NaN/inf,
+  /// an unknown key, an out-of-range hourly_shape index — or a version
+  /// mismatch. With `error` non-null the reason (with its 1-based line
+  /// number) is written there, so callers can say WHICH row poisoned
+  /// the table instead of silently falling back to defaults.
   void save_csv(std::ostream& out) const;
   [[nodiscard]] static std::optional<CalibrationTable> load_csv(
       std::istream& in);
+  [[nodiscard]] static std::optional<CalibrationTable> load_csv(
+      std::istream& in, std::string* error);
 
   bool operator==(const CalibrationTable&) const = default;
 };

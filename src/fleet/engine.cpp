@@ -69,6 +69,15 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
   if (config_.grid.observe_cap <= sim::Duration::zero()) {
     throw std::invalid_argument("FleetEngine: grid.observe_cap must be > 0");
   }
+  if (config_.grid.observe_cap_near <= sim::Duration::zero()) {
+    throw std::invalid_argument(
+        "FleetEngine: grid.observe_cap_near must be > 0");
+  }
+  if (!(config_.grid.observe_cap_near_fraction > 0.0) ||
+      !(config_.grid.observe_cap_near_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "FleetEngine: grid.observe_cap_near_fraction must be in (0, 1]");
+  }
   if (config_.feeder_count == 0) {
     throw std::invalid_argument("FleetEngine: feeder_count must be >= 1");
   }

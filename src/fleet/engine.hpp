@@ -132,6 +132,21 @@ struct GridOptions {
   /// control barrier (the safety cap on observation gaps). Rounded up
   /// to a whole number of control intervals.
   sim::Duration observe_cap = sim::minutes(15);
+  /// event_driven only: shrink the observation cap to observe_cap_near
+  /// while any shed-enabled feeder's committed load or temperature
+  /// sits within observe_cap_near_fraction of its shed trigger. A
+  /// feeder drifting toward a trigger is sampled finely (so the shed
+  /// lands close to the polled instant), an idle fleet keeps the
+  /// relaxed observe_cap and its barrier savings. Deterministic: the
+  /// choice reads only the previous barrier's committed aggregates.
+  bool adaptive_observe_cap = true;
+  /// The tightened cap used while near a trigger band. Rounded up to a
+  /// whole number of control intervals; must be > 0.
+  sim::Duration observe_cap_near = sim::minutes(3);
+  /// How close (as a fraction of the trigger threshold) a feeder's
+  /// utilization or temperature must get before the near cap engages.
+  /// Must be in (0, 1]; 1.0 arms it only at the trigger itself.
+  double observe_cap_near_fraction = 0.9;
   /// Per-feeder DrConfig overrides keyed by feeder id: feeder k runs
   /// feeder_dr[k] when engaged, the shared `dr` otherwise (and when k
   /// is past the vector's end). Small volatile shards typically want

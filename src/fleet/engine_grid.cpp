@@ -102,6 +102,14 @@ std::string sim_series(const char* event, std::size_t feeder) {
   return name;
 }
 
+/// One barrier's in-flight premise-advance graph: the run handle plus
+/// one join node per feeder shard (joins[k] retires when every premise
+/// homed on feeder k has reached the barrier).
+struct AdvancePlan {
+  Executor::GraphRun run;
+  std::vector<Executor::TaskId> joins;
+};
+
 }  // namespace
 
 GridFleetResult FleetEngine::run_grid(Executor& executor) const {
@@ -261,37 +269,60 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
     return agg.commit(at);
   };
 
-  // Advances every premise to the barrier at `t`; each backend lands
-  // its queued signals at their exact delivery times inside the
-  // interval (deliver_at >= the backend's clock because signals are
-  // emitted at barrier times and latency is non-negative). Chunked
-  // dispatch: at cheap-tier fleet scale the per-index task overhead
-  // would dominate the (tiny) per-premise step.
+  // Builds and submits the per-shard advance graph for the barrier at
+  // `t`: feeder k's member list is cut into `grain`-sized chunk tasks
+  // carrying affinity k, all gated by one bodiless join node per
+  // feeder, so the control plane can start feeder k's commit the
+  // moment k's own premises reach the barrier instead of stalling on
+  // the whole fleet. Each backend lands its queued signals at their
+  // exact delivery times inside the interval (deliver_at >= the
+  // backend's clock because signals are emitted at barrier times and
+  // latency is non-negative). Chunked dispatch: at cheap-tier fleet
+  // scale the per-index task overhead would dominate the (tiny)
+  // per-premise step. Member lists are stable for the whole graph (tie
+  // re-homing runs on the control plane after the joins), so tasks
+  // hold plain pointers into the substation's shard vectors.
   const std::size_t grain = executor.suggested_grain(config_.premise_count);
-  const auto advance_premises = [&](sim::TimePoint t) {
-    if (tel == nullptr) {
-      executor.parallel_for_ranges(
-          config_.premise_count, grain,
-          [&backends, t](std::size_t begin, std::size_t end_i) {
-            for (std::size_t i = begin; i < end_i; ++i) {
-              backends[i]->advance_to(t);
-            }
-          });
-      return;
+  const auto submit_advance = [&](sim::TimePoint t) {
+    Executor::TaskGraph graph;
+    AdvancePlan plan;
+    plan.joins.reserve(feeders);
+    std::vector<Executor::TaskId> chunks;
+    for (std::size_t k = 0; k < feeders; ++k) {
+      const std::vector<std::size_t>* members = &substation.premises(k);
+      chunks.clear();
+      for (std::size_t begin = 0; begin < members->size(); begin += grain) {
+        const std::size_t end_i = std::min(members->size(), begin + grain);
+        if (tel == nullptr) {
+          chunks.push_back(graph.add(
+              [&backends, members, begin, end_i, t]() {
+                for (std::size_t pos = begin; pos < end_i; ++pos) {
+                  backends[(*members)[pos]]->advance_to(t);
+                }
+              },
+              k));
+        } else {
+          // Instrumented twin: charges each premise's step to its
+          // tier's nested phase (who is eating the barrier — the full
+          // sims or the surrogates?).
+          chunks.push_back(graph.add(
+              [&backends, members, begin, end_i, t, tel]() {
+                for (std::size_t pos = begin; pos < end_i; ++pos) {
+                  const std::uint64_t t0 = telemetry::Collector::now_ns();
+                  backends[(*members)[pos]]->advance_to(t);
+                  tel->record_span(
+                      tier_phase(backends[(*members)[pos]]->tier()),
+                      telemetry::Collector::now_ns() - t0);
+                }
+              },
+              k));
+        }
+      }
+      plan.joins.push_back(graph.add_join(chunks));
     }
-    // Instrumented twin: charges each premise's step to its tier's
-    // nested phase (who is eating the barrier — the full sims or the
-    // surrogates?).
-    executor.parallel_for_ranges(
-        config_.premise_count, grain,
-        [&backends, t, tel](std::size_t begin, std::size_t end_i) {
-          for (std::size_t i = begin; i < end_i; ++i) {
-            const std::uint64_t t0 = telemetry::Collector::now_ns();
-            backends[i]->advance_to(t);
-            tel->record_span(tier_phase(backends[i]->tier()),
-                             telemetry::Collector::now_ns() - t0);
-          }
-        });
+    if (tel != nullptr) tel->count("graph_submissions");
+    plan.run = executor.submit_graph(std::move(graph));
+    return plan;
   };
 
   // --- Tie-switch plumbing. Each helper is a no-op with ties disabled.
@@ -368,10 +399,21 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
   if (!event_driven) {
     // --- Polled: fixed-interval lockstep. One control barrier:
     // per-feeder aggregates (index order within the shard), each
-    // routed to its own head end, then the substation total.
-    const auto control_step = [&](sim::TimePoint at, const auto& load_of) {
+    // routed to its own head end, then the substation total. With a
+    // plan in flight, feeder k's slice of the control plane first
+    // waits on k's OWN join node — feeders whose premises already
+    // arrived commit while slower shards are still advancing.
+    const auto control_step = [&](sim::TimePoint at, const auto& load_of,
+                                  AdvancePlan* plan) {
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
+        if (plan != nullptr) {
+          telemetry::Span join_span(tel,
+                                    telemetry::Phase::kBarrierJoinWait);
+          plan->run.wait(plan->joins[k]);
+          join_span.finish();
+          if (tel != nullptr) tel->count("join_waits");
+        }
         // Per-feeder spans keep the call order byte-identical to the
         // uninstrumented loop while still splitting commit from
         // observe/fan-out in the aggregate profile.
@@ -402,16 +444,28 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
     // feeder's overload/thermal accounting cover the whole
     // (0, horizon] span. It also emits the initial tariff tier at t=0
     // when a window covers midnight.
-    control_step(t, [&backends, t](std::size_t i) {
-      return diurnal_base_kw(backends[i]->spec(), t);
-    });
+    control_step(t,
+                 [&backends, t](std::size_t i) {
+                   return diurnal_base_kw(backends[i]->spec(), t);
+                 },
+                 nullptr);
     while (t < end) {
       const sim::TimePoint prev = t;
       t = std::min(t + g.control_interval, end);
+      AdvancePlan plan;
       {
         telemetry::Span advance_span(tel, telemetry::Phase::kBarrierAdvance,
                                      telemetry::Span::Emit::kTrace);
-        advance_premises(t);
+        plan = submit_advance(t);
+      }
+      if (tie_enabled) {
+        // Transfer accounting and re-homing read premises across shard
+        // boundaries, so the tied loop still needs the whole fleet at
+        // the barrier before the control plane runs.
+        telemetry::Span join_span(tel, telemetry::Phase::kBarrierJoinWait);
+        plan.run.wait_all();
+        join_span.finish();
+        if (tel != nullptr) tel->count("join_waits");
       }
       // Sequential from here: the whole control plane in feeder order.
       {
@@ -422,9 +476,15 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
         telemetry::Span apply_span(tel, telemetry::Phase::kBarrierApply);
         apply_tie_ops(t);
       }
-      control_step(t, [&backends](std::size_t i) {
-        return backends[i]->inst_kw();
-      });
+      control_step(t,
+                   [&backends](std::size_t i) {
+                     return backends[i]->inst_kw();
+                   },
+                   tie_enabled ? nullptr : &plan);
+      // All joins have been waited on, so this returns immediately; it
+      // exists to surface the first premise exception, exactly as the
+      // old fleet-wide parallel_for did.
+      plan.run.wait_all();
     }
   } else {
     // --- Event-driven: threshold-triggered observation. Controller
@@ -496,14 +556,51 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
     }
 
     const sim::Duration interval = g.control_interval;
-    // Safety cap in whole intervals (at least one).
-    const sim::Duration cap =
-        interval * std::max<sim::Ticks>(1, (g.observe_cap.us() +
-                                            interval.us() - 1) /
-                                               interval.us());
+    // Safety caps in whole intervals (at least one). The relaxed cap
+    // is the classic observe_cap; the near cap kicks in while any
+    // feeder sits close to its shed trigger band, where a long blind
+    // window would coarsen shed-onset accounting (the crossing is only
+    // detected at the next barrier, however late that lands).
+    const auto cap_intervals = [&interval](sim::Duration d) {
+      return interval *
+             std::max<sim::Ticks>(
+                 1, (d.us() + interval.us() - 1) / interval.us());
+    };
+    const sim::Duration cap_far = cap_intervals(g.observe_cap);
+    const sim::Duration cap_near = cap_intervals(g.observe_cap_near);
+
+    // True when any shed-enabled feeder's last committed state is
+    // within observe_cap_near_fraction of its trigger (utilization or
+    // thermal). A feeder whose shed is already active is skipped: its
+    // expiry/all-clear deadlines are armed, so the onset crossing the
+    // near cap exists to catch has already been caught, and a heat-wave
+    // plateau would otherwise hold "near" true for the whole shed.
+    // Reads only control-plane state from the previous barrier's
+    // commit, so the chosen cap — and with it the barrier schedule —
+    // is deterministic across executor widths.
+    const auto near_trigger = [&]() {
+      if (!g.adaptive_observe_cap || !g.enabled) return false;
+      for (std::size_t k = 0; k < feeders; ++k) {
+        const grid::DrConfig& dr = substation.controller(k).config();
+        if (!dr.shed_enabled) continue;
+        if (substation.controller(k).shed_active()) continue;
+        const double capacity_kw =
+            substation.controller(k).feeder().config().capacity_kw;
+        if (capacity_kw > 0.0 &&
+            monitors[k].total_kw() / capacity_kw >=
+                g.observe_cap_near_fraction * dr.trigger_utilization) {
+          return true;
+        }
+        if (monitors[k].temperature_pu() >=
+            g.observe_cap_near_fraction * dr.trigger_temp_pu) {
+          return true;
+        }
+      }
+      return false;
+    };
 
     while (t < end) {
-      sim::TimePoint next = t + cap;
+      sim::TimePoint next = t + (near_trigger() ? cap_near : cap_far);
       if (!timers.empty()) next = std::min(next, timers.next_time());
       if (tie_enabled) {
         // A planned actuation or a hold expiry forces a barrier just
@@ -516,16 +613,26 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
       next = std::min(next, end);
       const sim::TimePoint prev = t;
       t = next;
+      AdvancePlan plan;
       {
         telemetry::Span advance_span(tel, telemetry::Phase::kBarrierAdvance,
                                      telemetry::Span::Emit::kTrace);
-        advance_premises(t);
+        plan = submit_advance(t);
       }
       ++barriers;
       // Fire everything due: callbacks mark which feeders' deadlines
-      // came due at (or before) this barrier.
+      // came due at (or before) this barrier. Pure control-plane
+      // state, so it overlaps the premises still in flight.
       while (!timers.empty() && timers.next_time() <= t) timers.pop().fn();
 
+      if (tie_enabled) {
+        // Same cross-shard constraint as the polled loop: accounting
+        // and re-homing need every shard at the barrier.
+        telemetry::Span join_span(tel, telemetry::Phase::kBarrierJoinWait);
+        plan.run.wait_all();
+        join_span.finish();
+        if (tel != nullptr) tel->count("join_waits");
+      }
       {
         telemetry::Span account_span(tel, telemetry::Phase::kBarrierAccount);
         account_transfers(t - prev);
@@ -544,6 +651,13 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
       };
       double total_kw = 0.0;
       for (std::size_t k = 0; k < feeders; ++k) {
+        if (!tie_enabled) {
+          telemetry::Span join_span(tel,
+                                    telemetry::Phase::kBarrierJoinWait);
+          plan.run.wait(plan.joins[k]);
+          join_span.finish();
+          if (tel != nullptr) tel->count("join_waits");
+        }
         telemetry::Span commit_span(tel, telemetry::Phase::kBarrierCommit);
         const std::vector<metrics::Crossing>& crossings =
             commit_feeder(k, t, inst_load);
@@ -587,6 +701,9 @@ GridFleetResult FleetEngine::run_grid(Executor& executor,
       telemetry::Span plan_span(tel, telemetry::Phase::kBarrierPlan);
       plan_tie(t, inst_load);
       plan_span.finish();
+      // Returns immediately (every join was waited on); surfaces the
+      // first premise exception like the old fleet-wide join did.
+      plan.run.wait_all();
     }
   }
 

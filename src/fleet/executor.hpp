@@ -1,21 +1,36 @@
-// han::fleet — work-stealing executor for premise-parallel simulation.
+// han::fleet — task-graph executor for premise-parallel simulation.
 //
 // Premise simulations are embarrassingly parallel but wildly uneven in
 // cost (device counts, workload intensity and horizon all vary per
-// home), so a static partition of premises over threads leaves workers
-// idle behind the largest homes. The executor keeps one task deque per
-// worker: a worker pops its own deque from the front and, when empty,
-// steals from the back of a victim's deque, so load balances itself.
+// home), and the closed-loop engine synchronizes them at control
+// barriers. A fleet-wide join would make every feeder's control
+// decision wait for the slowest premise anywhere; instead the engine
+// submits a dependency graph — premise tasks carrying a feeder
+// affinity, plus one join node per feeder shard — and each feeder's
+// control plane waits only on ITS shard's join.
 //
-// Determinism contract: the executor guarantees every index is executed
-// exactly once, but in an unspecified order on unspecified threads.
-// Callers that need deterministic output must make tasks independent
-// (per-task RNG streams) and write results into per-index slots.
+// Scheduling machinery: one bounded lockless MPMC ring per worker
+// (per-cell sequence numbers, CAS enqueue/dequeue). A worker pops its
+// own ring first and steals from the other rings when dry; a blocked
+// submitter helps by executing pending tasks itself, which also makes
+// arbitrarily large graphs safe against ring overflow (a push that
+// finds every ring full runs the task inline). Mutex/condvar are used
+// only to park idle workers and waiting submitters — never on the
+// task hot path.
+//
+// Determinism contract: the executor guarantees every node runs
+// exactly once, after all its dependencies, but in an unspecified
+// order on unspecified threads. Callers that need deterministic
+// output must make tasks independent (per-task RNG streams), write
+// results into per-index slots, and keep every ordered decision on
+// the submitting thread (the engine's sequential control plane).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace han::telemetry {
 class Collector;
@@ -23,13 +38,98 @@ class Collector;
 
 namespace han::fleet {
 
-/// Fixed-size worker pool with per-worker deques and work stealing.
-/// Thread-safe for sequential parallel_for calls from one submitter
-/// thread; concurrent submissions are serialized internally.
+namespace detail {
+struct GraphState;
+}  // namespace detail
+
+/// Fixed-size worker pool scheduling dependency graphs of tasks over
+/// lockless per-worker rings. Thread-safe for concurrent submissions
+/// from any number of threads; each submission is tracked by its own
+/// GraphRun handle.
 class Executor {
  public:
+  /// Node id inside one TaskGraph (dense, starting at 0).
+  using TaskId = std::size_t;
+
+  /// Affinity wildcard: the task may start on any worker (round-robin
+  /// placement; work stealing rebalances either way).
+  static constexpr std::size_t kAnyWorker = static_cast<std::size_t>(-1);
+
+  /// A dependency graph under construction. Build nodes with add()
+  /// (leaf tasks) and add_join() (nodes gated on earlier nodes), then
+  /// hand the graph to Executor::submit_graph. Dependencies must point
+  /// at already-created nodes, so a TaskGraph is a DAG by construction.
+  class TaskGraph {
+   public:
+    /// Adds a leaf task. `affinity` hints the worker ring the task is
+    /// first queued on (feeder shard id in the engine); kAnyWorker
+    /// deals round-robin. Returns the node's id.
+    TaskId add(std::function<void()> fn, std::size_t affinity = kAnyWorker);
+
+    /// Adds a node that becomes runnable only after every node in
+    /// `deps` has retired. With an empty `fn` the node is a pure join
+    /// marker: it retires the instant its last dependency does and
+    /// counts as no executed task. With a body it is a continuation
+    /// and runs like any task once unblocked.
+    TaskId add_join(std::vector<TaskId> deps,
+                    std::function<void()> fn = nullptr,
+                    std::size_t affinity = kAnyWorker);
+
+    /// Number of nodes added so far.
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+    /// Pre-sizes the node table (parallel_for knows its n up front).
+    void reserve(std::size_t nodes) { nodes_.reserve(nodes); }
+
+   private:
+    friend class Executor;
+    friend struct detail::GraphState;
+    struct Node {
+      std::function<void()> fn;
+      std::vector<TaskId> deps;
+      std::size_t affinity = kAnyWorker;
+    };
+    std::vector<Node> nodes_;
+  };
+
+  /// Handle to one submitted graph. wait()/wait_all() block until the
+  /// named node (or the whole graph) retires, executing pending tasks
+  /// from the pool while they wait, so a submitter can never deadlock
+  /// the pool it is waiting on. The destructor waits for the whole
+  /// graph (tasks reference caller-owned state), swallowing errors;
+  /// call wait_all() first to observe task exceptions.
+  class GraphRun {
+   public:
+    GraphRun() noexcept = default;
+    ~GraphRun();
+
+    GraphRun(GraphRun&& other) noexcept = default;
+    GraphRun& operator=(GraphRun&& other) noexcept;
+    GraphRun(const GraphRun&) = delete;
+    GraphRun& operator=(const GraphRun&) = delete;
+
+    /// True once `node` has retired (its body ran; for a pure join,
+    /// all its dependencies retired).
+    [[nodiscard]] bool done(TaskId node) const noexcept;
+
+    /// Blocks until `node` retires, helping execute pending tasks.
+    /// Does not rethrow task exceptions (wait_all does).
+    void wait(TaskId node);
+
+    /// Blocks until every node retired, then rethrows the first task
+    /// exception (in completion order), if any.
+    void wait_all();
+
+   private:
+    friend class Executor;
+    explicit GraphRun(std::shared_ptr<detail::GraphState> state) noexcept
+        : state_(std::move(state)) {}
+    std::shared_ptr<detail::GraphState> state_;
+  };
+
   /// Spawns `threads` workers (0 = std::thread::hardware_concurrency,
-  /// at least 1). Workers live until destruction.
+  /// at least 1). Workers live until destruction. Every GraphRun must
+  /// be destroyed before its Executor.
   explicit Executor(std::size_t threads = 0);
   ~Executor();
 
@@ -38,9 +138,16 @@ class Executor {
 
   [[nodiscard]] std::size_t thread_count() const noexcept;
 
+  /// Submits `graph` for execution and returns its run handle. Root
+  /// nodes are queued immediately; dependent nodes as their
+  /// dependencies retire. Safe to call from multiple threads at once
+  /// (the rings are MPMC), including from inside another graph's task.
+  [[nodiscard]] GraphRun submit_graph(TaskGraph&& graph);
+
   /// Runs fn(0) .. fn(n-1) across the workers and blocks until all
   /// complete. If any task throws, the first exception (in completion
-  /// order) is rethrown after the remaining tasks finish.
+  /// order) is rethrown after the remaining tasks finish. Thin adapter
+  /// over submit_graph: one leaf node per index, one wait_all.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn);
 
@@ -48,8 +155,10 @@ class Executor {
   /// of `grain` indices (the tail block is shorter). One task per
   /// block instead of one per index — at 100k+ cheap-tier premises per
   /// barrier the per-task dispatch otherwise dominates the work.
-  /// Callers must keep per-index outputs independent; block boundaries
-  /// carry no ordering guarantee.
+  /// Degenerate inputs are guarded here, not by caller discipline:
+  /// n == 0 runs nothing, grain == 0 is clamped to 1, grain > n runs
+  /// one block [0, n). Callers must keep per-index outputs
+  /// independent; block boundaries carry no ordering guarantee.
   void parallel_for_ranges(
       std::size_t n, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn);
@@ -59,12 +168,14 @@ class Executor {
   [[nodiscard]] std::size_t suggested_grain(std::size_t n) const noexcept;
 
   /// Attaches (or, with nullptr, detaches) a telemetry sink. While
-  /// attached, every parallel_for records a kExecutorDispatch span plus
-  /// per-job task/steal activity. Call only between jobs — typically
-  /// via ExecutorTelemetryScope for the duration of one engine run.
+  /// attached, every parallel_for records a kExecutorDispatch span,
+  /// and every graph flushes its task/steal activity when its
+  /// submitter finishes waiting. Call only between submissions —
+  /// typically via ExecutorTelemetryScope for one engine run.
   void set_telemetry(telemetry::Collector* collector) noexcept;
 
  private:
+  friend struct detail::GraphState;
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

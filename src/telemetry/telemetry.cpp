@@ -16,6 +16,7 @@ constexpr std::string_view kPhaseNames[] = {
     "barrier_commit",
     "barrier_observe",
     "barrier_plan",
+    "barrier_join_wait",
     "collect",
     "aggregate",
     "boot_spec",

@@ -57,6 +57,7 @@ enum class Phase : std::uint8_t {
   kBarrierCommit,   // staging + committing the feeder aggregates
   kBarrierObserve,  // controller observation + signal fan-out
   kBarrierPlan,     // transfer planning from the committed aggregates
+  kBarrierJoinWait,  // control plane blocked on a shard's join node
   kCollect,         // premise result collection (finish())
   kAggregate,       // sequential feeder aggregation
   // --- nested (overlap the exclusive phases) --------------------------

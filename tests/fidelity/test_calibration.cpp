@@ -65,6 +65,50 @@ TEST(CalibrationTable, LoadRejectsMalformedTables) {
   EXPECT_FALSE(CalibrationTable::load_csv(empty).has_value());
 }
 
+TEST(CalibrationTable, LoadRejectsNonFiniteValues) {
+  // std::stod parses "nan"/"inf" happily; the loader must not let them
+  // through into surrogate arithmetic. (Regression: it used to.)
+  for (const char* bad : {"nan", "NaN", "-nan", "inf", "-inf", "INF"}) {
+    std::stringstream ss(std::string("key,value\nversion,1\nduty_gain,") +
+                         bad + "\n");
+    std::string error;
+    EXPECT_FALSE(CalibrationTable::load_csv(ss, &error).has_value()) << bad;
+    EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  }
+}
+
+TEST(CalibrationTable, LoadRejectsPartiallyNumericValues) {
+  // std::stod accepts a numeric prefix; "1.5abc" must not silently load
+  // as 1.5. (Regression: it used to.)
+  std::stringstream ss("key,value\nversion,1\nshed_compliance,1.5abc\n");
+  std::string error;
+  EXPECT_FALSE(CalibrationTable::load_csv(ss, &error).has_value());
+  EXPECT_NE(error.find("trailing garbage"), std::string::npos) << error;
+}
+
+TEST(CalibrationTable, LoadRejectsBadHourlyShapeIndex) {
+  // A non-numeric shape index used to escape as an uncaught
+  // std::invalid_argument out of std::stoul instead of a clean reject.
+  std::stringstream alpha("key,value\nversion,1\nhourly_shape_abc,1.0\n");
+  std::string error;
+  EXPECT_FALSE(CalibrationTable::load_csv(alpha, &error).has_value());
+  EXPECT_NE(error.find("hourly_shape index"), std::string::npos) << error;
+  std::stringstream mixed("key,value\nversion,1\nhourly_shape_3x,1.0\n");
+  EXPECT_FALSE(CalibrationTable::load_csv(mixed, &error).has_value());
+  std::stringstream range("key,value\nversion,1\nhourly_shape_24,1.0\n");
+  EXPECT_FALSE(CalibrationTable::load_csv(range, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(CalibrationTable, LoadErrorNamesTheOffendingLine) {
+  std::stringstream ss("key,value\nversion,1\nno comma here\n");
+  std::string error;
+  EXPECT_FALSE(CalibrationTable::load_csv(ss, &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("no comma"), std::string::npos) << error;
+}
+
 TEST(Calibrator, RecoversSyntheticGainAndShape) {
   // observed = 0.8 * predicted everywhere except hour 2, where the
   // observation doubles. The fit must put the global 0.8 into the gain

@@ -82,5 +82,95 @@ TEST(Executor, DefaultThreadCountIsPositive) {
   EXPECT_GE(ex.thread_count(), 1u);
 }
 
+// --- parallel_for_ranges degenerate inputs (regression: these used to
+// lean on caller discipline via suggested_grain).
+
+TEST(Executor, RangesZeroElementsNeverCallsBody) {
+  Executor ex(3);
+  ex.parallel_for_ranges(0, 16, [](std::size_t, std::size_t) {
+    FAIL() << "n == 0 must not invoke the body";
+  });
+}
+
+TEST(Executor, RangesZeroGrainIsClampedToOne) {
+  Executor ex(3);
+  constexpr std::size_t kN = 37;
+  std::vector<std::atomic<int>> hits(kN);
+  ex.parallel_for_ranges(kN, 0,
+                         [&hits](std::size_t begin, std::size_t end) {
+                           ASSERT_LT(begin, end);
+                           for (std::size_t i = begin; i < end; ++i) {
+                             ++hits[i];
+                           }
+                         });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Executor, RangesGrainLargerThanNIsOneExactBlock) {
+  Executor ex(3);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> got_begin{99};
+  std::atomic<std::size_t> got_end{0};
+  ex.parallel_for_ranges(5, 1000,
+                         [&](std::size_t begin, std::size_t end) {
+                           ++calls;
+                           got_begin = begin;
+                           got_end = end;
+                         });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(got_begin.load(), 0u);
+  EXPECT_EQ(got_end.load(), 5u);  // never past n
+}
+
+// --- task-graph API basics (the per-shard join machinery the engine's
+// barrier schedulers are built on; stress lives in test_executor_stress).
+
+TEST(Executor, GraphRunsNodesInDependencyOrder) {
+  Executor ex(4);
+  std::atomic<int> stage{0};
+  Executor::TaskGraph graph;
+  const auto a = graph.add([&stage]() {
+    int expected = 0;
+    EXPECT_TRUE(stage.compare_exchange_strong(expected, 1));
+  });
+  const auto b = graph.add_join({a}, [&stage]() {
+    int expected = 1;
+    EXPECT_TRUE(stage.compare_exchange_strong(expected, 2));
+  });
+  auto run = ex.submit_graph(std::move(graph));
+  run.wait(b);
+  EXPECT_TRUE(run.done(a));
+  EXPECT_TRUE(run.done(b));
+  run.wait_all();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(Executor, PureJoinRetiresWhenDependenciesDo) {
+  Executor ex(2);
+  std::atomic<int> ran{0};
+  Executor::TaskGraph graph;
+  std::vector<Executor::TaskId> deps;
+  for (std::size_t i = 0; i < 8; ++i) {
+    deps.push_back(graph.add([&ran]() { ++ran; }, /*affinity=*/i));
+  }
+  const auto join = graph.add_join(deps);  // bodiless
+  auto run = ex.submit_graph(std::move(graph));
+  run.wait(join);
+  EXPECT_EQ(ran.load(), 8);
+  run.wait_all();
+}
+
+TEST(Executor, EmptyGraphCompletesImmediately) {
+  Executor ex(2);
+  auto run = ex.submit_graph(Executor::TaskGraph{});
+  run.wait_all();  // must not hang
+}
+
+TEST(Executor, ForwardDependencyIsRejected) {
+  Executor::TaskGraph graph;
+  const auto a = graph.add([]() {});
+  EXPECT_THROW(graph.add_join({a + 1}, []() {}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace han::fleet

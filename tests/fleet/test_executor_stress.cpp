@@ -5,9 +5,13 @@
 // TSan can observe the interesting interleavings: steal storms (tasks
 // far cheaper than the dispatch path, so workers spend their time in
 // the victim-scan), nested fan-out (outer parallel_for workers
-// submitting parallel_for_ranges to an inner pool, exercising the
-// concurrent-submitter serialization), exception propagation racing
-// normal completion, and telemetry attach/flush from many workers.
+// submitting parallel_for_ranges to an inner pool, exercising
+// concurrent submissions into the MPMC rings), exception propagation
+// racing normal completion, telemetry attach/flush from many workers,
+// and the task-graph machinery itself: per-shard join independence (a
+// stalled shard must not hold up another shard's join), graph
+// submission races from raw threads, and exceptions crossing join
+// nodes.
 //
 // Run it under -fsanitize=thread (the tsan CI job does); it also runs
 // in the ordinary suites as a plain correctness test.
@@ -62,9 +66,9 @@ TEST(ExecutorStress, StealStormSkewedCosts) {
 
 TEST(ExecutorStress, NestedRangesThroughInnerPool) {
   // Outer workers concurrently submit parallel_for_ranges to a shared
-  // inner executor — the pattern a task-graph scheduler will lean on.
-  // The inner submit path must serialize cleanly (submit_mutex) and
-  // every (outer, inner) cell must be visited exactly once.
+  // inner executor. The MPMC rings must absorb the concurrent
+  // submissions and every (outer, inner) cell must be visited exactly
+  // once.
   Executor outer(4);
   Executor inner(3);
   static constexpr std::size_t kOuter = 12;
@@ -86,8 +90,9 @@ TEST(ExecutorStress, NestedRangesThroughInnerPool) {
 
 TEST(ExecutorStress, ConcurrentSubmittersOneExecutor) {
   // Raw std::threads racing to submit to one executor. The documented
-  // contract is that concurrent submissions are serialized internally;
-  // under TSan this is the test that would expose a submit-path race.
+  // contract is that concurrent submissions are safe (the rings are
+  // MPMC); under TSan this is the test that would expose a
+  // submit-path race.
   Executor ex(4);
   constexpr std::size_t kSubmitters = 6;
   constexpr std::size_t kPerSubmit = 1000;
@@ -172,7 +177,7 @@ TEST(ExecutorStress, TelemetryFlushFromAllWorkers) {
 
 TEST(ExecutorStress, RapidJobTurnover) {
   // Many minimal jobs back to back: exercises the retire/wake handshake
-  // (job pointer swap, done_cv/wake_cv) more than any single job does.
+  // (graph retirement, done_cv/sleep_cv) more than any single job does.
   Executor ex(4);
   std::atomic<std::uint32_t> ran{0};
   for (int round = 0; round < 500; ++round) {
@@ -181,6 +186,134 @@ TEST(ExecutorStress, RapidJobTurnover) {
     });
   }
   EXPECT_EQ(ran.load(), 2000u);
+}
+
+// --- task-graph stress -------------------------------------------------
+
+TEST(ExecutorStress, GraphPerShardJoinIndependence) {
+  // The engine-shaped graph: per-shard leaf tasks gated by one join
+  // per shard. Shard B contains a task that blocks until released;
+  // shard A's join must retire anyway — the whole point of per-shard
+  // joins is that feeder A's control decision does not stall behind
+  // feeder B's biggest home.
+  Executor ex(2);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> a_ran{0};
+  std::atomic<int> b_ran{0};
+
+  Executor::TaskGraph graph;
+  std::vector<Executor::TaskId> shard_a;
+  std::vector<Executor::TaskId> shard_b;
+  for (int i = 0; i < 8; ++i) {
+    shard_a.push_back(graph.add([&a_ran]() { ++a_ran; }, /*affinity=*/0));
+  }
+  shard_b.push_back(graph.add(
+      [&entered, &release, &b_ran]() {
+        entered.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        ++b_ran;
+      },
+      /*affinity=*/1));
+  for (int i = 0; i < 4; ++i) {
+    shard_b.push_back(graph.add([&b_ran]() { ++b_ran; }, /*affinity=*/1));
+  }
+  const auto join_a = graph.add_join(shard_a);
+  const auto join_b = graph.add_join(shard_b);
+  auto run = ex.submit_graph(std::move(graph));
+
+  // Wait until a WORKER owns the blocking task before this thread
+  // starts helping: wait(join_a) executes pending tasks itself, and
+  // picking up the blocker here would deadlock the release below.
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  run.wait(join_a);
+  EXPECT_EQ(a_ran.load(), 8);
+  EXPECT_TRUE(run.done(join_a));
+  EXPECT_FALSE(run.done(join_b)) << "join B retired while its task blocked";
+
+  release.store(true, std::memory_order_release);
+  run.wait(join_b);
+  EXPECT_EQ(b_ran.load(), 5);
+  run.wait_all();
+}
+
+TEST(ExecutorStress, ConcurrentGraphSubmissions) {
+  // Raw threads racing whole graphs (leaves + join continuation) into
+  // one executor. Every graph's continuation must observe all of its
+  // own leaves and nothing else; totals must be exact.
+  Executor ex(4);
+  constexpr std::size_t kSubmitters = 6;
+  constexpr std::size_t kLeaves = 64;
+  constexpr int kRounds = 20;
+  std::vector<std::atomic<std::uint32_t>> joined(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&ex, &joined, s]() {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<std::uint32_t> leaves_run{0};
+        Executor::TaskGraph graph;
+        std::vector<Executor::TaskId> leaves;
+        leaves.reserve(kLeaves);
+        for (std::size_t i = 0; i < kLeaves; ++i) {
+          leaves.push_back(graph.add(
+              [&leaves_run]() {
+                leaves_run.fetch_add(1, std::memory_order_relaxed);
+              },
+              /*affinity=*/i % 4));
+        }
+        graph.add_join(leaves, [&joined, &leaves_run, s]() {
+          // The join body runs after every dependency retired, so the
+          // leaf count must already be complete here.
+          joined[s].fetch_add(leaves_run.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+        });
+        auto run = ex.submit_graph(std::move(graph));
+        run.wait_all();
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(joined[s].load(), kRounds * kLeaves) << "submitter " << s;
+  }
+}
+
+TEST(ExecutorStress, ExceptionThroughJoinNodes) {
+  // A leaf throws. Errors do not cancel the graph: the remaining
+  // leaves and the join continuation still run (the engine's control
+  // plane depends on joins always retiring), and wait_all() rethrows
+  // the first error afterwards. The pool survives for the next graph.
+  Executor ex(4);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<std::uint32_t> ran{0};
+    std::atomic<bool> join_ran{false};
+    Executor::TaskGraph graph;
+    std::vector<Executor::TaskId> leaves;
+    for (std::size_t i = 0; i < 256; ++i) {
+      leaves.push_back(graph.add([&ran, i]() {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i % 31 == 0) throw std::runtime_error("leaf failed");
+      }));
+    }
+    const auto join = graph.add_join(leaves, [&join_ran]() {
+      join_ran.store(true, std::memory_order_release);
+    });
+    auto run = ex.submit_graph(std::move(graph));
+    run.wait(join);  // wait() observes completion, not errors
+    EXPECT_TRUE(join_ran.load(std::memory_order_acquire));
+    EXPECT_EQ(ran.load(), 256u) << "round " << round;
+    EXPECT_THROW(run.wait_all(), std::runtime_error);
+  }
+  std::atomic<std::uint32_t> ran{0};
+  ex.parallel_for(64, [&ran](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 64u);
 }
 
 }  // namespace
